@@ -1,0 +1,73 @@
+// Ablation: what does the FFT acceleration of the V list buy?
+//
+// Runs the same FMM evaluation with FFT-based M2L translations (the paper's
+// "FFTs and vector additions") and with dense per-pair kernel-matrix
+// application, comparing host wall-clock, per-pair flop counts, and the
+// numerical agreement of the results.
+#include <chrono>
+#include <iostream>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eroof;
+  using Clock = std::chrono::steady_clock;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 16384;
+
+  util::Rng rng(3);
+  const auto pts = fmm::uniform_cube(n, rng);
+  const auto dens = fmm::random_densities(n, rng);
+  const fmm::LaplaceKernel kernel;
+
+  std::cout << "M2L ablation at N = " << n << ", Q = 64\n\n";
+  util::Table t({"Variant", "p", "Eval (s)", "V flops/pair", "rel L2 vs FFT"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight});
+
+  for (const int p : {4, 6}) {
+    std::vector<double> fft_result;
+    for (const bool use_fft : {true, false}) {
+      fmm::FmmEvaluator ev(kernel, pts, {.max_points_per_box = 64},
+                           fmm::FmmConfig{.p = p, .use_fft_m2l = use_fft});
+      const auto t0 = Clock::now();
+      const auto phi = ev.evaluate(dens);
+      const auto t1 = Clock::now();
+      const double secs = std::chrono::duration<double>(t1 - t0).count();
+
+      const auto& st = ev.stats();
+      const double ns = static_cast<double>(ev.operators().n_surf());
+      const double flops_per_pair =
+          use_fft
+              ? 8.0 * static_cast<double>(ev.operators().grid_size()) +
+                    // amortized forward+inverse FFTs
+                    st.v.ffts * 5.0 *
+                        static_cast<double>(ev.operators().grid_size()) *
+                        std::log2(static_cast<double>(
+                            ev.operators().grid_size())) /
+                        std::max(1.0, st.v.pair_count)
+              : 2.0 * ns * ns;
+
+      std::string agreement = "-";
+      if (use_fft) {
+        fft_result = phi;
+      } else {
+        agreement =
+            util::Table::num(fmm::rel_l2_error(phi, fft_result), 12);
+      }
+      t.add_row({use_fft ? "FFT (Hadamard)" : "dense (K-matrix)",
+                 std::to_string(p), util::Table::num(secs, 2),
+                 util::Table::num(flops_per_pair, 0), agreement});
+    }
+  }
+  t.print(std::cout);
+  std::cout << "\nThe two variants agree to roundoff; the FFT path's "
+               "per-pair work grows with the grid volume (2p)^3 while the "
+               "dense path grows with the squared surface count "
+               "(p^3 - (p-2)^3)^2, so the FFT advantage widens with p -- "
+               "and its streaming access pattern is what makes the V phase "
+               "memory-bound on the modeled GPU.\n";
+  return 0;
+}

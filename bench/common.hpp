@@ -1,0 +1,98 @@
+// Shared plumbing for the table/figure reproduction benches: the calibrated
+// platform, the fitted model (from the paper's microbenchmark campaign), and
+// the Table IV FMM inputs F1..F8 with their GPU execution profiles.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/fit.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/gpu_profile.hpp"
+#include "fmm/pointgen.hpp"
+#include "hw/soc.hpp"
+#include "ubench/campaign.hpp"
+
+namespace eroof::bench {
+
+/// Everything a reproduction bench needs: the simulated board, the meter,
+/// the campaign samples and the model fitted on the training half.
+struct Platform {
+  hw::Soc soc = hw::Soc::tegra_k1();
+  hw::PowerMon pm;
+  std::vector<ub::Sample> campaign;
+  model::EnergyModel model;
+
+  std::vector<model::FitSample> samples(hw::SettingRole role) const {
+    std::vector<model::FitSample> out;
+    for (const auto& s : campaign)
+      if (s.role == role) out.push_back(model::to_fit_sample(s.meas));
+    return out;
+  }
+
+  std::vector<model::FitSample> all_samples() const {
+    std::vector<model::FitSample> out;
+    for (const auto& s : campaign) out.push_back(model::to_fit_sample(s.meas));
+    return out;
+  }
+};
+
+inline Platform make_platform(std::uint64_t seed = 42) {
+  Platform p;
+  util::Rng rng(seed);
+  p.campaign = ub::paper_campaign(p.soc, p.pm, rng);
+  const auto train = p.samples(hw::SettingRole::kTrain);
+  p.model = model::fit_energy_model(train).model;
+  return p;
+}
+
+/// Table IV FMM inputs.
+struct FmmInput {
+  const char* id;
+  std::size_t n;
+  std::uint32_t q;
+};
+
+inline constexpr FmmInput kFmmInputs[8] = {
+    {"F1", 262144, 128}, {"F2", 131072, 64},  {"F3", 131072, 256},
+    {"F4", 131072, 512}, {"F5", 65536, 1024}, {"F6", 65536, 512},
+    {"F7", 65536, 128},  {"F8", 65536, 64},
+};
+
+/// Builds the input's point set, constructs the (uniform-tree, as in the
+/// paper's GPU implementation) evaluator, and models its CUDA execution.
+inline fmm::FmmGpuProfile profile_fmm_input(const FmmInput& in, int p = 4) {
+  static const fmm::LaplaceKernel kernel;
+  util::Rng rng(1000 + in.n + in.q);
+  const auto pts = fmm::uniform_cube(in.n, rng);
+  fmm::FmmEvaluator ev(
+      kernel, pts,
+      {.max_points_per_box = in.q,
+       .uniform_depth = fmm::Octree::uniform_depth_for(in.n, in.q)},
+      fmm::FmmConfig{.p = p});
+  return fmm::profile_gpu_execution(ev);
+}
+
+/// Runs all six phases at `setting` and accumulates (time, measured energy,
+/// counts).
+struct FmmRunResult {
+  double time_s = 0;
+  double energy_j = 0;
+  hw::OpCounts ops;
+};
+
+inline FmmRunResult run_fmm_profile(const Platform& p,
+                                    const fmm::FmmGpuProfile& prof,
+                                    const hw::DvfsSetting& setting,
+                                    util::Rng& rng) {
+  FmmRunResult r;
+  for (const auto& ph : prof.phases) {
+    const auto m = p.soc.run(ph.workload, setting, p.pm, rng);
+    r.time_s += m.time_s;
+    r.energy_j += m.energy_j;
+    r.ops += ph.workload.ops;
+  }
+  return r;
+}
+
+}  // namespace eroof::bench

@@ -1,0 +1,69 @@
+// Extension: the energy roofline curves themselves (the visual of the
+// paper's predecessor [2], now DVFS-aware).
+//
+// For each arithmetic intensity I (SP flops per DRAM word) and a selection
+// of DVFS settings, prints time-per-flop and energy-per-flop along with the
+// "balance points": the intensity where time stops being memory-bound, and
+// the intensity where energy stops being dominated by data movement +
+// constant power. Exports ext_energy_roofline.csv for plotting.
+#include <cmath>
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eroof;
+  const auto platform = bench::make_platform();
+
+  const std::vector<hw::DvfsSetting> settings = {
+      hw::setting(852, 924), hw::setting(852, 204), hw::setting(396, 924),
+      hw::setting(180, 204)};
+
+  std::cout << "Energy roofline: energy per SP flop vs arithmetic "
+               "intensity, per DVFS setting\n\n";
+  util::Table t({"Intensity", "852/924 pJ/flop", "852/204 pJ/flop",
+                 "396/924 pJ/flop", "180/204 pJ/flop"},
+                {util::Align::kRight, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight, util::Align::kRight});
+  util::CsvWriter csv("ext_energy_roofline.csv",
+                      {"intensity", "setting", "time_per_flop_ns",
+                       "energy_per_flop_pj", "constant_share_pct"});
+
+  const double words = 64e6;
+  for (int k = -2; k <= 9; ++k) {
+    const double intensity = std::exp2(k);
+    hw::Workload w;
+    w.name = "roofline_I" + std::to_string(intensity);
+    w.ops[hw::OpClass::kDramAccess] = words;
+    w.ops[hw::OpClass::kSpFlop] = intensity * words;
+    w.ops[hw::OpClass::kIntOp] = 0.05 * words;
+    w.compute_utilization = 0.95;
+    w.memory_utilization = 0.9;
+
+    std::vector<std::string> row{util::Table::num(intensity, 2)};
+    for (const auto& s : settings) {
+      const double time = platform.soc.execution_time(w, s);
+      const double flops = w.ops[hw::OpClass::kSpFlop];
+      const double energy =
+          platform.model.predict_energy_j(w.ops, s, time);
+      const double const_j = platform.model.constant_power_w(s) * time;
+      row.push_back(util::Table::num(energy / flops * 1e12, 1));
+      csv.add_row({util::Table::num(intensity, 4), s.label(),
+                   util::Table::num(time / flops * 1e9, 4),
+                   util::Table::num(energy / flops * 1e12, 4),
+                   util::Table::num(100.0 * const_j / energy, 2)});
+    }
+    t.add_row(row);
+  }
+  t.print(std::cout);
+
+  std::cout << "\nReading: at low intensity the cost per flop is dominated "
+               "by DRAM energy plus constant power over the memory-bound "
+               "runtime; the curves flatten once compute binds. The floor "
+               "differs per setting -- which is exactly the structure the "
+               "autotuner exploits.\nSeries exported to "
+               "ext_energy_roofline.csv.\n";
+  return 0;
+}

@@ -1,0 +1,65 @@
+// Extension beyond the paper: fully predictive DVFS autotuning.
+//
+// The paper's autotuner (Section II-E) needs the workload's execution time
+// at every candidate setting -- i.e., 105 runs per workload. Pairing the
+// energy model with a fitted roofline *time* model removes that: both T and
+// E are predicted, and the workload never runs during tuning. This bench
+// scores the predictive tuner against (a) the paper's measured-time tuner
+// and (b) the race-to-halt oracle, on the full microbenchmark suite.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "core/autotune.hpp"
+#include "core/timemodel.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eroof;
+  const auto platform = bench::make_platform();
+  const auto time_model = model::fit_time_model(platform.all_samples()).model;
+  const auto grid = hw::full_grid();
+  util::Rng rng(202);
+
+  std::cout << "Extension: predictive autotuning (no per-setting runs) vs "
+               "the paper's measured-time tuner vs race-to-halt\n\n";
+  util::Table t({"Benchmark", "Predictive mean lost %", "Paper-style lost %",
+                 "Oracle lost %"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+
+  for (const auto cls :
+       {ub::BenchClass::kSpFlops, ub::BenchClass::kDpFlops,
+        ub::BenchClass::kIntOps, ub::BenchClass::kSharedMem,
+        ub::BenchClass::kL2}) {
+    std::vector<double> lost_pred;
+    std::vector<double> lost_meas;
+    std::vector<double> lost_oracle;
+    for (const auto& point : ub::intensity_sweep(cls)) {
+      const auto ms = model::measure_grid(platform.soc, point.workload, grid,
+                                          platform.pm, rng);
+      double best = 1e300;
+      for (const auto& m : ms) best = std::min(best, m.energy_j);
+
+      const std::size_t pick = model::predict_best_setting(
+          platform.model, time_model, point.workload.ops, grid);
+      lost_pred.push_back(100.0 * (ms[pick].energy_j - best) / best);
+
+      const auto out = model::autotune(platform.model, ms);
+      lost_meas.push_back(out.model_lost_pct);
+      lost_oracle.push_back(out.oracle_lost_pct);
+    }
+    t.add_row({ub::to_string(cls),
+               util::Table::num(util::mean(lost_pred), 2),
+               util::Table::num(util::mean(lost_meas), 2),
+               util::Table::num(util::mean(lost_oracle), 2)});
+  }
+  t.print(std::cout);
+  std::cout << "\n(Each row averages the energy lost vs the measured "
+               "minimum over the class's full intensity sweep -- all cases, "
+               "not only mispredictions.)\nReading: predicting T costs "
+               "little accuracy relative to measuring it, and both model "
+               "variants beat race-to-halt decisively -- while the "
+               "predictive tuner needs zero tuning runs.\n";
+  return 0;
+}

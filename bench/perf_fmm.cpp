@@ -1,0 +1,64 @@
+// Performance of the host FMM: setup, evaluation across N / Q / p, and
+// the O(N) vs O(N^2) crossover against the direct sum.
+#include <benchmark/benchmark.h>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eroof;
+
+void BM_FmmEvaluate(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  const auto q = static_cast<std::uint32_t>(state.range(1));
+  util::Rng rng(1);
+  const auto pts = fmm::uniform_cube(n, rng);
+  const auto dens = fmm::random_densities(n, rng);
+  static const fmm::LaplaceKernel kernel;
+  fmm::FmmEvaluator ev(kernel, pts, {.max_points_per_box = q},
+                       fmm::FmmConfig{.p = 4});
+  for (auto _ : state) {
+    auto phi = ev.evaluate(dens);
+    benchmark::DoNotOptimize(phi.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(n));
+}
+BENCHMARK(BM_FmmEvaluate)
+    ->Args({4096, 64})
+    ->Args({16384, 64})
+    ->Args({16384, 256})
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DirectSum(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(2);
+  const auto pts = fmm::uniform_cube(n, rng);
+  const auto dens = fmm::random_densities(n, rng);
+  static const fmm::LaplaceKernel kernel;
+  for (auto _ : state) {
+    auto phi = fmm::direct_sum(kernel, pts, pts, dens);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+BENCHMARK(BM_DirectSum)->Arg(4096)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+void BM_FmmSetup(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  util::Rng rng(3);
+  const auto pts = fmm::uniform_cube(n, rng);
+  static const fmm::LaplaceKernel kernel;
+  for (auto _ : state) {
+    fmm::FmmEvaluator ev(kernel, pts, {.max_points_per_box = 64},
+                         fmm::FmmConfig{.p = 4});
+    benchmark::DoNotOptimize(&ev);
+  }
+}
+BENCHMARK(BM_FmmSetup)->Arg(16384)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

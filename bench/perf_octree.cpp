@@ -1,0 +1,66 @@
+// Performance of octree construction, 2:1 balancing and list building.
+#include <benchmark/benchmark.h>
+
+#include "fmm/lists.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+using namespace eroof;
+
+std::vector<fmm::Vec3> points(std::size_t n, bool clustered) {
+  util::Rng rng(1);
+  return clustered ? fmm::gaussian_clusters(n, 8, 0.03, rng)
+                   : fmm::uniform_cube(n, rng);
+}
+
+void BM_OctreeBuildUniform(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), false);
+  for (auto _ : state) {
+    fmm::Octree tree(pts, {.max_points_per_box = 64});
+    benchmark::DoNotOptimize(tree.nodes().data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_OctreeBuildUniform)->Arg(16384)->Arg(131072)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_OctreeBuildClustered(benchmark::State& state) {
+  // Clustered inputs stress the 2:1 balance refinement.
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), true);
+  for (auto _ : state) {
+    fmm::Octree tree(pts, {.max_points_per_box = 32});
+    benchmark::DoNotOptimize(tree.nodes().data());
+  }
+}
+BENCHMARK(BM_OctreeBuildClustered)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_BuildLists(benchmark::State& state) {
+  const auto pts = points(static_cast<std::size_t>(state.range(0)), true);
+  const fmm::Octree tree(pts, {.max_points_per_box = 32});
+  for (auto _ : state) {
+    auto lists = fmm::build_lists(tree);
+    benchmark::DoNotOptimize(lists.u.data());
+  }
+  state.SetLabel(std::to_string(tree.nodes().size()) + " nodes");
+}
+BENCHMARK(BM_BuildLists)->Arg(16384)->Arg(65536)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_MortonFromPoint(benchmark::State& state) {
+  util::Rng rng(2);
+  double x = rng.uniform();
+  double y = rng.uniform();
+  double z = rng.uniform();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fmm::MortonKey::from_point(10, x, y, z));
+  }
+}
+BENCHMARK(BM_MortonFromPoint);
+
+}  // namespace
+
+BENCHMARK_MAIN();

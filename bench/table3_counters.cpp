@@ -1,0 +1,33 @@
+// Reproduces Table III: the performance-counter events (E) and metrics (M)
+// used to profile the FMM kernel, together with the values they take on a
+// representative run (F8: N = 65536, Q = 64) of the modeled GPU execution.
+#include <iostream>
+
+#include "bench/common.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace eroof;
+  const auto prof = bench::profile_fmm_input(bench::kFmmInputs[7]);
+  const auto counters = prof.total_counters();
+
+  std::cout << "Table III: counter events (E) and metrics (M) used to "
+               "profile the FMM kernel\n(values from the modeled execution "
+               "of F8: N = 65536, Q = 64)\n\n";
+  util::Table t({"Type", "Name", "Value", "Description"},
+                {util::Align::kLeft, util::Align::kLeft, util::Align::kRight,
+                 util::Align::kLeft});
+  for (const auto& def : hw::counter_table()) {
+    t.add_row({def.type == hw::CounterType::kEvent ? "E" : "M",
+               std::string(def.name),
+               util::Table::num(counters.get(def.name), 0),
+               std::string(def.description)});
+  }
+  t.print(std::cout);
+
+  const auto ops = hw::derive_op_counts(counters);
+  std::cout << "\nDerived operation counts (the model's inputs):\n";
+  for (std::size_t i = 0; i < hw::kNumOpClasses; ++i)
+    std::cout << "  " << hw::kOpClassNames[i] << ": " << ops.n[i] << "\n";
+  return 0;
+}

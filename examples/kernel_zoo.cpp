@@ -1,0 +1,58 @@
+// Kernel independence in action (the KIFMM's selling point, paper §III).
+//
+// Runs the same FMM machinery over several interaction kernels -- no
+// analytic expansions anywhere, only pointwise kernel evaluations -- and
+// verifies each against the direct sum.
+#include <chrono>
+#include <iostream>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace eroof;
+  using Clock = std::chrono::steady_clock;
+  const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 8192;
+
+  util::Rng rng(31);
+  const auto pts = fmm::uniform_cube(n, rng);
+  const auto dens = fmm::random_densities(n, rng);
+
+  const fmm::LaplaceKernel laplace;
+  const fmm::YukawaKernel yukawa_soft(0.5);
+  const fmm::YukawaKernel yukawa_hard(4.0);
+  const fmm::GaussianKernel gauss(0.35);
+  const std::vector<std::pair<std::string, const fmm::Kernel*>> zoo = {
+      {"Laplace 1/(4 pi r)", &laplace},
+      {"Yukawa, lambda = 0.5", &yukawa_soft},
+      {"Yukawa, lambda = 4.0", &yukawa_hard},
+      {"Gaussian, sigma = 0.35", &gauss},
+  };
+
+  std::cout << "Kernel zoo at N = " << n << ", Q = 64, p = 5\n\n";
+  util::Table t({"Kernel", "Eval (s)", "Direct (s)", "rel L2 error"},
+                {util::Align::kLeft, util::Align::kRight, util::Align::kRight,
+                 util::Align::kRight});
+
+  for (const auto& [name, kernel] : zoo) {
+    fmm::FmmEvaluator ev(*kernel, pts, {.max_points_per_box = 64},
+                         fmm::FmmConfig{.p = 5});
+    const auto t0 = Clock::now();
+    const auto phi = ev.evaluate(dens);
+    const auto t1 = Clock::now();
+    const auto ref = fmm::direct_sum(*kernel, pts, pts, dens);
+    const auto t2 = Clock::now();
+    t.add_row({name,
+               util::Table::num(
+                   std::chrono::duration<double>(t1 - t0).count(), 2),
+               util::Table::num(
+                   std::chrono::duration<double>(t2 - t1).count(), 2),
+               util::Table::num(fmm::rel_l2_error(phi, ref), 8)});
+  }
+  t.print(std::cout);
+  std::cout << "\nSwapping the physics is a one-line change: the method "
+               "only ever *evaluates* K(x, y).\n";
+  return 0;
+}

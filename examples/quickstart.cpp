@@ -1,0 +1,64 @@
+// Quickstart: the library in ~60 lines.
+//
+//  1. Run the intensity microbenchmark campaign on the simulated SoC,
+//     measuring each run with the PowerMon-style meter.
+//  2. Fit the DVFS-aware energy roofline (eq. 9) with NNLS.
+//  3. Price an arbitrary workload at any DVFS setting and pick the most
+//     energy-efficient one.
+#include <iostream>
+
+#include "core/autotune.hpp"
+#include "core/fit.hpp"
+#include "hw/soc.hpp"
+#include "ubench/campaign.hpp"
+
+int main() {
+  using namespace eroof;
+
+  // 1. Measurement campaign: 116 microbenchmark points x 16 DVFS settings.
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon meter;
+  util::Rng rng(42);
+  const auto campaign = ub::paper_campaign(soc, meter, rng);
+  std::cout << "campaign: " << campaign.size() << " measurements\n";
+
+  // 2. Fit the model on the training half.
+  std::vector<model::FitSample> train;
+  for (const auto& s : campaign)
+    if (s.role == hw::SettingRole::kTrain)
+      train.push_back(model::to_fit_sample(s.meas));
+  const auto fit = model::fit_energy_model(train);
+  std::cout << "fit converged: " << std::boolalpha << fit.converged
+            << ", residual " << fit.residual_norm << " J\n";
+
+  const auto s_max = hw::setting(852, 924);
+  std::cout << "energy per SP flop at 852/924 MHz: "
+            << fit.model.op_energy_j(hw::OpClass::kSpFlop, s_max) * 1e12
+            << " pJ\nconstant power at 852/924 MHz: "
+            << fit.model.constant_power_w(s_max) << " W\n";
+
+  // 3. Describe a workload (counts + achieved utilization) and tune it.
+  hw::Workload work;
+  work.name = "quickstart_stencil";
+  work.ops[hw::OpClass::kSpFlop] = 4e9;
+  work.ops[hw::OpClass::kIntOp] = 2e9;
+  work.ops[hw::OpClass::kDramAccess] = 1e9;
+  work.compute_utilization = 0.8;
+  work.memory_utilization = 0.85;
+
+  const auto grid = hw::full_grid();
+  const auto measurements =
+      model::measure_grid(soc, work, grid, meter, rng);
+  const auto tuned = model::autotune(fit.model, measurements);
+
+  std::cout << "model's pick:  "
+            << measurements[tuned.model_idx].setting.label()
+            << " MHz (lost " << tuned.model_lost_pct << "% vs measured best)\n"
+            << "race-to-halt:  "
+            << measurements[tuned.oracle_idx].setting.label()
+            << " MHz (lost " << tuned.oracle_lost_pct << "%)\n"
+            << "measured best: "
+            << measurements[tuned.best_idx].setting.label() << " MHz, "
+            << measurements[tuned.best_idx].energy_j << " J\n";
+  return 0;
+}

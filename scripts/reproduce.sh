@@ -1,0 +1,25 @@
+#!/usr/bin/env bash
+# Builds everything, runs the full test suite, and regenerates every table
+# and figure of the paper (plus ablations/extensions), collecting outputs
+# under ./reproduction/.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cmake -B build -G Ninja
+cmake --build build
+
+mkdir -p reproduction
+ctest --test-dir build 2>&1 | tee reproduction/test_output.txt
+
+for b in build/bench/*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name =="
+  "$b" 2>&1 | tee "reproduction/${name}.txt"
+done
+
+# CSV series are written to the current directory by the fig benches.
+mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
+  2>/dev/null || true
+
+echo "All outputs collected under ./reproduction/"

@@ -1,0 +1,82 @@
+#include "core/autotune.hpp"
+
+#include <limits>
+
+#include "util/require.hpp"
+
+namespace eroof::model {
+
+std::vector<hw::Measurement> measure_grid(
+    const hw::Soc& soc, const hw::Workload& w,
+    std::span<const hw::DvfsSetting> grid, const hw::PowerMon& monitor,
+    util::Rng& rng, int repeats) {
+  EROOF_REQUIRE(repeats >= 1);
+  std::vector<hw::Measurement> ms;
+  ms.reserve(grid.size());
+  for (const auto& s : grid) {
+    // Average repeated runs, as a careful measurement campaign would: the
+    // argmin over 105 settings is otherwise dominated by run-to-run noise.
+    hw::Measurement acc = soc.run(w, s, monitor, rng);
+    for (int r = 1; r < repeats; ++r) {
+      const auto m = soc.run(w, s, monitor, rng);
+      acc.time_s += m.time_s;
+      acc.energy_j += m.energy_j;
+      acc.avg_power_w += m.avg_power_w;
+    }
+    acc.time_s /= repeats;
+    acc.energy_j /= repeats;
+    acc.avg_power_w /= repeats;
+    ms.push_back(std::move(acc));
+  }
+  return ms;
+}
+
+TuneOutcome autotune(const EnergyModel& model,
+                     std::span<const hw::Measurement> grid, double tie_tol) {
+  EROOF_REQUIRE(!grid.empty());
+
+  TuneOutcome out;
+  double best_pred = std::numeric_limits<double>::infinity();
+  double best_time = std::numeric_limits<double>::infinity();
+  double best_energy = std::numeric_limits<double>::infinity();
+
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const hw::Measurement& m = grid[i];
+
+    const double pred = model.predict_energy_j(m.ops, m.setting, m.time_s);
+    if (pred < best_pred) {
+      best_pred = pred;
+      out.model_idx = i;
+    }
+
+    // Time oracle with race-to-halt tie-breaking: exact time ties go to the
+    // higher clocks ("run as fast as possible, then turn everything off").
+    const bool faster = m.time_s < best_time;
+    const bool tied_but_hotter =
+        m.time_s == best_time &&
+        (m.setting.core.freq_mhz > grid[out.oracle_idx].setting.core.freq_mhz ||
+         (m.setting.core.freq_mhz ==
+              grid[out.oracle_idx].setting.core.freq_mhz &&
+          m.setting.mem.freq_mhz > grid[out.oracle_idx].setting.mem.freq_mhz));
+    if (faster || tied_but_hotter) {
+      best_time = m.time_s;
+      out.oracle_idx = i;
+    }
+
+    if (m.energy_j < best_energy) {
+      best_energy = m.energy_j;
+      out.best_idx = i;
+    }
+  }
+
+  const auto lost_pct = [&](std::size_t idx) {
+    return 100.0 * (grid[idx].energy_j - best_energy) / best_energy;
+  };
+  out.model_lost_pct = lost_pct(out.model_idx);
+  out.oracle_lost_pct = lost_pct(out.oracle_idx);
+  out.model_correct = out.model_lost_pct <= 100.0 * tie_tol;
+  out.oracle_correct = out.oracle_lost_pct <= 100.0 * tie_tol;
+  return out;
+}
+
+}  // namespace eroof::model

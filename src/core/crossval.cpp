@@ -1,0 +1,95 @@
+#include "core/crossval.hpp"
+
+#include <algorithm>
+#include <string>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace eroof::model {
+
+ValidationReport validate(const EnergyModel& model,
+                          std::span<const FitSample> test) {
+  EROOF_REQUIRE(!test.empty());
+  ValidationReport rep;
+  rep.errors_pct.reserve(test.size());
+  for (const FitSample& s : test) {
+    const double pred = model.predict_energy_j(s.ops, s.setting, s.time_s);
+    rep.errors_pct.push_back(util::relative_error_pct(pred, s.energy_j));
+  }
+  rep.summary = util::summarize(rep.errors_pct);
+  return rep;
+}
+
+ValidationReport holdout_validation(std::span<const FitSample> train,
+                                    std::span<const FitSample> test) {
+  const FitResult fit = fit_energy_model(train);
+  return validate(fit.model, test);
+}
+
+ValidationReport kfold_validation(std::span<const FitSample> samples, int k,
+                                  util::Rng& rng) {
+  EROOF_REQUIRE(k >= 2 && samples.size() >= static_cast<std::size_t>(k));
+
+  // Random permutation, then contiguous fold slices.
+  std::vector<std::size_t> perm(samples.size());
+  std::iota(perm.begin(), perm.end(), 0);
+  for (std::size_t i = perm.size(); i > 1; --i)
+    std::swap(perm[i - 1], perm[rng.below(i)]);
+
+  ValidationReport rep;
+  rep.errors_pct.reserve(samples.size());
+  const std::size_t n = samples.size();
+  for (int fold = 0; fold < k; ++fold) {
+    const std::size_t lo = n * static_cast<std::size_t>(fold) /
+                           static_cast<std::size_t>(k);
+    const std::size_t hi = n * (static_cast<std::size_t>(fold) + 1) /
+                           static_cast<std::size_t>(k);
+    std::vector<FitSample> train;
+    std::vector<FitSample> test;
+    train.reserve(n - (hi - lo));
+    test.reserve(hi - lo);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (i >= lo && i < hi)
+        test.push_back(samples[perm[i]]);
+      else
+        train.push_back(samples[perm[i]]);
+    }
+    const ValidationReport fold_rep = holdout_validation(train, test);
+    rep.errors_pct.insert(rep.errors_pct.end(), fold_rep.errors_pct.begin(),
+                          fold_rep.errors_pct.end());
+  }
+  rep.summary = util::summarize(rep.errors_pct);
+  return rep;
+}
+
+ValidationReport leave_one_setting_out(std::span<const FitSample> samples) {
+  EROOF_REQUIRE(!samples.empty());
+  std::vector<std::string> groups;
+  for (const FitSample& s : samples) {
+    const std::string key = s.setting.label();
+    if (std::find(groups.begin(), groups.end(), key) == groups.end())
+      groups.push_back(key);
+  }
+  EROOF_REQUIRE_MSG(groups.size() >= 2, "need samples from >= 2 settings");
+
+  ValidationReport rep;
+  rep.errors_pct.reserve(samples.size());
+  for (const std::string& held_out : groups) {
+    std::vector<FitSample> train;
+    std::vector<FitSample> test;
+    for (const FitSample& s : samples) {
+      if (s.setting.label() == held_out)
+        test.push_back(s);
+      else
+        train.push_back(s);
+    }
+    const ValidationReport fold_rep = holdout_validation(train, test);
+    rep.errors_pct.insert(rep.errors_pct.end(), fold_rep.errors_pct.begin(),
+                          fold_rep.errors_pct.end());
+  }
+  rep.summary = util::summarize(rep.errors_pct);
+  return rep;
+}
+
+}  // namespace eroof::model

@@ -1,0 +1,43 @@
+// Cross-validation of the fitted model (paper Section II-D): the 2-fold
+// "holdout" split by Table I's T/V setting roles, and k-fold CV over random
+// partitions to estimate generalization error.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/fit.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace eroof::model {
+
+/// Per-sample relative prediction errors (%) plus their summary.
+struct ValidationReport {
+  std::vector<double> errors_pct;
+  util::Summary summary;
+};
+
+/// Predicts each sample in `test` with `model` and reports |pred-meas|/meas.
+ValidationReport validate(const EnergyModel& model,
+                          std::span<const FitSample> test);
+
+/// 2-fold holdout: fit on `train`, validate on `test` (the paper trains on
+/// the 8 "T" settings and validates on the 8 "V" settings).
+ValidationReport holdout_validation(std::span<const FitSample> train,
+                                    std::span<const FitSample> test);
+
+/// k-fold cross-validation: partitions `samples` into k random folds, fits
+/// on k-1, predicts the held-out fold; pools all per-sample errors.
+ValidationReport kfold_validation(std::span<const FitSample> samples, int k,
+                                  util::Rng& rng);
+
+/// Leave-one-group-out cross-validation with folds keyed by DVFS setting:
+/// each fold holds out every sample of one setting and predicts it from a
+/// model fitted on the remaining settings. With the paper's 16 settings this
+/// is its "16-fold cross validation" -- it measures generalization to
+/// *unseen voltage/frequency points*, which is why its error exceeds the
+/// simple holdout's.
+ValidationReport leave_one_setting_out(std::span<const FitSample> samples);
+
+}  // namespace eroof::model

@@ -1,0 +1,76 @@
+#include "core/fit.hpp"
+
+#include <cmath>
+
+#include "linalg/matrix.hpp"
+#include "linalg/nnls.hpp"
+#include "util/require.hpp"
+
+namespace eroof::model {
+
+FitSample to_fit_sample(const hw::Measurement& m) {
+  return FitSample{m.ops, m.setting, m.time_s, m.energy_j};
+}
+
+std::array<double, kNumFitColumns> design_row(const FitSample& s) {
+  const double vp = s.setting.core.volt_v();
+  const double vm = s.setting.mem.volt_v();
+  const double vp2 = vp * vp;
+  const double vm2 = vm * vm;
+  const hw::OpCounts& n = s.ops;
+  using hw::OpClass;
+
+  std::array<double, kNumFitColumns> row{};
+  row[static_cast<std::size_t>(Coeff::kSp)] = n[OpClass::kSpFlop] * vp2;
+  row[static_cast<std::size_t>(Coeff::kDp)] = n[OpClass::kDpFlop] * vp2;
+  row[static_cast<std::size_t>(Coeff::kInt)] = n[OpClass::kIntOp] * vp2;
+  row[static_cast<std::size_t>(Coeff::kSm)] =
+      (n[OpClass::kSmAccess] + n[OpClass::kL1Access]) * vp2;
+  row[static_cast<std::size_t>(Coeff::kL2)] = n[OpClass::kL2Access] * vp2;
+  row[static_cast<std::size_t>(Coeff::kDram)] = n[OpClass::kDramAccess] * vm2;
+  row[kNumCoeffs + 0] = s.time_s * vp;
+  row[kNumCoeffs + 1] = s.time_s * vm;
+  row[kNumCoeffs + 2] = s.time_s;
+  return row;
+}
+
+FitResult fit_energy_model(std::span<const FitSample> samples) {
+  EROOF_REQUIRE_MSG(samples.size() >= kNumFitColumns,
+                    "need at least as many samples as fit columns");
+  const std::size_t m = samples.size();
+
+  la::Matrix a(m, kNumFitColumns);
+  std::vector<double> b(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    const auto row = design_row(samples[i]);
+    for (std::size_t j = 0; j < kNumFitColumns; ++j) a(i, j) = row[j];
+    b[i] = samples[i].energy_j;
+  }
+
+  // Column equilibration.
+  std::array<double, kNumFitColumns> scale{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j) {
+    double ss = 0;
+    for (std::size_t i = 0; i < m; ++i) ss += a(i, j) * a(i, j);
+    scale[j] = ss > 0 ? std::sqrt(ss) : 1.0;
+    for (std::size_t i = 0; i < m; ++i) a(i, j) /= scale[j];
+  }
+
+  const la::NnlsResult sol = la::nnls(a, b, 1e-10);
+
+  FitResult out;
+  out.n_samples = m;
+  out.converged = sol.converged;
+  out.residual_norm = sol.residual_norm;
+  std::array<double, kNumFitColumns> x{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j)
+    x[j] = sol.x[j] / scale[j];
+
+  for (std::size_t j = 0; j < kNumCoeffs; ++j) out.model.c0[j] = x[j];
+  out.model.c1_proc = x[kNumCoeffs + 0];
+  out.model.c1_mem = x[kNumCoeffs + 1];
+  out.model.p_misc = x[kNumCoeffs + 2];
+  return out;
+}
+
+}  // namespace eroof::model

@@ -1,0 +1,53 @@
+#include "core/model.hpp"
+
+#include "util/require.hpp"
+
+namespace eroof::model {
+
+Coeff coeff_for(hw::OpClass op) {
+  using hw::OpClass;
+  switch (op) {
+    case OpClass::kSpFlop: return Coeff::kSp;
+    case OpClass::kDpFlop: return Coeff::kDp;
+    case OpClass::kIntOp: return Coeff::kInt;
+    case OpClass::kSmAccess: return Coeff::kSm;
+    case OpClass::kL1Access: return Coeff::kSm;  // priced like shared memory
+    case OpClass::kL2Access: return Coeff::kL2;
+    case OpClass::kDramAccess: return Coeff::kDram;
+    case OpClass::kCount: break;
+  }
+  EROOF_REQUIRE_MSG(false, "bad OpClass");
+  return Coeff::kSp;
+}
+
+bool is_core_coeff(Coeff c) { return c != Coeff::kDram; }
+
+double EnergyModel::op_energy_j(hw::OpClass op,
+                                const hw::DvfsSetting& s) const {
+  const Coeff c = coeff_for(op);
+  const double v = is_core_coeff(c) ? s.core.volt_v() : s.mem.volt_v();
+  return c0[static_cast<std::size_t>(c)] * v * v;
+}
+
+double EnergyModel::constant_power_w(const hw::DvfsSetting& s) const {
+  return c1_proc * s.core.volt_v() + c1_mem * s.mem.volt_v() + p_misc;
+}
+
+double EnergyModel::predict_dynamic_energy_j(const hw::OpCounts& ops,
+                                             const hw::DvfsSetting& s) const {
+  double e = 0;
+  for (std::size_t i = 0; i < hw::kNumOpClasses; ++i) {
+    const auto op = static_cast<hw::OpClass>(i);
+    e += ops.n[i] * op_energy_j(op, s);
+  }
+  return e;
+}
+
+double EnergyModel::predict_energy_j(const hw::OpCounts& ops,
+                                     const hw::DvfsSetting& s,
+                                     double time_s) const {
+  EROOF_REQUIRE(time_s > 0);
+  return predict_dynamic_energy_j(ops, s) + constant_power_w(s) * time_s;
+}
+
+}  // namespace eroof::model

@@ -1,0 +1,69 @@
+// The DVFS-aware energy roofline model (paper Section II-A).
+//
+// Total energy of a run that executes W flops and Q memory operations in
+// time T at core voltage Vp and memory voltage Vm (eq. 9):
+//
+//   E = W c0p Vp^2 + Q c0m Vm^2 + (c1p Vp + c1m Vm + Pmisc) T
+//
+// generalized here, as in the paper's actual evaluation (Section II-C), to
+// one dynamic-energy coefficient per operation class (SP, DP, integer,
+// shared-memory, L2, DRAM). Per-op energies at a setting follow eqs. 6-8:
+//   eps_op  = c0[op] * V^2        (V of the op's clock domain)
+//   pi_0    = c1p Vp + c1m Vm + Pmisc.
+#pragma once
+
+#include <array>
+
+#include "hw/dvfs.hpp"
+#include "hw/workload.hpp"
+
+namespace eroof::model {
+
+/// Number of fitted dynamic coefficients. The model prices six classes; L1
+/// traffic is charged at the shared-memory coefficient (the paper has no L1
+/// microbenchmark either -- both are small on-chip SRAM structures).
+inline constexpr std::size_t kNumCoeffs = 6;
+
+/// Indices into the fitted dynamic-coefficient vector.
+enum class Coeff : std::size_t {
+  kSp = 0,
+  kDp = 1,
+  kInt = 2,
+  kSm = 3,
+  kL2 = 4,
+  kDram = 5,
+};
+
+/// Maps an operation class to the coefficient that prices it.
+Coeff coeff_for(hw::OpClass op);
+
+/// Whether a coefficient belongs to the processor or the memory voltage
+/// domain (decides which V^2 multiplies it in the design matrix).
+bool is_core_coeff(Coeff c);
+
+/// The fitted model: everything eq. 9 needs.
+struct EnergyModel {
+  /// Dynamic coefficients c0[k] in J/V^2 (per op of class k).
+  std::array<double, kNumCoeffs> c0{};
+  /// Leakage slopes (W/V) and residual constant power (W).
+  double c1_proc = 0;
+  double c1_mem = 0;
+  double p_misc = 0;
+
+  /// Energy per operation (J) of class `op` at setting `s` (eqs. 6-7).
+  double op_energy_j(hw::OpClass op, const hw::DvfsSetting& s) const;
+
+  /// Constant power pi_0 (W) at setting `s` (eq. 8).
+  double constant_power_w(const hw::DvfsSetting& s) const;
+
+  /// Predicted total energy (J) of a run with counts `ops` taking `time_s`
+  /// at setting `s` (eq. 9, per-class form).
+  double predict_energy_j(const hw::OpCounts& ops, const hw::DvfsSetting& s,
+                          double time_s) const;
+
+  /// Dynamic-energy part only (no constant-power term).
+  double predict_dynamic_energy_j(const hw::OpCounts& ops,
+                                  const hw::DvfsSetting& s) const;
+};
+
+}  // namespace eroof::model

@@ -1,0 +1,60 @@
+// Semi-empirical execution-time model (extension beyond the paper).
+//
+// Eq. 9 prices energy *given* a measured execution time T, so the paper's
+// autotuner still has to run the workload at every candidate setting. This
+// module fits a roofline time model from the same campaign:
+//
+//   T_hat = max( sum_c n_c x_c / f_core ,  n_dram x_mem / f_mem )
+//
+// where x_c are effective cycles-per-operation of the core-side classes and
+// x_mem of DRAM words. The max() makes the fit non-linear; we solve it by
+// alternating classification (assign each sample to the side that binds it,
+// fit each side by NNLS, repeat to a fixpoint -- a tiny EM-style loop).
+//
+// Together with the energy model this enables *predictive* autotuning:
+// pick argmin_s E_hat(ops, s, T_hat(ops, s)) with no grid measurements at
+// all (see bench/ext_predictive_autotune).
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "core/fit.hpp"
+
+namespace eroof::model {
+
+/// The fitted time model.
+struct TimeModel {
+  /// Effective cycles per operation for the core-side classes, indexed by
+  /// Coeff (the kDram slot is unused on the core side).
+  std::array<double, kNumCoeffs> core_cycles_per_op{};
+  /// Effective memory cycles per DRAM word.
+  double mem_cycles_per_word = 0;
+
+  /// Core-side cycle count of a workload.
+  double core_cycles(const hw::OpCounts& ops) const;
+
+  /// Predicted execution time at a setting (roofline max of both sides).
+  double predict_time_s(const hw::OpCounts& ops,
+                        const hw::DvfsSetting& s) const;
+};
+
+/// Outcome of the alternating fit.
+struct TimeFitResult {
+  TimeModel model;
+  int iterations = 0;       ///< classification sweeps until fixpoint
+  bool converged = false;   ///< fixpoint reached within the iteration cap
+};
+
+/// Fits the time model to campaign samples (uses each sample's ops, setting
+/// and measured time; energies are ignored).
+TimeFitResult fit_time_model(std::span<const FitSample> samples);
+
+/// Predictive autotuning: the grid setting minimizing the *predicted*
+/// energy at the *predicted* time. Returns the index into `grid`.
+std::size_t predict_best_setting(const EnergyModel& energy,
+                                 const TimeModel& time,
+                                 const hw::OpCounts& ops,
+                                 std::span<const hw::DvfsSetting> grid);
+
+}  // namespace eroof::model

@@ -1,0 +1,66 @@
+#include "fft/fft3.hpp"
+
+#include "util/require.hpp"
+
+namespace eroof::fft {
+
+Plan3::Plan3(std::size_t n0, std::size_t n1, std::size_t n2)
+    : n0_(n0), n1_(n1), n2_(n2), p0_(n0), p1_(n1), p2_(n2) {
+  EROOF_REQUIRE(n0 >= 1 && n1 >= 1 && n2 >= 1);
+}
+
+template <typename Fn>
+void Plan3::apply_axes(std::span<cplx> data, Fn&& transform1d) const {
+  EROOF_REQUIRE(data.size() == size());
+
+  // Axis 2: rows are contiguous.
+  for (std::size_t i0 = 0; i0 < n0_; ++i0)
+    for (std::size_t i1 = 0; i1 < n1_; ++i1)
+      transform1d(p2_, data.subspan((i0 * n1_ + i1) * n2_, n2_));
+
+  // Axis 1: gather strided pencils into a temp, transform, scatter back.
+  std::vector<cplx> pencil(std::max(n0_, n1_));
+  for (std::size_t i0 = 0; i0 < n0_; ++i0) {
+    for (std::size_t i2 = 0; i2 < n2_; ++i2) {
+      for (std::size_t i1 = 0; i1 < n1_; ++i1)
+        pencil[i1] = data[(i0 * n1_ + i1) * n2_ + i2];
+      transform1d(p1_, std::span<cplx>(pencil.data(), n1_));
+      for (std::size_t i1 = 0; i1 < n1_; ++i1)
+        data[(i0 * n1_ + i1) * n2_ + i2] = pencil[i1];
+    }
+  }
+
+  // Axis 0.
+  for (std::size_t i1 = 0; i1 < n1_; ++i1) {
+    for (std::size_t i2 = 0; i2 < n2_; ++i2) {
+      for (std::size_t i0 = 0; i0 < n0_; ++i0)
+        pencil[i0] = data[(i0 * n1_ + i1) * n2_ + i2];
+      transform1d(p0_, std::span<cplx>(pencil.data(), n0_));
+      for (std::size_t i0 = 0; i0 < n0_; ++i0)
+        data[(i0 * n1_ + i1) * n2_ + i2] = pencil[i0];
+    }
+  }
+}
+
+void Plan3::forward(std::span<cplx> data) const {
+  apply_axes(data, [](const Plan& p, std::span<cplx> v) { p.forward(v); });
+}
+
+void Plan3::inverse(std::span<cplx> data) const {
+  apply_axes(data, [](const Plan& p, std::span<cplx> v) { p.inverse(v); });
+}
+
+std::vector<cplx> circular_convolve3(const Plan3& plan,
+                                     std::span<const cplx> a,
+                                     std::span<const cplx> b) {
+  EROOF_REQUIRE(a.size() == plan.size() && b.size() == plan.size());
+  std::vector<cplx> fa(a.begin(), a.end());
+  std::vector<cplx> fb(b.begin(), b.end());
+  plan.forward(fa);
+  plan.forward(fb);
+  for (std::size_t i = 0; i < fa.size(); ++i) fa[i] *= fb[i];
+  plan.inverse(fa);
+  return fa;
+}
+
+}  // namespace eroof::fft

@@ -1,0 +1,40 @@
+// 3-D complex FFT over row-major [n0][n1][n2] grids, built on the 1-D plans.
+// This is the workhorse behind the KIFMM's FFT-accelerated M2L translations.
+#pragma once
+
+#include <array>
+#include <span>
+#include <vector>
+
+#include "fft/fft.hpp"
+
+namespace eroof::fft {
+
+/// Reusable plan for a fixed 3-D shape.
+class Plan3 {
+ public:
+  Plan3(std::size_t n0, std::size_t n1, std::size_t n2);
+
+  std::array<std::size_t, 3> shape() const { return {n0_, n1_, n2_}; }
+  std::size_t size() const { return n0_ * n1_ * n2_; }
+
+  /// In-place forward transform of a row-major grid.
+  void forward(std::span<cplx> data) const;
+
+  /// In-place inverse transform (normalized: inverse(forward(x)) == x).
+  void inverse(std::span<cplx> data) const;
+
+ private:
+  template <typename Fn>
+  void apply_axes(std::span<cplx> data, Fn&& transform1d) const;
+
+  std::size_t n0_, n1_, n2_;
+  Plan p0_, p1_, p2_;
+};
+
+/// Circular 3-D convolution of two equal-shape grids via FFT.
+std::vector<cplx> circular_convolve3(const Plan3& plan,
+                                     std::span<const cplx> a,
+                                     std::span<const cplx> b);
+
+}  // namespace eroof::fft

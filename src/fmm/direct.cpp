@@ -1,0 +1,37 @@
+#include "fmm/direct.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+
+std::vector<double> direct_sum(const Kernel& kernel,
+                               std::span<const Vec3> targets,
+                               std::span<const Vec3> sources,
+                               std::span<const double> densities) {
+  EROOF_REQUIRE(sources.size() == densities.size());
+  std::vector<double> phi(targets.size(), 0.0);
+#pragma omp parallel for schedule(static)
+  for (std::size_t i = 0; i < targets.size(); ++i) {
+    double acc = 0;
+    for (std::size_t j = 0; j < sources.size(); ++j)
+      acc += kernel.eval(targets[i], sources[j]) * densities[j];
+    phi[i] = acc;
+  }
+  return phi;
+}
+
+double rel_l2_error(std::span<const double> a, std::span<const double> b) {
+  EROOF_REQUIRE(a.size() == b.size() && !a.empty());
+  double num = 0;
+  double den = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    num += (a[i] - b[i]) * (a[i] - b[i]);
+    den += b[i] * b[i];
+  }
+  EROOF_REQUIRE(den > 0);
+  return std::sqrt(num / den);
+}
+
+}  // namespace eroof::fmm

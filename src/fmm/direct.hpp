@@ -1,0 +1,22 @@
+// Direct O(N^2) summation -- the accuracy reference for the FMM and the
+// brute-force baseline the paper's eq. 10 starts from.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fmm/kernel.hpp"
+
+namespace eroof::fmm {
+
+/// phi[i] = sum_j K(targets[i], sources[j]) densities[j].
+/// Self-interactions vanish because K(x, x) == 0 by kernel convention.
+std::vector<double> direct_sum(const Kernel& kernel,
+                               std::span<const Vec3> targets,
+                               std::span<const Vec3> sources,
+                               std::span<const double> densities);
+
+/// Relative L2 error ||a - b|| / ||b||.
+double rel_l2_error(std::span<const double> a, std::span<const double> b);
+
+}  // namespace eroof::fmm

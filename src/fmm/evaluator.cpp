@@ -1,0 +1,352 @@
+#include "fmm/evaluator.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+constexpr int kMinLevel = 2;  // expansions exist from this level down
+
+/// y += M x  (dense, row-major), tallying into `matvecs`.
+void add_matvec(const la::Matrix& m, std::span<const double> x,
+                std::span<double> y) {
+  EROOF_REQUIRE(x.size() == m.cols() && y.size() == m.rows());
+  for (std::size_t i = 0; i < m.rows(); ++i) {
+    const auto row = m.row(i);
+    double acc = 0;
+    for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * x[j];
+    y[i] += acc;
+  }
+}
+
+}  // namespace
+
+FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
+                           Octree::Params tree_params, FmmConfig cfg)
+    : kernel_(kernel),
+      tree_(points, tree_params),
+      lists_(build_lists(tree_)),
+      ops_(kernel, tree_.domain().half, tree_.max_depth(), cfg) {}
+
+std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
+  EROOF_REQUIRE(densities.size() == tree_.points().size());
+  stats_ = FmmStats{};
+
+  // Permute densities into tree order.
+  const auto orig = tree_.original_index();
+  std::vector<double> dens(densities.size());
+  for (std::size_t i = 0; i < dens.size(); ++i)
+    dens[i] = densities[orig[i]];
+
+  const std::size_t n_nodes = tree_.nodes().size();
+  const std::size_t ns = ops_.n_surf();
+  up_equiv_.assign(n_nodes, {});
+  down_check_.assign(n_nodes, std::vector<double>(ns, 0.0));
+  down_equiv_.assign(n_nodes, {});
+
+  upward_pass(dens);
+  v_phase();
+  x_phase(dens);
+  downward_pass();
+
+  std::vector<double> phi(dens.size(), 0.0);
+  leaf_outputs(dens, phi);
+
+  // Un-permute the potentials to the caller's order.
+  std::vector<double> out(phi.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) out[orig[i]] = phi[i];
+  return out;
+}
+
+std::vector<double> FmmEvaluator::evaluate_at(
+    const Kernel& kernel, std::span<const Vec3> targets,
+    std::span<const Vec3> sources, std::span<const double> densities,
+    Octree::Params tree_params, FmmConfig cfg) {
+  EROOF_REQUIRE(!targets.empty());
+  EROOF_REQUIRE(sources.size() == densities.size());
+
+  std::vector<Vec3> all;
+  all.reserve(sources.size() + targets.size());
+  all.insert(all.end(), sources.begin(), sources.end());
+  all.insert(all.end(), targets.begin(), targets.end());
+  std::vector<double> dens(all.size(), 0.0);
+  std::copy(densities.begin(), densities.end(), dens.begin());
+
+  FmmEvaluator ev(kernel, all, tree_params, cfg);
+  const auto phi = ev.evaluate(dens);
+  return std::vector<double>(phi.begin() + static_cast<long>(sources.size()),
+                             phi.end());
+}
+
+void FmmEvaluator::upward_pass(std::span<const double> dens) {
+  const auto pts = tree_.points();
+  const std::size_t ns = ops_.n_surf();
+  const auto& by_level = tree_.nodes_by_level();
+
+  for (int l = tree_.max_depth(); l >= kMinLevel; --l) {
+    const LevelOperators& ops = ops_.level(l);
+    const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
+      const int b = level_nodes[ni];
+      const Node& node = tree_.node(b);
+      std::vector<double> check(ns, 0.0);
+
+      if (node.leaf) {
+        // P2M: source points -> upward check potentials.
+        const auto check_pts =
+            surface_points(ops_.p(), node.box, kRadiusOuter);
+        for (std::size_t c = 0; c < ns; ++c) {
+          double acc = 0;
+          for (std::uint32_t i = node.point_begin; i < node.point_end; ++i)
+            acc += kernel_.eval(check_pts[c], pts[i]) * dens[i];
+          check[c] = acc;
+        }
+      } else {
+        // M2M: children's equivalent densities -> this box's check surface.
+        for (int c : node.children) {
+          if (c < 0) continue;
+          add_matvec(ops.m2m[tree_.node(c).key.octant_in_parent()],
+                     up_equiv_[static_cast<std::size_t>(c)], check);
+        }
+      }
+
+      // UC2E solve: check potentials -> equivalent density.
+      auto& equiv = up_equiv_[static_cast<std::size_t>(b)];
+      equiv.assign(ns, 0.0);
+      add_matvec(ops.uc2e, check, equiv);
+    }
+
+    // Tallies (outside the parallel region; counts are deterministic).
+    for (const int b : level_nodes) {
+      const Node& node = tree_.node(b);
+      if (node.leaf)
+        stats_.up.kernel_evals += static_cast<double>(ns) * node.num_points();
+      else
+        for (int c : node.children)
+          if (c >= 0) stats_.up.solve_matvecs += 1;
+      stats_.up.solve_matvecs += 1;  // the UC2E solve
+    }
+  }
+}
+
+void FmmEvaluator::v_phase() {
+  const std::size_t ns = ops_.n_surf();
+  const std::size_t g = ops_.grid_size();
+  const auto& by_level = tree_.nodes_by_level();
+
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
+    const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+    if (level_nodes.empty()) continue;
+
+    if (!ops_.config().use_fft_m2l) {
+      // Dense fallback: per-pair kernel matrix application.
+      for (const int b : level_nodes) {
+        const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+        if (vlist.empty()) continue;
+        const auto check_pts =
+            surface_points(ops_.p(), tree_.node(b).box, kRadiusInner);
+        auto& check = down_check_[static_cast<std::size_t>(b)];
+        for (const int s : vlist) {
+          const auto src_pts =
+              surface_points(ops_.p(), tree_.node(s).box, kRadiusInner);
+          const auto& q = up_equiv_[static_cast<std::size_t>(s)];
+          for (std::size_t i = 0; i < ns; ++i) {
+            double acc = 0;
+            for (std::size_t j = 0; j < ns; ++j)
+              acc += kernel_.eval(check_pts[i], src_pts[j]) * q[j];
+            check[i] += acc;
+          }
+          stats_.v.kernel_evals += static_cast<double>(ns) * ns;
+          stats_.v.pair_count += 1;
+        }
+      }
+      continue;
+    }
+
+    // Forward FFT of every level-l node's equivalent-density grid.
+    std::vector<std::size_t> pos_in_level(tree_.nodes().size(), 0);
+    std::vector<fft::cplx> spectra(level_nodes.size() * g);
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+      pos_in_level[static_cast<std::size_t>(level_nodes[ni])] = ni;
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
+      const int b = level_nodes[ni];
+      std::span<fft::cplx> grid(spectra.data() + ni * g, g);
+      ops_.embed(up_equiv_[static_cast<std::size_t>(b)], grid);
+      ops_.plan().forward(grid);
+    }
+    stats_.v.ffts += static_cast<double>(level_nodes.size());
+
+    // Per target: accumulate Hadamard products in Fourier space, one
+    // inverse FFT, then scatter onto the downward check surface.
+    const LevelOperators& ops = ops_.level(l);
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
+      const int b = level_nodes[ni];
+      const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+      if (vlist.empty()) continue;
+      const auto bc = tree_.node(b).key.coords();
+      std::vector<fft::cplx> acc(g, fft::cplx{0, 0});
+      for (const int s : vlist) {
+        const auto sc = tree_.node(s).key.coords();
+        const auto rel = Operators::rel_index(
+            static_cast<int>(bc[0]) - static_cast<int>(sc[0]),
+            static_cast<int>(bc[1]) - static_cast<int>(sc[1]),
+            static_cast<int>(bc[2]) - static_cast<int>(sc[2]));
+        EROOF_REQUIRE_MSG(rel.has_value(), "V-list pair in the near field");
+        const auto& t_hat = ops.m2l_fft[*rel];
+        const fft::cplx* q_hat = spectra.data() + pos_in_level[static_cast<std::size_t>(s)] * g;
+        for (std::size_t k = 0; k < g; ++k) acc[k] += t_hat[k] * q_hat[k];
+      }
+      ops_.plan().inverse(acc);
+      std::vector<double> vals(ns);
+      ops_.extract(acc, vals);
+      auto& check = down_check_[static_cast<std::size_t>(b)];
+      for (std::size_t i = 0; i < ns; ++i) check[i] += vals[i];
+    }
+    for (const int b : level_nodes) {
+      const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+      if (vlist.empty()) continue;
+      stats_.v.pair_count += static_cast<double>(vlist.size());
+      stats_.v.hadamard_cmuls +=
+          static_cast<double>(vlist.size()) * static_cast<double>(g);
+      stats_.v.ffts += 1;  // the inverse transform
+    }
+  }
+}
+
+void FmmEvaluator::x_phase(std::span<const double> dens) {
+  const auto pts = tree_.points();
+  const std::size_t ns = ops_.n_surf();
+  const auto& nodes = tree_.nodes();
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t b = 0; b < nodes.size(); ++b) {
+    const auto& xlist = lists_.x[b];
+    if (xlist.empty()) continue;
+    // P2L: X-node source points -> this node's downward check surface.
+    const auto check_pts =
+        surface_points(ops_.p(), nodes[b].box, kRadiusInner);
+    auto& check = down_check_[b];
+    for (const int a : xlist) {
+      const Node& src = tree_.node(a);
+      for (std::size_t c = 0; c < ns; ++c) {
+        double acc = 0;
+        for (std::uint32_t i = src.point_begin; i < src.point_end; ++i)
+          acc += kernel_.eval(check_pts[c], pts[i]) * dens[i];
+        check[c] += acc;
+      }
+    }
+  }
+  for (std::size_t b = 0; b < nodes.size(); ++b) {
+    for (const int a : lists_.x[b]) {
+      stats_.x.kernel_evals +=
+          static_cast<double>(ns) * tree_.node(a).num_points();
+      stats_.x.pair_count += 1;
+    }
+  }
+}
+
+void FmmEvaluator::downward_pass() {
+  const std::size_t ns = ops_.n_surf();
+  const auto& by_level = tree_.nodes_by_level();
+
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
+    const LevelOperators& ops = ops_.level(l);
+    const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+#pragma omp parallel for schedule(dynamic)
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
+      const int b = level_nodes[ni];
+      // DC2E solve: accumulated check potentials -> equivalent density.
+      auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
+      equiv.assign(ns, 0.0);
+      add_matvec(ops.dc2e, down_check_[static_cast<std::size_t>(b)], equiv);
+
+      // L2L: push to children's check surfaces (children are untouched by
+      // any other iteration of this loop, so this is race-free).
+      const Node& node = tree_.node(b);
+      for (int c : node.children) {
+        if (c < 0) continue;
+        add_matvec(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
+                   down_check_[static_cast<std::size_t>(c)]);
+      }
+    }
+    for (const int b : level_nodes) {
+      stats_.down.solve_matvecs += 1;
+      for (int c : tree_.node(b).children)
+        if (c >= 0) stats_.down.solve_matvecs += 1;
+    }
+  }
+}
+
+void FmmEvaluator::leaf_outputs(std::span<const double> dens,
+                                std::span<double> phi) {
+  const auto pts = tree_.points();
+  const std::size_t ns = ops_.n_surf();
+  const auto& leaves = tree_.leaves();
+
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    const int b = leaves[li];
+    const Node& node = tree_.node(b);
+
+    // L2P: downward equivalent density -> target points.
+    if (node.level() >= kMinLevel) {
+      const auto equiv_pts =
+          surface_points(ops_.p(), node.box, kRadiusOuter);
+      const auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
+      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+        double acc = 0;
+        for (std::size_t j = 0; j < ns; ++j)
+          acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
+        phi[i] += acc;
+      }
+    }
+
+    // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
+    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
+      const Node& src = tree_.node(a);
+      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+        double acc = 0;
+        for (std::uint32_t j = src.point_begin; j < src.point_end; ++j)
+          acc += kernel_.eval(pts[i], pts[j]) * dens[j];
+        phi[i] += acc;
+      }
+    }
+
+    // W: M2P from W-node equivalent densities.
+    for (const int a : lists_.w[static_cast<std::size_t>(b)]) {
+      const auto equiv_pts =
+          surface_points(ops_.p(), tree_.node(a).box, kRadiusInner);
+      const auto& equiv = up_equiv_[static_cast<std::size_t>(a)];
+      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+        double acc = 0;
+        for (std::size_t j = 0; j < ns; ++j)
+          acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
+        phi[i] += acc;
+      }
+    }
+  }
+
+  // Tallies.
+  for (const int b : leaves) {
+    const Node& node = tree_.node(b);
+    const double npts = node.num_points();
+    if (node.level() >= kMinLevel)
+      stats_.down.kernel_evals += npts * static_cast<double>(ns);
+    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
+      stats_.u.kernel_evals +=
+          npts * static_cast<double>(tree_.node(a).num_points());
+      stats_.u.pair_count += 1;
+    }
+    for ([[maybe_unused]] const int a : lists_.w[static_cast<std::size_t>(b)]) {
+      stats_.w.kernel_evals += npts * static_cast<double>(ns);
+      stats_.w.pair_count += 1;
+    }
+  }
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,61 @@
+// Basic 3-D geometry types for the FMM.
+#pragma once
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+
+namespace eroof::fmm {
+
+/// A point / vector in R^3.
+struct Vec3 {
+  double x = 0;
+  double y = 0;
+  double z = 0;
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  friend Vec3 operator*(double s, const Vec3& v) { return v * s; }
+
+  double dot(const Vec3& o) const { return x * o.x + y * o.y + z * o.z; }
+  double norm2() const { return std::sqrt(dot(*this)); }
+};
+
+/// Axis-aligned cubic box given by center and half-width.
+struct Box {
+  Vec3 center;
+  double half = 0;
+
+  bool contains(const Vec3& p) const {
+    return p.x >= center.x - half && p.x <= center.x + half &&
+           p.y >= center.y - half && p.y <= center.y + half &&
+           p.z >= center.z - half && p.z <= center.z + half;
+  }
+
+  /// Child octant box; `octant` bit i selects the +half side of axis i.
+  Box child(unsigned octant) const {
+    const double q = half * 0.5;
+    return Box{{center.x + ((octant & 1u) ? q : -q),
+                center.y + ((octant & 2u) ? q : -q),
+                center.z + ((octant & 4u) ? q : -q)},
+               q};
+  }
+};
+
+/// Chebyshev (max-norm) distance between box centers, in units of `half`.
+/// Two same-size boxes are adjacent iff this is <= 2 + tolerance.
+inline double center_distance_inf(const Box& a, const Box& b) {
+  const Vec3 d = a.center - b.center;
+  return std::max({std::abs(d.x), std::abs(d.y), std::abs(d.z)});
+}
+
+/// Whether two boxes (possibly different sizes) share a face/edge/corner or
+/// overlap, with a relative tolerance for floating-point box arithmetic.
+inline bool boxes_adjacent(const Box& a, const Box& b) {
+  const double gap = center_distance_inf(a, b) - (a.half + b.half);
+  return gap <= 1e-9 * (a.half + b.half);
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,42 @@
+#include "fmm/kernel.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace eroof::fmm {
+namespace {
+
+constexpr double kFourPiInv = 1.0 / (4.0 * std::numbers::pi);
+
+}  // namespace
+
+la::Matrix Kernel::matrix(std::span<const Vec3> targets,
+                          std::span<const Vec3> sources) const {
+  la::Matrix k(targets.size(), sources.size());
+  for (std::size_t i = 0; i < targets.size(); ++i)
+    for (std::size_t j = 0; j < sources.size(); ++j)
+      k(i, j) = eval(targets[i], sources[j]);
+  return k;
+}
+
+double LaplaceKernel::eval(const Vec3& x, const Vec3& y) const {
+  const Vec3 d = x - y;
+  const double r2 = d.dot(d);
+  if (r2 == 0.0) return 0.0;
+  return kFourPiInv / std::sqrt(r2);
+}
+
+double YukawaKernel::eval(const Vec3& x, const Vec3& y) const {
+  const Vec3 d = x - y;
+  const double r2 = d.dot(d);
+  if (r2 == 0.0) return 0.0;
+  const double r = std::sqrt(r2);
+  return kFourPiInv * std::exp(-lambda_ * r) / r;
+}
+
+double GaussianKernel::eval(const Vec3& x, const Vec3& y) const {
+  const Vec3 d = x - y;
+  return std::exp(-d.dot(d) / (2.0 * sigma_ * sigma_));
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,81 @@
+// Interaction kernels K(x, y) (paper eq. 10).
+//
+// Kernel independence is the point of the KIFMM: the method only ever
+// *evaluates* K, so any non-oscillatory kernel with smooth far field plugs
+// in through this interface. Laplace single-layer (the paper's example,
+// modeling electrostatics/gravity) is the default; additional kernels
+// demonstrate the independence and exercise the operators differently.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "fmm/geometry.hpp"
+#include "linalg/matrix.hpp"
+
+namespace eroof::fmm {
+
+/// Abstract interaction kernel.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+
+  /// K(x, y); must return 0 for x == y (self-interactions are excluded by
+  /// convention, matching the direct-sum reference).
+  virtual double eval(const Vec3& x, const Vec3& y) const = 0;
+
+  /// Dense kernel matrix K[i][j] = K(targets[i], sources[j]).
+  la::Matrix matrix(std::span<const Vec3> targets,
+                    std::span<const Vec3> sources) const;
+
+  /// Single-precision flop cost of one evaluation on the modeled GPU
+  /// (used by the instruction-count instrumentation).
+  virtual double flops_per_eval() const = 0;
+
+  virtual std::string name() const = 0;
+
+  /// True if K(ax, ay) = a^degree K(x, y); enables scale-invariance tests.
+  virtual bool homogeneous(double* degree) const {
+    if (degree) *degree = 0;
+    return false;
+  }
+};
+
+/// Laplace single-layer kernel K(x,y) = 1 / (4 pi |x-y|).
+class LaplaceKernel final : public Kernel {
+ public:
+  double eval(const Vec3& x, const Vec3& y) const override;
+  double flops_per_eval() const override { return 12; }
+  std::string name() const override { return "laplace"; }
+  bool homogeneous(double* degree) const override {
+    if (degree) *degree = -1;
+    return true;
+  }
+};
+
+/// Modified/screened Laplace (Yukawa) kernel exp(-lambda r) / (4 pi r).
+class YukawaKernel final : public Kernel {
+ public:
+  explicit YukawaKernel(double lambda) : lambda_(lambda) {}
+  double eval(const Vec3& x, const Vec3& y) const override;
+  double flops_per_eval() const override { return 20; }
+  std::string name() const override { return "yukawa"; }
+
+ private:
+  double lambda_;
+};
+
+/// Gaussian kernel exp(-|x-y|^2 / (2 sigma^2)) -- smooth and non-singular;
+/// a stress test for the equivalent-density solves.
+class GaussianKernel final : public Kernel {
+ public:
+  explicit GaussianKernel(double sigma) : sigma_(sigma) {}
+  double eval(const Vec3& x, const Vec3& y) const override;
+  double flops_per_eval() const override { return 14; }
+  std::string name() const override { return "gaussian"; }
+
+ private:
+  double sigma_;
+};
+
+}  // namespace eroof::fmm

@@ -1,0 +1,97 @@
+#include "fmm/lists.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+/// Recursive classification of the subtree under `idx` (which lies inside a
+/// neighbor region of leaf `b`) into U (adjacent leaves) and W (first
+/// non-adjacent descendants whose parent is adjacent).
+void descend_for_u_w(const Octree& tree, int b, int idx, std::vector<int>& u,
+                     std::vector<int>& w) {
+  const Node& bn = tree.node(b);
+  const Node& n = tree.node(idx);
+  if (boxes_adjacent(n.box, bn.box)) {
+    if (n.leaf) {
+      u.push_back(idx);
+    } else {
+      for (int c : n.children)
+        if (c >= 0) descend_for_u_w(tree, b, c, u, w);
+    }
+  } else {
+    // Parent was adjacent (we only descend into adjacent nodes), this node
+    // is not: exactly the W-list membership condition. Use its multipole;
+    // do not descend further.
+    w.push_back(idx);
+  }
+}
+
+}  // namespace
+
+InteractionLists build_lists(const Octree& tree) {
+  const std::size_t n = tree.nodes().size();
+  InteractionLists lists;
+  lists.u.resize(n);
+  lists.v.resize(n);
+  lists.w.resize(n);
+  lists.x.resize(n);
+
+  // --- U and W for leaves. ---
+  for (const int b : tree.leaves()) {
+    const Node& bn = tree.node(b);
+    std::vector<int>& u = lists.u[static_cast<std::size_t>(b)];
+    std::vector<int>& w = lists.w[static_cast<std::size_t>(b)];
+    u.push_back(b);  // self-interactions are direct
+
+    for (const MortonKey nk : bn.key.neighbors()) {
+      const int exact = tree.find(nk);
+      if (exact >= 0) {
+        descend_for_u_w(tree, b, exact, u, w);
+        continue;
+      }
+      // No node at exactly this key: either the region is empty, or a
+      // coarser leaf covers it.
+      const int anc = tree.find_deepest_ancestor(nk);
+      if (anc < 0) continue;
+      const Node& an = tree.node(anc);
+      if (an.leaf && an.level() < bn.level() &&
+          boxes_adjacent(an.box, bn.box))
+        u.push_back(anc);
+      // `anc` internal means the specific sub-region nk holds no points.
+    }
+
+    // Coarser adjacent leaves are reachable through several neighbor keys.
+    std::sort(u.begin(), u.end());
+    u.erase(std::unique(u.begin(), u.end()), u.end());
+    std::sort(w.begin(), w.end());
+    w.erase(std::unique(w.begin(), w.end()), w.end());
+  }
+
+  // --- V for every node with a parent at level >= 1. ---
+  for (std::size_t bi = 0; bi < n; ++bi) {
+    const Node& bn = tree.node(static_cast<int>(bi));
+    if (bn.parent < 0) continue;
+    const Node& pn = tree.node(bn.parent);
+    std::vector<int>& v = lists.v[bi];
+    for (const MortonKey pk : pn.key.neighbors()) {
+      const int colleague = tree.find(pk);
+      if (colleague < 0) continue;
+      for (const int c : tree.node(colleague).children) {
+        if (c < 0) continue;
+        if (!boxes_adjacent(tree.node(c).box, bn.box)) v.push_back(c);
+      }
+    }
+  }
+
+  // --- X is the transpose of W. ---
+  for (const int a : tree.leaves())
+    for (const int b : lists.w[static_cast<std::size_t>(a)])
+      lists.x[static_cast<std::size_t>(b)].push_back(a);
+
+  return lists;
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,39 @@
+// U / V / W / X interaction lists (paper Section III-A, Fig. 3), following
+// the kernel-independent FMM's adaptive-tree definitions (Ying, Biros &
+// Zorin 2004):
+//
+//   U(B)  (B leaf)  all leaves adjacent to B, including B itself -> direct
+//                   P2P evaluation (the compute-bound phase).
+//   V(B)  (any B)   children of B's parent's colleagues that are not
+//                   adjacent to B -> M2L translations (the memory-bound,
+//                   FFT-accelerated phase).
+//   W(B)  (B leaf)  descendants A of B's colleagues with parent(A) adjacent
+//                   to B but A itself not adjacent -> evaluate A's upward
+//                   equivalent density directly at B's targets (M2P).
+//   X(B)  (any B)   the dual: A with B in W(A) -> A's source points
+//                   contribute to B's downward check surface (P2L).
+//
+// On uniform distributions the balanced tree is complete and W/X are empty;
+// clustered inputs exercise them.
+#pragma once
+
+#include <vector>
+
+#include "fmm/octree.hpp"
+
+namespace eroof::fmm {
+
+/// All four lists for every node, indexed by node id. Lists of nodes that
+/// do not own that list kind (e.g. U of an internal node) are empty.
+struct InteractionLists {
+  std::vector<std::vector<int>> u;
+  std::vector<std::vector<int>> v;
+  std::vector<std::vector<int>> w;
+  std::vector<std::vector<int>> x;
+};
+
+/// Builds the lists for `tree`. Requires the tree to be 2:1 balanced when
+/// the distribution is adaptive (Octree does this by default).
+InteractionLists build_lists(const Octree& tree);
+
+}  // namespace eroof::fmm

@@ -1,0 +1,103 @@
+#include "fmm/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+
+std::uint64_t interleave3(std::uint32_t v) {
+  std::uint64_t x = v & 0xFFFFFu;  // 20 bits
+  x = (x | (x << 32)) & 0x1F00000000FFFFULL;
+  x = (x | (x << 16)) & 0x1F0000FF0000FFULL;
+  x = (x | (x << 8)) & 0x100F00F00F00F00FULL;
+  x = (x | (x << 4)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x << 2)) & 0x1249249249249249ULL;
+  return x;
+}
+
+std::uint32_t deinterleave3(std::uint64_t x) {
+  x &= 0x1249249249249249ULL;
+  x = (x | (x >> 2)) & 0x10C30C30C30C30C3ULL;
+  x = (x | (x >> 4)) & 0x100F00F00F00F00FULL;
+  x = (x | (x >> 8)) & 0x1F0000FF0000FFULL;
+  x = (x | (x >> 16)) & 0x1F00000000FFFFULL;
+  x = (x | (x >> 32)) & 0xFFFFFull;
+  return static_cast<std::uint32_t>(x);
+}
+
+MortonKey MortonKey::from_coords(int level, std::uint32_t x, std::uint32_t y,
+                                 std::uint32_t z) {
+  EROOF_REQUIRE(level >= 0 && level <= kMaxLevel);
+  const std::uint32_t cells = level == 0 ? 1u : (1u << level);
+  EROOF_REQUIRE(x < cells && y < cells && z < cells);
+  MortonKey k;
+  k.bits_ = (static_cast<std::uint64_t>(level) << 60) | interleave3(x) |
+            (interleave3(y) << 1) | (interleave3(z) << 2);
+  return k;
+}
+
+MortonKey MortonKey::from_point(int level, double x, double y, double z) {
+  EROOF_REQUIRE(level >= 0 && level <= kMaxLevel);
+  EROOF_REQUIRE_MSG(x >= 0 && x < 1 && y >= 0 && y < 1 && z >= 0 && z < 1,
+                    "point must lie in the unit cube [0,1)^3");
+  const double cells = std::exp2(level);
+  const auto cell = [&](double c) {
+    return static_cast<std::uint32_t>(
+        std::min(c * cells, cells - 1.0));
+  };
+  return from_coords(level, cell(x), cell(y), cell(z));
+}
+
+std::array<std::uint32_t, 3> MortonKey::coords() const {
+  const std::uint64_t c = bits_ & 0x0FFFFFFFFFFFFFFFULL;
+  return {deinterleave3(c), deinterleave3(c >> 1), deinterleave3(c >> 2)};
+}
+
+MortonKey MortonKey::parent() const {
+  EROOF_REQUIRE(level() > 0);
+  const auto [x, y, z] = coords();
+  return from_coords(level() - 1, x >> 1, y >> 1, z >> 1);
+}
+
+MortonKey MortonKey::child(unsigned octant) const {
+  EROOF_REQUIRE(octant < 8 && level() < kMaxLevel);
+  const auto [x, y, z] = coords();
+  return from_coords(level() + 1, (x << 1) | (octant & 1u),
+                     (y << 1) | ((octant >> 1) & 1u),
+                     (z << 1) | ((octant >> 2) & 1u));
+}
+
+unsigned MortonKey::octant_in_parent() const {
+  EROOF_REQUIRE(level() > 0);
+  const auto [x, y, z] = coords();
+  return (x & 1u) | ((y & 1u) << 1) | ((z & 1u) << 2);
+}
+
+std::vector<MortonKey> MortonKey::neighbors() const {
+  const int lvl = level();
+  const auto [x, y, z] = coords();
+  const std::int64_t cells = std::int64_t{1} << lvl;
+  std::vector<MortonKey> out;
+  out.reserve(26);
+  for (int dz = -1; dz <= 1; ++dz) {
+    for (int dy = -1; dy <= 1; ++dy) {
+      for (int dx = -1; dx <= 1; ++dx) {
+        if (dx == 0 && dy == 0 && dz == 0) continue;
+        const std::int64_t nx = static_cast<std::int64_t>(x) + dx;
+        const std::int64_t ny = static_cast<std::int64_t>(y) + dy;
+        const std::int64_t nz = static_cast<std::int64_t>(z) + dz;
+        if (nx < 0 || ny < 0 || nz < 0 || nx >= cells || ny >= cells ||
+            nz >= cells)
+          continue;
+        out.push_back(from_coords(lvl, static_cast<std::uint32_t>(nx),
+                                  static_cast<std::uint32_t>(ny),
+                                  static_cast<std::uint32_t>(nz)));
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace eroof::fmm

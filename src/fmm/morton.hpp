@@ -1,0 +1,60 @@
+// Morton (Z-order) keys for octree boxes.
+//
+// A key packs (level, interleaved x/y/z cell coordinates). Keys at the same
+// level sort in Z-order; parent/child/neighbor arithmetic is bit twiddling.
+// Up to 20 levels (60 coordinate bits) fit a 64-bit key with 5 level bits.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace eroof::fmm {
+
+/// Packed Morton key.
+class MortonKey {
+ public:
+  static constexpr int kMaxLevel = 20;
+
+  MortonKey() = default;
+
+  /// From integer cell coordinates at `level` (each in [0, 2^level)).
+  static MortonKey from_coords(int level, std::uint32_t x, std::uint32_t y,
+                               std::uint32_t z);
+
+  /// From a point in the unit cube [0,1)^3 at `level`.
+  static MortonKey from_point(int level, double x, double y, double z);
+
+  int level() const { return static_cast<int>(bits_ >> 60); }
+  std::array<std::uint32_t, 3> coords() const;
+
+  MortonKey parent() const;
+  MortonKey child(unsigned octant) const;
+
+  /// The octant index of this box within its parent (0..7).
+  unsigned octant_in_parent() const;
+
+  /// All existing same-level boxes within one cell in each direction
+  /// (up to 26; excludes self, clips at the domain boundary).
+  std::vector<MortonKey> neighbors() const;
+
+  friend bool operator==(MortonKey a, MortonKey b) {
+    return a.bits_ == b.bits_;
+  }
+  friend auto operator<=>(MortonKey a, MortonKey b) {
+    return a.bits_ <=> b.bits_;
+  }
+
+  std::uint64_t raw() const { return bits_; }
+
+ private:
+  // bits 60..63: level; bits 0..59: interleaved coordinates (x lowest).
+  std::uint64_t bits_ = 0;
+};
+
+/// Expands the low 20 bits of v so there are two zero bits between each.
+std::uint64_t interleave3(std::uint32_t v);
+/// Inverse of interleave3.
+std::uint32_t deinterleave3(std::uint64_t v);
+
+}  // namespace eroof::fmm

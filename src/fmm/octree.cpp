@@ -1,0 +1,179 @@
+#include "fmm/octree.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+
+Octree::Octree(std::span<const Vec3> points, Params params)
+    : params_(params), points_(points.begin(), points.end()) {
+  EROOF_REQUIRE(!points.empty());
+  EROOF_REQUIRE(params_.max_points_per_box >= 1);
+  EROOF_REQUIRE(params_.max_level >= 1 &&
+                params_.max_level <= MortonKey::kMaxLevel);
+
+  original_index_.resize(points_.size());
+  for (std::uint32_t i = 0; i < original_index_.size(); ++i)
+    original_index_[i] = i;
+
+  // Bounding cube, slightly inflated so boundary points normalize into
+  // [0, 1) strictly.
+  Vec3 lo = points_[0];
+  Vec3 hi = points_[0];
+  for (const Vec3& p : points_) {
+    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  }
+  const Vec3 center = (lo + hi) * 0.5;
+  double half = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
+  if (half == 0) half = 0.5;  // all points coincide
+  half *= 1.0 + 1e-6;
+  domain_ = Box{center, half};
+
+  Node root;
+  root.key = MortonKey::from_coords(0, 0, 0, 0);
+  root.box = domain_;
+  root.point_begin = 0;
+  root.point_end = static_cast<std::uint32_t>(points_.size());
+  nodes_.push_back(root);
+  key_to_node_.emplace(root.key.raw(), 0);
+
+  build_recursive(0);
+  if (params_.balance_2to1) enforce_balance();
+  finalize();
+}
+
+int Octree::uniform_depth_for(std::size_t n_points, std::uint32_t q) {
+  EROOF_REQUIRE(n_points > 0 && q > 0);
+  int d = 0;
+  double per_box = static_cast<double>(n_points);
+  while (per_box > q && d < 12) {
+    per_box /= 8.0;
+    ++d;
+  }
+  return d;
+}
+
+void Octree::build_recursive(int node_idx) {
+  const std::uint32_t count = nodes_[static_cast<std::size_t>(node_idx)].num_points();
+  const int level = nodes_[static_cast<std::size_t>(node_idx)].level();
+  if (level >= params_.max_level) return;
+  if (params_.uniform_depth >= 0) {
+    if (level >= params_.uniform_depth) return;
+  } else if (count <= params_.max_points_per_box) {
+    return;
+  }
+  split(node_idx);
+  // Children were appended after `node_idx`; recurse into each.
+  const auto children = nodes_[static_cast<std::size_t>(node_idx)].children;
+  for (int c : children)
+    if (c >= 0) build_recursive(c);
+}
+
+void Octree::split(int node_idx) {
+  Node& n = nodes_[static_cast<std::size_t>(node_idx)];
+  EROOF_REQUIRE(n.leaf);
+  const Box box = n.box;
+  const MortonKey key = n.key;
+  const std::uint32_t begin = n.point_begin;
+  const std::uint32_t end = n.point_end;
+
+  // Bucket this node's points by octant (counting sort, stable).
+  std::array<std::uint32_t, 8> bucket_count{};
+  const auto octant_of = [&box](const Vec3& p) -> unsigned {
+    return (p.x >= box.center.x ? 1u : 0u) | (p.y >= box.center.y ? 2u : 0u) |
+           (p.z >= box.center.z ? 4u : 0u);
+  };
+  for (std::uint32_t i = begin; i < end; ++i)
+    ++bucket_count[octant_of(points_[i])];
+
+  std::array<std::uint32_t, 8> offset{};
+  std::uint32_t acc = begin;
+  for (unsigned o = 0; o < 8; ++o) {
+    offset[o] = acc;
+    acc += bucket_count[o];
+  }
+
+  std::vector<Vec3> tmp_pts(points_.begin() + begin, points_.begin() + end);
+  std::vector<std::uint32_t> tmp_idx(original_index_.begin() + begin,
+                                     original_index_.begin() + end);
+  std::array<std::uint32_t, 8> cursor = offset;
+  for (std::uint32_t i = 0; i < end - begin; ++i) {
+    const unsigned o = octant_of(tmp_pts[i]);
+    points_[cursor[o]] = tmp_pts[i];
+    original_index_[cursor[o]] = tmp_idx[i];
+    ++cursor[o];
+  }
+
+  nodes_[static_cast<std::size_t>(node_idx)].leaf = false;
+  for (unsigned o = 0; o < 8; ++o) {
+    if (bucket_count[o] == 0) continue;
+    Node child;
+    child.key = key.child(o);
+    child.box = box.child(o);
+    child.parent = node_idx;
+    child.point_begin = offset[o];
+    child.point_end = offset[o] + bucket_count[o];
+    const int child_idx = static_cast<int>(nodes_.size());
+    nodes_.push_back(child);
+    key_to_node_.emplace(child.key.raw(), child_idx);
+    nodes_[static_cast<std::size_t>(node_idx)].children[o] = child_idx;
+  }
+}
+
+void Octree::enforce_balance() {
+  // Ripple splitting: a leaf at level l may not touch a leaf at level
+  // < l - 1. Splitting can create new violations, so iterate to fixpoint.
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    // Snapshot size: nodes appended during this sweep get checked next sweep.
+    const std::size_t n = nodes_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      if (!nodes_[i].leaf) continue;
+      const MortonKey key = nodes_[i].key;
+      const int lvl = key.level();
+      if (lvl < 2) continue;
+      for (const MortonKey nk : key.neighbors()) {
+        const int a = find_deepest_ancestor(nk);
+        if (a < 0) continue;
+        Node& an = nodes_[static_cast<std::size_t>(a)];
+        if (an.leaf && an.level() < lvl - 1) {
+          split(a);
+          changed = true;
+        }
+      }
+    }
+  }
+}
+
+void Octree::finalize() {
+  by_level_.clear();
+  leaves_.clear();
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const int lvl = nodes_[i].level();
+    if (static_cast<std::size_t>(lvl) >= by_level_.size())
+      by_level_.resize(static_cast<std::size_t>(lvl) + 1);
+    by_level_[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(i));
+    if (nodes_[i].leaf) leaves_.push_back(static_cast<int>(i));
+  }
+}
+
+int Octree::find(MortonKey key) const {
+  const auto it = key_to_node_.find(key.raw());
+  return it == key_to_node_.end() ? -1 : it->second;
+}
+
+int Octree::find_deepest_ancestor(MortonKey key) const {
+  MortonKey k = key;
+  while (true) {
+    const int idx = find(k);
+    if (idx >= 0) return idx;
+    if (k.level() == 0) return -1;
+    k = k.parent();
+  }
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,131 @@
+#include "fmm/operators.hpp"
+
+#include <cmath>
+
+#include "fmm/morton.hpp"
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+constexpr int kMinOperatorLevel = 2;  // no V lists / expansions above this
+
+}  // namespace
+
+Operators::Operators(const Kernel& kernel, double root_half, int max_level,
+                     FmmConfig cfg)
+    : cfg_(cfg),
+      plan_(static_cast<std::size_t>(2 * cfg.p),
+            static_cast<std::size_t>(2 * cfg.p),
+            static_cast<std::size_t>(2 * cfg.p)) {
+  EROOF_REQUIRE(cfg_.p >= 3 && cfg_.p <= 16);
+  EROOF_REQUIRE(cfg_.tikhonov_eps > 0);
+  EROOF_REQUIRE(max_level >= 0 && max_level <= MortonKey::kMaxLevel);
+
+  const std::size_t m = grid_m();
+  surf_to_grid_.reserve(n_surf());
+  for (const auto& [i, j, k] : surface_grid_coords(cfg_.p))
+    surf_to_grid_.push_back((static_cast<std::size_t>(i) * m +
+                             static_cast<std::size_t>(j)) *
+                                m +
+                            static_cast<std::size_t>(k));
+
+  levels_.resize(static_cast<std::size_t>(max_level) + 1);
+  for (int l = kMinOperatorLevel; l <= max_level; ++l)
+    build_level(kernel, l, root_half);
+}
+
+const LevelOperators& Operators::level(int l) const {
+  EROOF_REQUIRE(l >= kMinOperatorLevel &&
+                static_cast<std::size_t>(l) < levels_.size());
+  return levels_[static_cast<std::size_t>(l)];
+}
+
+std::optional<std::size_t> Operators::rel_index(int dx, int dy, int dz) {
+  if (dx < -3 || dx > 3 || dy < -3 || dy > 3 || dz < -3 || dz > 3)
+    return std::nullopt;
+  if (std::abs(dx) <= 1 && std::abs(dy) <= 1 && std::abs(dz) <= 1)
+    return std::nullopt;  // near field: handled by U, never in V
+  return static_cast<std::size_t>((dx + 3) * 49 + (dy + 3) * 7 + (dz + 3));
+}
+
+void Operators::embed(std::span<const double> surf_values,
+                      std::span<fft::cplx> grid) const {
+  EROOF_REQUIRE(surf_values.size() == n_surf() && grid.size() == grid_size());
+  std::fill(grid.begin(), grid.end(), fft::cplx{0, 0});
+  for (std::size_t s = 0; s < surf_values.size(); ++s)
+    grid[surf_to_grid_[s]] = fft::cplx{surf_values[s], 0};
+}
+
+void Operators::extract(std::span<const fft::cplx> grid,
+                        std::span<double> surf_values) const {
+  EROOF_REQUIRE(surf_values.size() == n_surf() && grid.size() == grid_size());
+  for (std::size_t s = 0; s < surf_values.size(); ++s)
+    surf_values[s] = grid[surf_to_grid_[s]].real();
+}
+
+void Operators::build_level(const Kernel& kernel, int l, double root_half) {
+  LevelOperators& ops = levels_[static_cast<std::size_t>(l)];
+  const double h = root_half / std::exp2(l);
+  const Box box{{0, 0, 0}, h};
+
+  // Equivalent-density solves. The check-to-equivalent matrices are the
+  // ill-conditioned heart of KIFMM; Tikhonov keeps the solve stable while
+  // the regularization error stays below the surface-discretization error.
+  const auto up_equiv = surface_points(cfg_.p, box, kRadiusInner);
+  const auto up_check = surface_points(cfg_.p, box, kRadiusOuter);
+  ops.uc2e = la::pinv_tikhonov(kernel.matrix(up_check, up_equiv),
+                               cfg_.tikhonov_eps);
+
+  const auto down_check = surface_points(cfg_.p, box, kRadiusInner);
+  const auto down_equiv = surface_points(cfg_.p, box, kRadiusOuter);
+  ops.dc2e = la::pinv_tikhonov(kernel.matrix(down_check, down_equiv),
+                               cfg_.tikhonov_eps);
+
+  // M2M / L2L per child octant (children of a level-l box live at l+1).
+  for (unsigned o = 0; o < 8; ++o) {
+    const Box child = box.child(o);
+    const auto child_up_equiv = surface_points(cfg_.p, child, kRadiusInner);
+    ops.m2m[o] = kernel.matrix(up_check, child_up_equiv);
+    const auto child_down_check = surface_points(cfg_.p, child, kRadiusInner);
+    ops.l2l[o] = kernel.matrix(child_down_check, down_equiv);
+  }
+
+  // FFT'd M2L kernel tensors, one per admissible relative offset.
+  if (!cfg_.use_fft_m2l) return;
+  const std::size_t m = grid_m();
+  const double spacing = surface_spacing(cfg_.p, box, kRadiusInner);
+  ops.m2l_fft.assign(343, {});
+  const Vec3 origin{0, 0, 0};
+  for (int dx = -3; dx <= 3; ++dx) {
+    for (int dy = -3; dy <= 3; ++dy) {
+      for (int dz = -3; dz <= 3; ++dz) {
+        const auto rel = rel_index(dx, dy, dz);
+        if (!rel) continue;
+        // T[d] = K(target - source) at displacement
+        // (box-center delta) + spacing * d, d in [-(p-1), p-1]^3, embedded
+        // circularly in the m^3 grid.
+        std::vector<fft::cplx> t(grid_size(), fft::cplx{0, 0});
+        const Vec3 center_delta{dx * 2.0 * h, dy * 2.0 * h, dz * 2.0 * h};
+        const auto wrap = [m](int d) {
+          return static_cast<std::size_t>(d < 0 ? d + static_cast<int>(m) : d);
+        };
+        const int pm1 = cfg_.p - 1;
+        for (int a = -pm1; a <= pm1; ++a)
+          for (int b = -pm1; b <= pm1; ++b)
+            for (int c = -pm1; c <= pm1; ++c) {
+              const Vec3 displacement = center_delta +
+                                        Vec3{spacing * a, spacing * b,
+                                             spacing * c};
+              t[(wrap(a) * m + wrap(b)) * m + wrap(c)] =
+                  fft::cplx{kernel.eval(displacement, origin), 0};
+            }
+        plan_.forward(t);
+        ops.m2l_fft[*rel] = std::move(t);
+      }
+    }
+  }
+}
+
+}  // namespace eroof::fmm

@@ -1,0 +1,99 @@
+// Precomputed per-level translation operators of the KIFMM.
+//
+// Per level (boxes of one level are congruent, so one set serves them all):
+//   UC2E   solve upward equivalent density from upward check potentials
+//          (Tikhonov-regularized pseudo-inverse; the system is severely
+//          ill-conditioned by design -- that is where KIFMM's accuracy
+//          control lives).
+//   M2M_o  child-octant-o upward equivalent surface -> parent upward check.
+//   DC2E   downward analogue of UC2E.
+//   L2L_o  parent downward equivalent surface -> child-o downward check.
+//   M2L    one kernel tensor per V-list relative offset (316 of them),
+//          stored as its 3-D FFT: because equivalent/check surface nodes sit
+//          on regular grids with equal spacing, the M2L translation is a
+//          grid convolution -- evaluated as a Hadamard product in Fourier
+//          space (the paper's "FFTs and vector additions" V-list phase).
+//
+// Requires a translation-invariant kernel for the FFT path (all bundled
+// kernels are); V-list translations fall back to dense application per pair
+// through `m2l_dense` when FFT is disabled.
+#pragma once
+
+#include <complex>
+#include <optional>
+#include <vector>
+
+#include "fft/fft3.hpp"
+#include "fmm/kernel.hpp"
+#include "fmm/surface.hpp"
+#include "linalg/matrix.hpp"
+#include "linalg/svd.hpp"
+
+namespace eroof::fmm {
+
+/// Tunables of the method.
+struct FmmConfig {
+  int p = 6;                  ///< surface nodes per cube edge (accuracy knob)
+  double tikhonov_eps = 1e-10;  ///< regularization of the equiv solves
+  bool use_fft_m2l = true;
+};
+
+/// Operators for one tree level.
+struct LevelOperators {
+  la::Matrix uc2e;                 ///< n_surf x n_surf
+  la::Matrix dc2e;                 ///< n_surf x n_surf
+  std::array<la::Matrix, 8> m2m;   ///< K(parent up-check, child-o up-equiv)
+  std::array<la::Matrix, 8> l2l;   ///< K(child-o down-check, parent down-equiv)
+  /// m2l_fft[rel] = FFT of the M2L kernel tensor for relative offset `rel`
+  /// (empty vector for near-field offsets that never occur in V lists).
+  std::vector<std::vector<fft::cplx>> m2l_fft;
+};
+
+/// Builder + owner of all per-level operators and the FFT grid layout.
+class Operators {
+ public:
+  /// `max_level`: deepest level that needs operators; `root_half`: domain
+  /// half-width (level-l boxes have half-width root_half / 2^l).
+  Operators(const Kernel& kernel, double root_half, int max_level,
+            FmmConfig cfg);
+
+  const FmmConfig& config() const { return cfg_; }
+  int p() const { return cfg_.p; }
+
+  /// FFT grid edge length m = 2p.
+  std::size_t grid_m() const { return static_cast<std::size_t>(2 * cfg_.p); }
+  std::size_t grid_size() const { return grid_m() * grid_m() * grid_m(); }
+  const fft::Plan3& plan() const { return plan_; }
+
+  std::size_t n_surf() const { return surface_point_count(cfg_.p); }
+
+  /// Linear FFT-grid index of surface node `s` (canonical surface order).
+  const std::vector<std::size_t>& surf_to_grid() const {
+    return surf_to_grid_;
+  }
+
+  const LevelOperators& level(int l) const;
+
+  /// Index of relative offset (dx,dy,dz) in box-diameter units, each in
+  /// [-3, 3]; returns nullopt for the near field (max |d| <= 1), which V
+  /// lists never contain.
+  static std::optional<std::size_t> rel_index(int dx, int dy, int dz);
+
+  /// Embeds an equivalent density (surface order) into a zeroed m^3 grid.
+  void embed(std::span<const double> surf_values,
+             std::span<fft::cplx> grid) const;
+
+  /// Extracts check-surface values from an m^3 grid (real parts).
+  void extract(std::span<const fft::cplx> grid,
+               std::span<double> surf_values) const;
+
+ private:
+  void build_level(const Kernel& kernel, int l, double root_half);
+
+  FmmConfig cfg_;
+  fft::Plan3 plan_;
+  std::vector<std::size_t> surf_to_grid_;
+  std::vector<LevelOperators> levels_;
+};
+
+}  // namespace eroof::fmm

@@ -1,0 +1,57 @@
+#include "fmm/pointgen.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+
+std::vector<Vec3> uniform_cube(std::size_t n, util::Rng& rng) {
+  EROOF_REQUIRE(n > 0);
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts) p = {rng.uniform(), rng.uniform(), rng.uniform()};
+  return pts;
+}
+
+std::vector<Vec3> sphere_surface(std::size_t n, util::Rng& rng) {
+  EROOF_REQUIRE(n > 0);
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts) {
+    // Marsaglia sphere sampling.
+    double u = 0;
+    double v = 0;
+    double s = 2;
+    while (s >= 1.0 || s == 0.0) {
+      u = rng.uniform(-1.0, 1.0);
+      v = rng.uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    }
+    const double f = 2.0 * std::sqrt(1.0 - s);
+    p = {0.5 + 0.5 * u * f, 0.5 + 0.5 * v * f, 0.5 + 0.5 * (1.0 - 2.0 * s)};
+  }
+  return pts;
+}
+
+std::vector<Vec3> gaussian_clusters(std::size_t n, std::size_t k, double sigma,
+                                    util::Rng& rng) {
+  EROOF_REQUIRE(n > 0 && k > 0 && sigma > 0);
+  std::vector<Vec3> centers(k);
+  for (auto& c : centers)
+    c = {rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8), rng.uniform(0.2, 0.8)};
+  std::vector<Vec3> pts(n);
+  for (auto& p : pts) {
+    const Vec3& c = centers[rng.below(k)];
+    p = {c.x + sigma * rng.normal(), c.y + sigma * rng.normal(),
+         c.z + sigma * rng.normal()};
+  }
+  return pts;
+}
+
+std::vector<double> random_densities(std::size_t n, util::Rng& rng) {
+  std::vector<double> d(n);
+  for (auto& v : d) v = rng.uniform(-1.0, 1.0);
+  return d;
+}
+
+}  // namespace eroof::fmm

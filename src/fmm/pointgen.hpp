@@ -1,0 +1,26 @@
+// Point-cloud generators for experiments and tests.
+#pragma once
+
+#include <vector>
+
+#include "fmm/geometry.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+
+/// N points uniform in the unit cube [0,1]^3.
+std::vector<Vec3> uniform_cube(std::size_t n, util::Rng& rng);
+
+/// N points on the unit sphere surface centered at (0.5,0.5,0.5) -- a 2-D
+/// manifold embedded in 3-D, producing a strongly adaptive octree.
+std::vector<Vec3> sphere_surface(std::size_t n, util::Rng& rng);
+
+/// N points in `k` Gaussian clusters with spread `sigma` -- exercises the
+/// W/X lists (leaves of very different levels touch).
+std::vector<Vec3> gaussian_clusters(std::size_t n, std::size_t k,
+                                    double sigma, util::Rng& rng);
+
+/// Random densities uniform in [-1, 1].
+std::vector<double> random_densities(std::size_t n, util::Rng& rng);
+
+}  // namespace eroof::fmm

@@ -1,0 +1,53 @@
+#include "fmm/surface.hpp"
+
+#include <map>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+
+std::size_t surface_point_count(int p) {
+  EROOF_REQUIRE(p >= 2);
+  const std::size_t pp = static_cast<std::size_t>(p);
+  return pp * pp * pp - (pp - 2) * (pp - 2) * (pp - 2);
+}
+
+const std::vector<std::array<int, 3>>& surface_grid_coords(int p) {
+  EROOF_REQUIRE(p >= 2 && p <= 32);
+  static std::map<int, std::vector<std::array<int, 3>>> cache;
+  auto it = cache.find(p);
+  if (it != cache.end()) return it->second;
+
+  std::vector<std::array<int, 3>> coords;
+  coords.reserve(surface_point_count(p));
+  for (int i = 0; i < p; ++i)
+    for (int j = 0; j < p; ++j)
+      for (int k = 0; k < p; ++k) {
+        const bool on_surface = i == 0 || i == p - 1 || j == 0 ||
+                                j == p - 1 || k == 0 || k == p - 1;
+        if (on_surface) coords.push_back({i, j, k});
+      }
+  EROOF_REQUIRE(coords.size() == surface_point_count(p));
+  return cache.emplace(p, std::move(coords)).first->second;
+}
+
+std::vector<Vec3> surface_points(int p, const Box& box, double radius) {
+  EROOF_REQUIRE(radius > 0);
+  const auto& coords = surface_grid_coords(p);
+  const double r = radius * box.half;
+  std::vector<Vec3> pts;
+  pts.reserve(coords.size());
+  for (const auto& [i, j, k] : coords) {
+    const auto t = [p, r](int c) {
+      return r * (-1.0 + 2.0 * c / (p - 1.0));
+    };
+    pts.push_back(box.center + Vec3{t(i), t(j), t(k)});
+  }
+  return pts;
+}
+
+double surface_spacing(int p, const Box& box, double radius) {
+  return 2.0 * radius * box.half / (p - 1.0);
+}
+
+}  // namespace eroof::fmm

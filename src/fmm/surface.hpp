@@ -1,0 +1,39 @@
+// Equivalent / check surfaces of the kernel-independent FMM.
+//
+// KIFMM replaces analytic multipole expansions with *equivalent densities*
+// living on a discretized surface around each box (Ying, Biros & Zorin
+// 2004). We use the standard cube surfaces: the boundary nodes of a p^3
+// Cartesian grid, scaled to radius r box half-widths. The regular grid
+// layout is what lets M2L translations become FFT convolutions.
+//
+//   upward   equivalent surface r = 1.05   (just outside the box)
+//   upward   check      surface r = 2.95   (just inside the far-field cut)
+//   downward equivalent surface r = 2.95
+//   downward check      surface r = 1.05
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "fmm/geometry.hpp"
+
+namespace eroof::fmm {
+
+inline constexpr double kRadiusInner = 1.05;  ///< equiv-up / check-down
+inline constexpr double kRadiusOuter = 2.95;  ///< check-up / equiv-down
+
+/// Number of surface points of a p-per-edge cube grid: p^3 - (p-2)^3.
+std::size_t surface_point_count(int p);
+
+/// Integer grid coordinates (in [0,p)^3) of the surface nodes, in a fixed
+/// canonical order shared with the FFT grid embedding.
+const std::vector<std::array<int, 3>>& surface_grid_coords(int p);
+
+/// Surface points of `box` scaled by `radius` half-widths: the grid node
+/// (i,j,k) maps to center + radius*half * (-1 + 2i/(p-1), ...).
+std::vector<Vec3> surface_points(int p, const Box& box, double radius);
+
+/// Grid spacing of those surface points (distance between adjacent nodes).
+double surface_spacing(int p, const Box& box, double radius);
+
+}  // namespace eroof::fmm

@@ -1,0 +1,117 @@
+#include "hw/cachesim.hpp"
+
+#include <bit>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+namespace {
+
+constexpr std::uint64_t kSectorBytes = 32;
+constexpr double kWordsPerSector = kSectorBytes / 4.0;
+
+}  // namespace
+
+Cache::Cache(CacheConfig cfg) : cfg_(cfg) {
+  EROOF_REQUIRE(cfg_.line_bytes > 0 && std::has_single_bit(cfg_.line_bytes));
+  EROOF_REQUIRE(cfg_.associativity > 0);
+  EROOF_REQUIRE(cfg_.size_bytes % (cfg_.line_bytes * cfg_.associativity) == 0);
+  num_sets_ = cfg_.size_bytes / (cfg_.line_bytes * cfg_.associativity);
+  EROOF_REQUIRE(std::has_single_bit(num_sets_));
+  line_shift_ = static_cast<std::uint64_t>(std::countr_zero(cfg_.line_bytes));
+  ways_.assign(num_sets_ * cfg_.associativity, Way{});
+}
+
+bool Cache::access(std::uint64_t addr) {
+  const std::uint64_t line = addr >> line_shift_;
+  const std::uint64_t set = line & (num_sets_ - 1);
+  const std::uint64_t tag = line >> std::countr_zero(num_sets_);
+  Way* base = &ways_[set * cfg_.associativity];
+  ++clock_;
+
+  Way* victim = base;
+  for (std::uint32_t w = 0; w < cfg_.associativity; ++w) {
+    Way& way = base[w];
+    if (way.valid && way.tag == tag) {
+      way.lru = clock_;
+      ++hits_;
+      return true;
+    }
+    if (!way.valid) {
+      victim = &way;
+    } else if (victim->valid && way.lru < victim->lru) {
+      victim = &way;
+    }
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = clock_;
+  ++misses_;
+  return false;
+}
+
+void Cache::reset() {
+  for (auto& w : ways_) w = Way{};
+  clock_ = hits_ = misses_ = 0;
+}
+
+MemoryHierarchy::MemoryHierarchy()
+    : MemoryHierarchy(CacheConfig{16 * 1024, 128, 4},
+                      CacheConfig{128 * 1024, 32, 8}) {}
+
+MemoryHierarchy::MemoryHierarchy(CacheConfig l1, CacheConfig l2)
+    : l1_(l1), l2_(l2) {}
+
+void MemoryHierarchy::access(std::uint64_t addr, std::uint64_t bytes,
+                             bool write) {
+  EROOF_REQUIRE(bytes > 0);
+  // One lookup per touched L1 line: a coalesced warp access is a single
+  // 128 B transaction, so sectors of one streaming access must not count as
+  // L1 "hits" against each other. On an L1 miss, the touched sectors are
+  // requested from L2 individually (the L2 is sector-granular).
+  const std::uint64_t line_bytes = l1_.config().line_bytes;
+  const std::uint64_t first_line = addr / line_bytes;
+  const std::uint64_t last_line = (addr + bytes - 1) / line_bytes;
+  for (std::uint64_t line = first_line; line <= last_line; ++line) {
+    const std::uint64_t line_addr = line * line_bytes;
+    const std::uint64_t lo = std::max(addr, line_addr);
+    const std::uint64_t hi = std::min(addr + bytes, line_addr + line_bytes);
+    const std::uint64_t first_sector = lo / kSectorBytes;
+    const std::uint64_t last_sector = (hi - 1) / kSectorBytes;
+    const std::uint64_t sectors = last_sector - first_sector + 1;
+
+    if (l1_.access(line_addr)) {
+      traffic_.l1_words += kWordsPerSector * static_cast<double>(sectors);
+      ++l1_hit_lines_;
+      continue;
+    }
+    for (std::uint64_t sector = first_sector; sector <= last_sector;
+         ++sector) {
+      const std::uint64_t saddr = sector * kSectorBytes;
+      if (write)
+        ++l2_queries_write_;
+      else
+        ++l2_queries_read_;
+      if (l2_.access(saddr)) {
+        traffic_.l2_words += kWordsPerSector;
+      } else {
+        traffic_.dram_words += kWordsPerSector;
+        if (write)
+          ++dram_write_sectors_;
+        else
+          ++dram_read_sectors_;
+      }
+    }
+  }
+}
+
+void MemoryHierarchy::reset() {
+  l1_.reset();
+  l2_.reset();
+  traffic_ = {};
+  l1_hit_lines_ = 0;
+  l2_queries_read_ = l2_queries_write_ = 0;
+  dram_read_sectors_ = dram_write_sectors_ = 0;
+}
+
+}  // namespace eroof::hw

@@ -1,0 +1,105 @@
+// Set-associative cache-hierarchy simulator.
+//
+// Substitutes for the memory-system performance counters of the paper's GPU:
+// the instrumented FMM feeds its global-memory access stream (virtual
+// addresses) through an L1 + L2 hierarchy; the words served at each level
+// become the l1/l2/fb_* counter events of Table III. Sector-granular
+// (32 B) like the modeled hardware, LRU replacement, write-allocate.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace eroof::hw {
+
+/// Geometry of one cache level.
+struct CacheConfig {
+  std::uint64_t size_bytes = 0;
+  std::uint64_t line_bytes = 0;
+  std::uint32_t associativity = 0;
+};
+
+/// One set-associative, LRU, line-granular cache level.
+class Cache {
+ public:
+  explicit Cache(CacheConfig cfg);
+
+  /// Looks up (and on miss, fills) the line containing `addr`.
+  /// Returns true on hit.
+  bool access(std::uint64_t addr);
+
+  /// Invalidates all lines and zeroes statistics.
+  void reset();
+
+  std::uint64_t hits() const { return hits_; }
+  std::uint64_t misses() const { return misses_; }
+  const CacheConfig& config() const { return cfg_; }
+
+ private:
+  struct Way {
+    std::uint64_t tag = 0;
+    std::uint64_t lru = 0;  // last-touch stamp
+    bool valid = false;
+  };
+
+  CacheConfig cfg_;
+  std::uint64_t num_sets_;
+  std::uint64_t line_shift_;
+  std::vector<Way> ways_;  // num_sets * associativity, set-major
+  std::uint64_t clock_ = 0;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Words of traffic served by each level during simulation.
+struct LevelTraffic {
+  double l1_words = 0;
+  double l2_words = 0;
+  double dram_words = 0;
+
+  LevelTraffic& operator+=(const LevelTraffic& o) {
+    l1_words += o.l1_words;
+    l2_words += o.l2_words;
+    dram_words += o.dram_words;
+    return *this;
+  }
+};
+
+/// Two-level hierarchy (L1 -> L2 -> DRAM) over a flat virtual address space.
+///
+/// Defaults follow the Tegra K1 GPU: 16 KiB L1 with 128 B lines, 128 KiB L2
+/// with 32 B sectors. Accesses are expanded to the 32 B sectors they touch;
+/// a sector that hits in L1 counts as L1 words, else it is looked up
+/// (sector-granular) in L2, counting as L2 or DRAM words.
+class MemoryHierarchy {
+ public:
+  MemoryHierarchy();
+  MemoryHierarchy(CacheConfig l1, CacheConfig l2);
+
+  /// Simulates a read or write of `bytes` bytes at virtual address `addr`.
+  void access(std::uint64_t addr, std::uint64_t bytes, bool write);
+
+  /// Traffic tallied since construction / last reset.
+  const LevelTraffic& traffic() const { return traffic_; }
+
+  /// Sector-level counts (for emitting Table III events).
+  std::uint64_t l1_hit_lines() const { return l1_hit_lines_; }
+  std::uint64_t l2_read_sector_queries() const { return l2_queries_read_; }
+  std::uint64_t l2_write_sector_queries() const { return l2_queries_write_; }
+  std::uint64_t dram_read_sectors() const { return dram_read_sectors_; }
+  std::uint64_t dram_write_sectors() const { return dram_write_sectors_; }
+
+  void reset();
+
+ private:
+  Cache l1_;
+  Cache l2_;
+  LevelTraffic traffic_;
+  std::uint64_t l1_hit_lines_ = 0;
+  std::uint64_t l2_queries_read_ = 0;
+  std::uint64_t l2_queries_write_ = 0;
+  std::uint64_t dram_read_sectors_ = 0;
+  std::uint64_t dram_write_sectors_ = 0;
+};
+
+}  // namespace eroof::hw

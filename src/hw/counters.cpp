@@ -1,0 +1,107 @@
+#include "hw/counters.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+
+const std::vector<CounterDef>& counter_table() {
+  using enum CounterType;
+  static const std::vector<CounterDef> table = {
+      {kMetric, "flops_sp_fma",
+       "# of single-precision floating point multiply-accumulate operations"},
+      {kMetric, "flops_sp_add",
+       "# of single-precision floating point add operations"},
+      {kMetric, "flops_sp_mul",
+       "# of single-precision floating point multiply operations"},
+      {kMetric, "flops_dp_fma",
+       "# of double-precision floating point multiply-accumulate operations"},
+      {kMetric, "flops_dp_add",
+       "# of double-precision floating point add operations"},
+      {kMetric, "flops_dp_mul",
+       "# of double-precision floating point multiply operations"},
+      {kMetric, "inst_integer", "# of integer instructions"},
+      {kEvent, "l1_global_load_hit", "# of cache lines that hit in L1 cache"},
+      {kEvent, "l2_subp0_total_read_sector_queries",
+       "Total read request for slice 0 of L2 cache"},
+      {kEvent, "gld_request", "# of load instructions"},
+      {kEvent, "l1_shared_load_transactions", "# of shared load transactions"},
+      {kEvent, "fb_subp0_read_sectors",
+       "# of DRAM read request to sub partition 0"},
+      {kEvent, "fb_subp1_read_sectors",
+       "# of DRAM read request to sub partition 1"},
+      {kEvent, "fb_subp0_write_sectors",
+       "# of DRAM write request to sub partition 0"},
+      {kEvent, "fb_subp1_write_sectors",
+       "# of DRAM write request to sub partition 1"},
+      {kEvent, "l2_subp0_read_l1_hit_sectors",
+       "# of read requests from L1 that hit in slice 0 of L2 cache"},
+      {kEvent, "l2_subp1_read_l1_hit_sectors",
+       "# of read requests from L1 that hit in slice 1 of L2 cache"},
+      {kEvent, "l2_subp2_read_l1_hit_sectors",
+       "# of read requests from L1 that hit in slice 2 of L2 cache"},
+      {kEvent, "l2_subp3_read_l1_hit_sectors",
+       "# of read requests from L1 that hit in slice 3 of L2 cache"},
+      {kEvent, "gst_request", "# of store instructions"},
+      {kEvent, "l2_subp0_total_write_sector_queries",
+       "Total write request to slice 0 of L2 cache"},
+      {kEvent, "l1_shared_store_transactions",
+       "# of shared store transactions"},
+  };
+  return table;
+}
+
+void CounterSet::add(std::string_view name, double v) {
+  auto it = values_.find(name);
+  if (it == values_.end())
+    values_.emplace(std::string(name), v);
+  else
+    it->second += v;
+}
+
+double CounterSet::get(std::string_view name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+bool CounterSet::has(std::string_view name) const {
+  return values_.contains(name);
+}
+
+CounterSet& CounterSet::operator+=(const CounterSet& o) {
+  for (const auto& [k, v] : o.values_) add(k, v);
+  return *this;
+}
+
+OpCounts derive_op_counts(const CounterSet& c) {
+  OpCounts ops;
+  ops[OpClass::kSpFlop] = c.get("flops_sp_fma") + c.get("flops_sp_add") +
+                          c.get("flops_sp_mul");
+  ops[OpClass::kDpFlop] = c.get("flops_dp_fma") + c.get("flops_dp_add") +
+                          c.get("flops_dp_mul");
+  ops[OpClass::kIntOp] = c.get("inst_integer");
+
+  const double shared_tx = c.get("l1_shared_load_transactions") +
+                           c.get("l1_shared_store_transactions");
+  ops[OpClass::kSmAccess] = shared_tx * kSharedTransactionBytes / kWordBytes;
+
+  const double dram_sectors =
+      c.get("fb_subp0_read_sectors") + c.get("fb_subp1_read_sectors") +
+      c.get("fb_subp0_write_sectors") + c.get("fb_subp1_write_sectors");
+  ops[OpClass::kDramAccess] = dram_sectors * kSectorBytes / kWordBytes;
+
+  const double l2_queries = c.get("l2_subp0_total_read_sector_queries") +
+                            c.get("l2_subp0_total_write_sector_queries");
+  const double l2_words = l2_queries * kSectorBytes / kWordBytes;
+  // The paper's derivation: L2-served traffic is total L2 queries minus what
+  // DRAM had to provide.
+  ops[OpClass::kL2Access] =
+      std::max(0.0, l2_words - ops[OpClass::kDramAccess]);
+
+  ops[OpClass::kL1Access] =
+      c.get("l1_global_load_hit") * kL1LineBytes / kWordBytes;
+  return ops;
+}
+
+}  // namespace eroof::hw

@@ -1,0 +1,71 @@
+// Performance-counter registry and derivations.
+//
+// Mirrors the paper's Table III: the profile of the FMM kernel is assembled
+// from raw counter *events* (single hardware counters) and *metrics*
+// (characteristics derived from one or more events). Our instrumented FMM
+// populates the same-named events; `derive_op_counts` applies the paper's
+// derivations (e.g. "reads from the L2 cache can be calculated by
+// subtracting the number of bytes read from the DRAM from the total number
+// of requests to the L2") to produce the OpCounts the energy model prices.
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace eroof::hw {
+
+/// Counter kinds, as in Table III.
+enum class CounterType { kEvent, kMetric };
+
+/// One registry entry.
+struct CounterDef {
+  CounterType type;
+  std::string_view name;
+  std::string_view description;
+};
+
+/// The registry (Table III rows, plus the single-precision flop metrics the
+/// paper's evaluation also differentiates per Section II-C).
+const std::vector<CounterDef>& counter_table();
+
+/// Bytes per DRAM/L2 sector and per L1 line on the modeled memory system.
+inline constexpr double kSectorBytes = 32.0;
+inline constexpr double kL1LineBytes = 128.0;
+inline constexpr double kSharedTransactionBytes = 32.0;
+inline constexpr double kWordBytes = 4.0;
+
+/// A bag of named counter values collected during a run.
+class CounterSet {
+ public:
+  /// Adds `v` to counter `name` (creating it at zero).
+  void add(std::string_view name, double v);
+
+  /// Value of `name`, or 0 if never touched.
+  double get(std::string_view name) const;
+
+  bool has(std::string_view name) const;
+
+  CounterSet& operator+=(const CounterSet& o);
+
+  const std::map<std::string, double, std::less<>>& values() const {
+    return values_;
+  }
+
+ private:
+  std::map<std::string, double, std::less<>> values_;
+};
+
+/// Applies the Table III derivations to produce per-class operation counts:
+///   SP/DP flops   = sum of fma/add/mul metrics
+///   integer       = inst_integer
+///   SM words      = shared load+store transactions * 32 B / 4 B
+///   DRAM words    = read+write sectors * 32 B / 4 B
+///   L2 words      = total L2 sector queries * 8 - DRAM words  (>= 0)
+///   L1 words      = L1 hit lines * 128 B / 4 B
+OpCounts derive_op_counts(const CounterSet& counters);
+
+}  // namespace eroof::hw

@@ -1,0 +1,67 @@
+// DVFS operating-point ladders for the simulated Tegra-K1-class SoC.
+//
+// The paper's platform exposes 15 processor (GPU core) frequencies and 7
+// memory (EMC) frequencies; selecting a frequency selects a predetermined
+// voltage (paper footnote 1). The frequencies below follow the Jetson TK1's
+// published gbus/EMC ladders, and the voltages at the operating points the
+// paper lists (Tables I and IV) match it exactly; intermediate points are
+// interpolated monotonically.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace eroof::hw {
+
+/// One frequency/voltage operating point of a clock domain.
+struct OperatingPoint {
+  double freq_mhz = 0;
+  double volt_mv = 0;
+
+  double freq_hz() const { return freq_mhz * 1e6; }
+  double volt_v() const { return volt_mv * 1e-3; }
+};
+
+/// A complete DVFS setting: one point per independently scalable domain.
+struct DvfsSetting {
+  OperatingPoint core;
+  OperatingPoint mem;
+
+  /// "852/924" style label used in tables.
+  std::string label() const;
+};
+
+/// The 15 processor operating points, ascending frequency.
+const std::vector<OperatingPoint>& core_ladder();
+
+/// The 7 memory operating points, ascending frequency.
+const std::vector<OperatingPoint>& mem_ladder();
+
+/// Looks up an operating point by frequency (exact match, MHz) in a ladder.
+/// Throws ContractError if the frequency is not an operating point.
+OperatingPoint point_at(const std::vector<OperatingPoint>& ladder,
+                        double freq_mhz);
+
+/// Builds a setting from (core MHz, mem MHz); both must be ladder points.
+DvfsSetting setting(double core_mhz, double mem_mhz);
+
+/// All 15 x 7 = 105 settings (the paper's full permutation space).
+std::vector<DvfsSetting> full_grid();
+
+/// Whether a sample is used for model training ("T") or validation ("V") in
+/// the paper's 2-fold holdout (Table I).
+enum class SettingRole { kTrain, kValidate };
+
+struct LabeledSetting {
+  SettingRole role;
+  DvfsSetting s;
+};
+
+/// The 16 settings of Table I: 8 training + 8 validation.
+const std::vector<LabeledSetting>& table1_settings();
+
+/// The 8 system settings S1..S8 of Table IV used for FMM validation.
+const std::vector<DvfsSetting>& table4_settings();
+
+}  // namespace eroof::hw

@@ -1,0 +1,52 @@
+#include "hw/powermon.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+
+PowerMon::PowerMon(PowerMonConfig cfg) : cfg_(cfg) {
+  EROOF_REQUIRE(cfg_.sample_hz > 0);
+  EROOF_REQUIRE(cfg_.adc_bits >= 4 && cfg_.adc_bits <= 24);
+  EROOF_REQUIRE(cfg_.full_scale_w > 0);
+}
+
+double PowerMon::quantize(double watts) const {
+  const double levels = static_cast<double>(1 << cfg_.adc_bits) - 1;
+  const double clamped = std::clamp(watts, 0.0, cfg_.full_scale_w);
+  return std::round(clamped / cfg_.full_scale_w * levels) / levels *
+         cfg_.full_scale_w;
+}
+
+PowerTrace PowerMon::measure(double duration_s,
+                             const std::function<double(double)>& power_w,
+                             util::Rng& rng) const {
+  EROOF_REQUIRE(duration_s > 0);
+  const double dt = 1.0 / cfg_.sample_hz;
+  // Always bracket the run with endpoint samples; short kernels (shorter
+  // than one sample period) degrade to a 2-point trapezoid, exactly as a
+  // physical meter limited by its sampling rate would.
+  const std::size_t nsamples =
+      std::max<std::size_t>(2, static_cast<std::size_t>(duration_s / dt) + 1);
+  const double step = duration_s / static_cast<double>(nsamples - 1);
+
+  PowerTrace trace;
+  trace.duration_s = duration_s;
+  trace.samples_w.reserve(nsamples);
+  for (std::size_t i = 0; i < nsamples; ++i) {
+    const double t = static_cast<double>(i) * step;
+    const double noisy = power_w(t) + rng.normal(0.0, cfg_.noise_w);
+    trace.samples_w.push_back(quantize(noisy));
+  }
+
+  double energy = 0;
+  for (std::size_t i = 1; i < nsamples; ++i)
+    energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
+  trace.energy_j = energy;
+  trace.avg_power_w = energy / duration_s;
+  return trace;
+}
+
+}  // namespace eroof::hw

@@ -1,0 +1,54 @@
+// Simulated PowerMon 2: an inline power meter sampling voltage/current
+// between the supply and the board (Bedard et al. 2010). The real device
+// samples at up to 1024 Hz through an ADC; energy is the numerical integral
+// of the sampled power. We reproduce exactly that pipeline -- sampling,
+// quantization, sensor noise, trapezoidal integration -- so "measured"
+// energies differ from closed-form truth the way a physical campaign's would.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace eroof::hw {
+
+/// PowerMon channel configuration.
+struct PowerMonConfig {
+  double sample_hz = 1024.0;   ///< sampling rate (device max is 1024 Hz)
+  int adc_bits = 12;           ///< ADC resolution per sample
+  double full_scale_w = 25.0;  ///< measurable power range [0, full_scale]
+  double noise_w = 0.02;       ///< Gaussian sensor noise, 1 sigma, in watts
+};
+
+/// One completed measurement.
+struct PowerTrace {
+  double duration_s = 0;
+  double energy_j = 0;              ///< trapezoidal integral of samples
+  double avg_power_w = 0;           ///< energy / duration
+  std::vector<double> samples_w;    ///< the raw sampled power values
+};
+
+/// The measurement device. Stateless apart from configuration; each
+/// measurement draws noise from the caller's RNG so campaigns replay
+/// deterministically from one seed.
+class PowerMon {
+ public:
+  explicit PowerMon(PowerMonConfig cfg = {});
+
+  const PowerMonConfig& config() const { return cfg_; }
+
+  /// Samples `power_w(t)` over [0, duration_s] at the configured rate,
+  /// applying sensor noise and ADC quantization, and integrates.
+  /// Runs shorter than one sample period still get endpoint samples.
+  PowerTrace measure(double duration_s,
+                     const std::function<double(double)>& power_w,
+                     util::Rng& rng) const;
+
+ private:
+  double quantize(double watts) const;
+
+  PowerMonConfig cfg_;
+};
+
+}  // namespace eroof::hw

@@ -1,0 +1,140 @@
+// Ground-truth physics of the simulated Tegra-K1-class SoC.
+//
+// This is the *platform substitute* for the paper's Jetson TK1 (DESIGN.md
+// section 1): it decides how long a workload takes and how much power it
+// really draws at a given DVFS setting. Its constants are calibrated so the
+// per-operation costs the model later *fits* land on the paper's Table I
+// values, but the fitted model never reads them -- it only sees operation
+// counts, execution times, and PowerMon-sampled energies. Deliberate
+// nonidealities (per-instruction issue overhead, a weak frequency dependence
+// of per-op energy, thermal jitter of leakage) keep the fit honest and put
+// prediction errors in the paper's observed few-percent band.
+#pragma once
+
+#include "hw/dvfs.hpp"
+#include "hw/powermon.hpp"
+#include "hw/workload.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::hw {
+
+/// Hidden energy coefficients (the "silicon").
+struct GroundTruthEnergy {
+  /// Dynamic energy per operation at supply voltage V (volts):
+  /// eps_op = k_dyn_pj[op] * V^2 * (1 + freq_sensitivity * f/f_max),
+  /// in picojoules. V is the core voltage for compute/on-chip classes and
+  /// the memory voltage for DRAM accesses.
+  std::array<double, kNumOpClasses> k_dyn_pj{};
+
+  /// Unmodeled per-instruction front-end (fetch/decode/schedule) energy,
+  /// pJ/V^2, charged to every compute instruction. The fitted model has no
+  /// such term; NNLS absorbs its average into the per-class constants and
+  /// the residual becomes genuine model error.
+  double issue_overhead_pj = 0;
+
+  /// Weak frequency dependence of per-op energy (clock-tree share that does
+  /// not amortize perfectly); the model assumes exactly zero.
+  double freq_sensitivity = 0;
+
+  /// Leakage / constant power: c1_proc * Vproc + c1_mem * Vmem + p_misc (W).
+  double c1_proc_w_per_v = 0;
+  double c1_mem_w_per_v = 0;
+  double p_misc_w = 0;
+
+  /// Superlinear leakage curvature: each leakage term is additionally
+  /// scaled by (1 + curvature * (V - 0.9 V)). The model's eq. 8 is linear
+  /// in V, so voltage extrapolation (leave-one-setting-out CV) pays for it.
+  double leak_curvature = 0;
+
+  /// 1-sigma *per-operating-point* fractional deviation of constant power
+  /// (board regulator efficiency is a function of the operating point, not
+  /// of voltage alone). Deterministic per setting, so constant-power
+  /// dominated runs carry irreducible model error too.
+  double setting_sigma = 0;
+
+  /// 1-sigma *per-workload* fractional variation of dynamic energy: real
+  /// kernels differ in switching activity (operand bit patterns, bank
+  /// conflicts), but the model prices every op of a class identically.
+  /// Deterministic per workload name, so it is a systematic model error,
+  /// not averaging-friendly noise.
+  double activity_sigma = 0;
+
+  /// Leakage grows with die temperature, which tracks dissipated power;
+  /// the model treats constant power as constant. Fractional leakage
+  /// increase per watt of dynamic power above ~3 W.
+  double leak_power_coupling = 0;
+
+  /// 1-sigma run-to-run fractional jitter of leakage (thermal state).
+  double thermal_jitter = 0;
+
+  /// 1-sigma run-to-run fractional jitter of measured execution time
+  /// (scheduling, DVFS transition latency). Settings whose true roofline
+  /// times tie exactly therefore measure apart, as on real hardware.
+  double timing_jitter = 0;
+};
+
+/// Peak machine rates (the "datasheet"). Compute rates are per core cycle,
+/// DRAM rate per memory cycle; memory units are 4-byte words.
+struct MachineRates {
+  double sp_per_cycle = 192;    ///< 192 CUDA cores, 1 SP FMA each
+  double dp_per_cycle = 8;      ///< 1/24 of SP throughput (Tegra K1)
+  double int_per_cycle = 160;   ///< integer ALU issue width
+  double sm_words_per_cycle = 192;  ///< shared-memory banks
+  double l1_words_per_cycle = 64;
+  double l2_words_per_cycle = 32;
+  double dram_words_per_cycle = 4;  ///< 16 B / EMC cycle = 14.8 GB/s @ 924 MHz
+  double kernel_overhead_s = 15e-6; ///< fixed launch/drain cost per workload
+};
+
+/// One measured run, as an analyst would record it: what the counters said,
+/// how long it took, what PowerMon integrated.
+struct Measurement {
+  std::string workload;
+  DvfsSetting setting;
+  OpCounts ops;
+  double time_s = 0;
+  double energy_j = 0;    ///< PowerMon-integrated (noisy) energy
+  double avg_power_w = 0;
+};
+
+/// The simulated SoC.
+class Soc {
+ public:
+  Soc(GroundTruthEnergy truth, MachineRates rates);
+
+  /// The calibrated Tegra-K1-like instance used throughout the experiments.
+  static Soc tegra_k1();
+
+  const MachineRates& rates() const { return rates_; }
+
+  /// Ground-truth per-op dynamic energy in joules at a setting. Exposed for
+  /// white-box tests only; the model-fitting pipeline must not call this.
+  double true_op_energy_j(OpClass op, const DvfsSetting& s) const;
+
+  /// Ground-truth constant power (W) at a setting, without thermal jitter.
+  double true_constant_power_w(const DvfsSetting& s) const;
+
+  /// Roofline execution time of a workload at a setting (seconds):
+  /// max(compute pipes, DRAM stream) under the workload's utilizations,
+  /// plus fixed kernel overhead.
+  double execution_time(const Workload& w, const DvfsSetting& s) const;
+
+  /// Noiseless total energy over `time_s` (dynamic + constant). Test hook.
+  double true_energy_j(const Workload& w, const DvfsSetting& s,
+                       double time_s) const;
+
+  /// Executes the workload and measures it with `monitor`: returns the
+  /// counter-visible op counts, the execution time, and the PowerMon
+  /// energy (sampled, quantized, noisy; leakage sees thermal jitter).
+  Measurement run(const Workload& w, const DvfsSetting& s,
+                  const PowerMon& monitor, util::Rng& rng) const;
+
+ private:
+  double dynamic_power_w(const Workload& w, const DvfsSetting& s,
+                         double time_s) const;
+
+  GroundTruthEnergy truth_;
+  MachineRates rates_;
+};
+
+}  // namespace eroof::hw

@@ -1,0 +1,75 @@
+// Operation-class vocabulary shared by the whole toolkit.
+//
+// A workload, for the purposes of the energy model (paper eq. 9 and its
+// per-class refinement in Section II-C), is a vector of operation counts --
+// how many SP/DP flops, integer instructions, and words moved from each level
+// of the memory hierarchy -- plus utilization factors describing how close
+// the code comes to the machine's peak issue/bandwidth rates (the paper's
+// Section IV-C attributes the FMM's constant-power dominance to
+// underutilization: < 1/4 of peak IPC).
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <string_view>
+
+namespace eroof::hw {
+
+/// Operation classes the model prices. Memory classes count 4-byte words
+/// ("mops"), matching the granularity of the paper's Table I costs.
+enum class OpClass : std::size_t {
+  kSpFlop = 0,   ///< single-precision FMA-class instruction
+  kDpFlop = 1,   ///< double-precision FMA-class instruction
+  kIntOp = 2,    ///< integer ALU instruction (loop/address arithmetic)
+  kSmAccess = 3, ///< shared-memory (software-managed scratchpad) word access
+  kL1Access = 4, ///< word served by the L1 cache
+  kL2Access = 5, ///< word served by the L2 cache
+  kDramAccess = 6, ///< word served by DRAM
+  kCount = 7
+};
+
+inline constexpr std::size_t kNumOpClasses =
+    static_cast<std::size_t>(OpClass::kCount);
+
+inline constexpr std::array<std::string_view, kNumOpClasses> kOpClassNames = {
+    "SP", "DP", "Integer", "SM", "L1", "L2", "DRAM"};
+
+/// Per-class operation counts. Stored as doubles: counts derived from
+/// counter *metrics* can be fractional, and FMM runs overflow 32-bit ints.
+struct OpCounts {
+  std::array<double, kNumOpClasses> n{};
+
+  double& operator[](OpClass c) { return n[static_cast<std::size_t>(c)]; }
+  double operator[](OpClass c) const { return n[static_cast<std::size_t>(c)]; }
+
+  OpCounts& operator+=(const OpCounts& o) {
+    for (std::size_t i = 0; i < kNumOpClasses; ++i) n[i] += o.n[i];
+    return *this;
+  }
+  friend OpCounts operator+(OpCounts a, const OpCounts& b) { return a += b; }
+
+  /// Total computation instructions (SP + DP + integer).
+  double compute_ops() const {
+    return n[0] + n[1] + n[2];
+  }
+  /// Total memory words touched across all levels.
+  double memory_ops() const {
+    return n[3] + n[4] + n[5] + n[6];
+  }
+};
+
+/// A schedulable unit of work: counts + how efficiently they issue.
+///
+/// `compute_utilization` scales the machine's peak issue rates (1.0 = the
+/// tight single-resource microbenchmarks; the FMM phases sit well below,
+/// per the paper's IPC analysis). `memory_utilization` likewise scales
+/// achievable DRAM bandwidth.
+struct Workload {
+  std::string name;
+  OpCounts ops;
+  double compute_utilization = 1.0;
+  double memory_utilization = 1.0;
+};
+
+}  // namespace eroof::hw

@@ -1,0 +1,31 @@
+// Cholesky factorization for symmetric positive-definite systems (used for
+// normal-equation solves where the system is small and well-conditioned).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace eroof::la {
+
+/// Lower-triangular Cholesky factor of an SPD matrix.
+class Cholesky {
+ public:
+  /// Factors `a`; throws ContractError if `a` is not positive definite
+  /// (to working precision).
+  explicit Cholesky(const Matrix& a);
+
+  /// Solves A x = b via the factorization.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  const Matrix& l() const { return l_; }
+
+ private:
+  Matrix l_;
+};
+
+/// Convenience: solves the SPD system A x = b.
+std::vector<double> solve_spd(const Matrix& a, std::span<const double> b);
+
+}  // namespace eroof::la

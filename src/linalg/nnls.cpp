@@ -1,0 +1,116 @@
+#include "linalg/nnls.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "linalg/qr.hpp"
+#include "util/require.hpp"
+
+namespace eroof::la {
+namespace {
+
+// Solves the unconstrained least squares restricted to the passive columns
+// listed in `passive`, returning a dense n-vector with zeros elsewhere.
+std::vector<double> solve_passive(const Matrix& a, std::span<const double> b,
+                                  const std::vector<std::size_t>& passive) {
+  const std::size_t m = a.rows();
+  Matrix ap(m, passive.size());
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < passive.size(); ++j)
+      ap(i, j) = a(i, passive[j]);
+  const std::vector<double> z = QR(std::move(ap)).solve(b);
+  std::vector<double> full(a.cols(), 0.0);
+  for (std::size_t j = 0; j < passive.size(); ++j) full[passive[j]] = z[j];
+  return full;
+}
+
+}  // namespace
+
+NnlsResult nnls(const Matrix& a, std::span<const double> b, double tol,
+                int max_iter) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  EROOF_REQUIRE(b.size() == m);
+  EROOF_REQUIRE(m >= 1 && n >= 1);
+  if (max_iter <= 0) max_iter = static_cast<int>(3 * n) + 10;
+
+  NnlsResult out;
+  out.x.assign(n, 0.0);
+  out.iterations = 0;
+  out.converged = false;
+
+  std::vector<bool> in_passive(n, false);
+  std::vector<std::size_t> passive;
+
+  // residual r = b - A x; with x = 0, r = b.
+  std::vector<double> r(b.begin(), b.end());
+
+  while (out.iterations < max_iter) {
+    // Dual vector w = A^T r. Optimality: w_j <= tol for all active j.
+    const std::vector<double> w = matvec_t(a, r);
+    double wmax = -std::numeric_limits<double>::infinity();
+    std::size_t jmax = n;
+    for (std::size_t j = 0; j < n; ++j) {
+      if (in_passive[j]) continue;
+      if (w[j] > wmax) {
+        wmax = w[j];
+        jmax = j;
+      }
+    }
+    if (jmax == n || wmax <= tol) {
+      out.converged = true;
+      break;
+    }
+
+    in_passive[jmax] = true;
+    passive.push_back(jmax);
+
+    // Inner loop: solve on the passive set; if any passive coefficient goes
+    // non-positive, step back to the feasibility boundary and shrink the set.
+    while (true) {
+      ++out.iterations;
+      std::vector<double> z = solve_passive(a, b, passive);
+
+      double alpha = 1.0;
+      bool all_positive = true;
+      for (std::size_t j : passive) {
+        if (z[j] <= 0.0) {
+          all_positive = false;
+          const double denom = out.x[j] - z[j];
+          if (denom > 0) alpha = std::min(alpha, out.x[j] / denom);
+        }
+      }
+      if (all_positive) {
+        out.x = std::move(z);
+        break;
+      }
+
+      for (std::size_t j = 0; j < n; ++j)
+        out.x[j] += alpha * (z[j] - out.x[j]);
+
+      // Remove variables that hit zero from the passive set.
+      std::vector<std::size_t> keep;
+      for (std::size_t j : passive) {
+        if (out.x[j] > 1e-12) {
+          keep.push_back(j);
+        } else {
+          out.x[j] = 0.0;
+          in_passive[j] = false;
+        }
+      }
+      passive = std::move(keep);
+      if (passive.empty()) break;
+      if (out.iterations >= max_iter) break;
+    }
+
+    // Refresh the residual.
+    const std::vector<double> ax = matvec(a, out.x);
+    for (std::size_t i = 0; i < m; ++i) r[i] = b[i] - ax[i];
+  }
+
+  out.residual_norm = norm2(r);
+  return out;
+}
+
+}  // namespace eroof::la

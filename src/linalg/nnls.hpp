@@ -1,0 +1,32 @@
+// Non-negative least squares: min ||A x - b||_2 subject to x >= 0.
+//
+// This is the fitting procedure the paper applies to its DVFS-aware energy
+// roofline (Section II-C): the unknowns are physical energy coefficients, so
+// non-negativity is the right prior. Implementation: the classic
+// Lawson-Hanson active-set algorithm (Solving Least Squares Problems, 1974).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace eroof::la {
+
+/// Result of an NNLS solve.
+struct NnlsResult {
+  std::vector<double> x;   ///< the non-negative minimizer
+  double residual_norm;    ///< ||A x - b||_2 at the solution
+  int iterations;          ///< outer active-set iterations taken
+  bool converged;          ///< false only if the iteration cap was hit
+};
+
+/// Solves min ||A x - b|| s.t. x >= 0 by Lawson-Hanson.
+///
+/// `tol` bounds the dual feasibility test (entries of the gradient A^T(b-Ax)
+/// below tol are treated as non-positive); `max_iter` caps outer iterations
+/// (default: 3 * cols, the customary setting).
+NnlsResult nnls(const Matrix& a, std::span<const double> b, double tol = 1e-10,
+                int max_iter = 0);
+
+}  // namespace eroof::la

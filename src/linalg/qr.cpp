@@ -1,0 +1,118 @@
+#include "linalg/qr.hpp"
+
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::la {
+
+QR::QR(Matrix a) : qr_(std::move(a)) {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  EROOF_REQUIRE_MSG(m >= n, "QR requires rows >= cols");
+  beta_.assign(n, 0.0);
+
+  for (std::size_t k = 0; k < n; ++k) {
+    // Build the Householder reflector annihilating column k below row k.
+    double xnorm2 = 0;
+    for (std::size_t i = k; i < m; ++i) xnorm2 += qr_(i, k) * qr_(i, k);
+    const double xnorm = std::sqrt(xnorm2);
+    if (xnorm == 0.0) {
+      beta_[k] = 0.0;
+      continue;
+    }
+    const double alpha = qr_(k, k) >= 0 ? -xnorm : xnorm;
+    // v = x - alpha e1, stored with implicit v[k] normalized to 1.
+    const double vk = qr_(k, k) - alpha;
+    beta_[k] = -vk / alpha;  // beta = 2 / (v^T v) with v scaled by 1/vk
+    for (std::size_t i = k + 1; i < m; ++i) qr_(i, k) /= vk;
+    qr_(k, k) = alpha;
+
+    // Apply (I - beta v v^T) to trailing columns.
+    for (std::size_t j = k + 1; j < n; ++j) {
+      double s = qr_(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * qr_(i, j);
+      s *= beta_[k];
+      qr_(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) qr_(i, j) -= s * qr_(i, k);
+    }
+  }
+}
+
+void QR::apply_qt(std::vector<double>& b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  for (std::size_t k = 0; k < n; ++k) {
+    if (beta_[k] == 0.0) continue;
+    double s = b[k];
+    for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * b[i];
+    s *= beta_[k];
+    b[k] -= s;
+    for (std::size_t i = k + 1; i < m; ++i) b[i] -= s * qr_(i, k);
+  }
+}
+
+std::vector<double> QR::solve(std::span<const double> b) const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  EROOF_REQUIRE(b.size() == m);
+  // Relative rank test: a diagonal entry of R at roundoff level signals a
+  // (numerically) rank-deficient system.
+  double max_diag = 0;
+  for (std::size_t i = 0; i < n; ++i)
+    max_diag = std::max(max_diag, std::abs(qr_(i, i)));
+  EROOF_REQUIRE_MSG(min_abs_diag() > 1e-13 * max_diag,
+                    "rank-deficient least squares");
+
+  std::vector<double> y(b.begin(), b.end());
+  apply_qt(y);
+
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ii = n; ii-- > 0;) {
+    double s = y[ii];
+    for (std::size_t j = ii + 1; j < n; ++j) s -= qr_(ii, j) * x[j];
+    x[ii] = s / qr_(ii, ii);
+  }
+  return x;
+}
+
+Matrix QR::r() const {
+  const std::size_t n = qr_.cols();
+  Matrix r(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = i; j < n; ++j) r(i, j) = qr_(i, j);
+  return r;
+}
+
+Matrix QR::thin_q() const {
+  const std::size_t m = qr_.rows();
+  const std::size_t n = qr_.cols();
+  // Accumulate Q by applying the reflectors to the first n columns of I,
+  // in reverse order.
+  Matrix q(m, n);
+  for (std::size_t j = 0; j < n; ++j) q(j, j) = 1.0;
+  for (std::size_t k = n; k-- > 0;) {
+    if (beta_[k] == 0.0) continue;
+    for (std::size_t j = 0; j < n; ++j) {
+      double s = q(k, j);
+      for (std::size_t i = k + 1; i < m; ++i) s += qr_(i, k) * q(i, j);
+      s *= beta_[k];
+      q(k, j) -= s;
+      for (std::size_t i = k + 1; i < m; ++i) q(i, j) -= s * qr_(i, k);
+    }
+  }
+  return q;
+}
+
+double QR::min_abs_diag() const {
+  double m = std::abs(qr_(0, 0));
+  for (std::size_t i = 1; i < qr_.cols(); ++i)
+    m = std::min(m, std::abs(qr_(i, i)));
+  return m;
+}
+
+std::vector<double> lstsq(const Matrix& a, std::span<const double> b) {
+  return QR(a).solve(b);
+}
+
+}  // namespace eroof::la

@@ -1,0 +1,50 @@
+// Householder QR factorization and least-squares solves.
+//
+// Used by the NNLS active-set inner solve and available as a general
+// full-rank least-squares solver for model fitting.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.hpp"
+
+namespace eroof::la {
+
+/// Compact Householder QR of an m x n matrix with m >= n.
+///
+/// Stores the factored form (reflectors below the diagonal, R on and above)
+/// and answers least-squares solves `min ||A x - b||_2`.
+class QR {
+ public:
+  /// Factors `a`; requires a.rows() >= a.cols().
+  explicit QR(Matrix a);
+
+  /// Solves the least-squares problem for the factored A.
+  /// Requires b.size() == rows(). Throws ContractError if A is
+  /// rank-deficient to working precision.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Returns the explicit R factor (n x n upper triangle).
+  Matrix r() const;
+
+  /// Returns the explicit thin Q factor (m x n with orthonormal columns).
+  Matrix thin_q() const;
+
+  /// Smallest |diagonal of R|; zero signals rank deficiency.
+  double min_abs_diag() const;
+
+  std::size_t rows() const { return qr_.rows(); }
+  std::size_t cols() const { return qr_.cols(); }
+
+ private:
+  void apply_qt(std::vector<double>& b) const;
+
+  Matrix qr_;                 // packed reflectors + R
+  std::vector<double> beta_;  // Householder scalars
+};
+
+/// One-shot dense least squares: min ||A x - b||.
+std::vector<double> lstsq(const Matrix& a, std::span<const double> b);
+
+}  // namespace eroof::la

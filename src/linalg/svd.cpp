@@ -1,0 +1,154 @@
+#include "linalg/svd.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+
+#include "util/require.hpp"
+
+namespace eroof::la {
+namespace {
+
+// One-sided Jacobi on a tall (m >= n) matrix: orthogonalizes columns of a
+// working copy W by plane rotations accumulated into V; on convergence the
+// column norms of W are the singular values and W's normalized columns are U.
+Svd svd_tall(const Matrix& a) {
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  Matrix w = a;
+  Matrix v = Matrix::identity(n);
+
+  const double eps = std::numeric_limits<double>::epsilon();
+  const double tol = 1e-14;
+  const int max_sweeps = 60;
+
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p + 1 < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        double alpha = 0;
+        double beta = 0;
+        double gamma = 0;
+        for (std::size_t i = 0; i < m; ++i) {
+          alpha += w(i, p) * w(i, p);
+          beta += w(i, q) * w(i, q);
+          gamma += w(i, p) * w(i, q);
+        }
+        if (alpha * beta == 0.0) continue;
+        off = std::max(off, std::abs(gamma) / std::sqrt(alpha * beta));
+        if (std::abs(gamma) <= tol * std::sqrt(alpha * beta)) continue;
+
+        // Jacobi rotation zeroing the (p,q) inner product.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0 ? 1.0 : -1.0) /
+                         (std::abs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (std::size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (std::size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off < 10 * eps) break;
+  }
+
+  // Extract singular values (column norms) and normalize U's columns.
+  std::vector<double> s(n, 0.0);
+  for (std::size_t j = 0; j < n; ++j) {
+    double norm = 0;
+    for (std::size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    s[j] = std::sqrt(norm);
+  }
+
+  // Sort descending (stable permutation of columns of W and V).
+  std::vector<std::size_t> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  std::stable_sort(perm.begin(), perm.end(),
+                   [&s](std::size_t i, std::size_t j) { return s[i] > s[j]; });
+
+  Svd out;
+  out.u = Matrix(m, n);
+  out.v = Matrix(n, n);
+  out.s.resize(n);
+  for (std::size_t jj = 0; jj < n; ++jj) {
+    const std::size_t j = perm[jj];
+    out.s[jj] = s[j];
+    const double inv = s[j] > 0 ? 1.0 / s[j] : 0.0;
+    for (std::size_t i = 0; i < m; ++i) out.u(i, jj) = w(i, j) * inv;
+    for (std::size_t i = 0; i < n; ++i) out.v(i, jj) = v(i, j);
+  }
+  return out;
+}
+
+}  // namespace
+
+Svd svd(const Matrix& a) {
+  EROOF_REQUIRE(a.rows() > 0 && a.cols() > 0);
+  if (a.rows() >= a.cols()) return svd_tall(a);
+  // A = U S V^T  <=>  A^T = V S U^T: factor the transpose and swap factors.
+  Svd t = svd_tall(a.transposed());
+  Svd out;
+  out.u = std::move(t.v);
+  out.s = std::move(t.s);
+  out.v = std::move(t.u);
+  return out;
+}
+
+namespace {
+
+Matrix pinv_from_svd(const Svd& f, std::vector<double> sinv) {
+  // A+ = V diag(sinv) U^T, assembled without forming diag explicitly.
+  const std::size_t n = f.v.rows();
+  const std::size_t m = f.u.rows();
+  const std::size_t k = f.s.size();
+  Matrix out(n, m);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < m; ++j) {
+      double acc = 0;
+      for (std::size_t l = 0; l < k; ++l)
+        acc += f.v(i, l) * sinv[l] * f.u(j, l);
+      out(i, j) = acc;
+    }
+  return out;
+}
+
+}  // namespace
+
+Matrix pinv(const Matrix& a, double rcond) {
+  Svd f = svd(a);
+  const double cutoff = rcond * (f.s.empty() ? 0.0 : f.s.front());
+  std::vector<double> sinv(f.s.size());
+  for (std::size_t i = 0; i < f.s.size(); ++i)
+    sinv[i] = f.s[i] > cutoff ? 1.0 / f.s[i] : 0.0;
+  return pinv_from_svd(f, std::move(sinv));
+}
+
+Matrix pinv_tikhonov(const Matrix& a, double eps) {
+  EROOF_REQUIRE(eps > 0);
+  Svd f = svd(a);
+  const double smax = f.s.empty() ? 0.0 : f.s.front();
+  const double lambda2 = (eps * smax) * (eps * smax);
+  std::vector<double> sinv(f.s.size());
+  for (std::size_t i = 0; i < f.s.size(); ++i)
+    sinv[i] = f.s[i] / (f.s[i] * f.s[i] + lambda2);
+  return pinv_from_svd(f, std::move(sinv));
+}
+
+double cond2(const Matrix& a) {
+  Svd f = svd(a);
+  const double smin = f.s.back();
+  if (smin == 0.0) return std::numeric_limits<double>::infinity();
+  return f.s.front() / smin;
+}
+
+}  // namespace eroof::la

@@ -1,0 +1,32 @@
+#include "ubench/campaign.hpp"
+
+namespace eroof::ub {
+
+std::vector<Sample> run_campaign(const hw::Soc& soc,
+                                 const std::vector<BenchPoint>& points,
+                                 const std::vector<hw::LabeledSetting>& settings,
+                                 const hw::PowerMon& monitor,
+                                 util::Rng& rng) {
+  std::vector<Sample> samples;
+  samples.reserve(points.size() * settings.size());
+  for (const auto& [role, setting] : settings) {
+    for (const auto& p : points) {
+      Sample s;
+      s.cls = p.cls;
+      s.intensity = p.intensity;
+      s.role = role;
+      s.meas = soc.run(p.workload, setting, monitor, rng);
+      samples.push_back(std::move(s));
+    }
+  }
+  return samples;
+}
+
+std::vector<Sample> paper_campaign(const hw::Soc& soc,
+                                   const hw::PowerMon& monitor,
+                                   util::Rng& rng) {
+  return run_campaign(soc, default_suite(), hw::table1_settings(), monitor,
+                      rng);
+}
+
+}  // namespace eroof::ub

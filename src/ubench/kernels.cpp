@@ -1,0 +1,76 @@
+#include "ubench/kernels.hpp"
+
+#include <algorithm>
+
+#include "util/require.hpp"
+
+namespace eroof::ub {
+
+float sp_fma_stream(std::span<const float> data, int intensity) {
+  EROOF_REQUIRE(intensity >= 1);
+  float acc0 = 1.0f;
+  float acc1 = 0.5f;
+  for (const float x : data) {
+    for (int i = 0; i < intensity; i += 2) {
+      acc0 = acc0 * x + 1.000001f;
+      acc1 = acc1 * x + 0.999999f;
+    }
+  }
+  return acc0 + acc1;
+}
+
+double dp_fma_stream(std::span<const double> data, int intensity) {
+  EROOF_REQUIRE(intensity >= 1);
+  double acc0 = 1.0;
+  double acc1 = 0.5;
+  for (const double x : data) {
+    for (int i = 0; i < intensity; i += 2) {
+      acc0 = acc0 * x + 1.000001;
+      acc1 = acc1 * x + 0.999999;
+    }
+  }
+  return acc0 + acc1;
+}
+
+std::uint64_t int_ops_stream(std::span<const std::uint64_t> data,
+                             int intensity) {
+  EROOF_REQUIRE(intensity >= 1);
+  std::uint64_t acc = 0x243F6A8885A308D3ULL;
+  for (const std::uint64_t x : data) {
+    std::uint64_t v = x;
+    for (int i = 0; i < intensity; ++i) {
+      v = (v << 13) ^ (v >> 7);
+      v += 0x9E3779B97F4A7C15ULL;
+    }
+    acc ^= v;
+  }
+  return acc;
+}
+
+float scratch_reuse_stream(std::span<const float> data, int reuse,
+                           std::size_t tile_elems) {
+  EROOF_REQUIRE(reuse >= 1 && tile_elems >= 1);
+  float tile[4096];
+  tile_elems = std::min<std::size_t>(tile_elems, 4096);
+  float acc = 0.0f;
+  for (std::size_t base = 0; base < data.size(); base += tile_elems) {
+    const std::size_t len = std::min(tile_elems, data.size() - base);
+    std::copy_n(data.begin() + static_cast<std::ptrdiff_t>(base), len, tile);
+    for (int r = 0; r < reuse; ++r)
+      for (std::size_t i = 0; i < len; ++i) acc += tile[i];
+  }
+  return acc;
+}
+
+float cache_resident_stream(std::span<const float> data, std::size_t ws_elems,
+                            int passes) {
+  EROOF_REQUIRE(passes >= 1);
+  ws_elems = std::min(ws_elems, data.size());
+  EROOF_REQUIRE(ws_elems >= 1);
+  float acc = 0.0f;
+  for (int p = 0; p < passes; ++p)
+    for (std::size_t i = 0; i < ws_elems; ++i) acc += data[i];
+  return acc;
+}
+
+}  // namespace eroof::ub

@@ -1,0 +1,161 @@
+#include "ubench/suite.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::ub {
+namespace {
+
+using hw::OpClass;
+
+/// Log-spaced sweep of `count` intensities over [lo, hi].
+std::vector<double> log_spaced(double lo, double hi, std::size_t count) {
+  std::vector<double> xs(count);
+  const double l0 = std::log2(lo);
+  const double l1 = std::log2(hi);
+  for (std::size_t i = 0; i < count; ++i) {
+    const double t = count == 1
+                         ? 0.0
+                         : static_cast<double>(i) / static_cast<double>(count - 1);
+    xs[i] = std::exp2(l0 + t * (l1 - l0));
+  }
+  return xs;
+}
+
+/// Deterministic per-point jitter so every benchmark point has its own
+/// realistic (but reproducible) utilization, like distinct hand-tuned
+/// kernels would.
+double jitter(BenchClass c, std::size_t i, double lo, double hi) {
+  util::Rng rng(0xBEEF0000u + 131u * static_cast<std::uint64_t>(c) + i);
+  return rng.uniform(lo, hi);
+}
+
+std::string point_name(BenchClass c, double intensity) {
+  std::ostringstream os;
+  os << to_string(c) << "_I" << intensity;
+  return os.str();
+}
+
+BenchPoint make_point(BenchClass c, double intensity, std::size_t index,
+                      double stream_words) {
+  BenchPoint p;
+  p.cls = c;
+  p.intensity = intensity;
+  hw::Workload& w = p.workload;
+  w.name = point_name(c, intensity);
+  const double n = stream_words;
+  hw::OpCounts& ops = w.ops;
+
+  // Every kernel streams its operands from DRAM...
+  ops[OpClass::kDramAccess] = n;
+  // ...with a sliver of loop/addressing overhead (these kernels are tuned:
+  // fully unrolled bodies, one induction variable).
+  ops[OpClass::kIntOp] = 0.05 * n;
+
+  switch (c) {
+    case BenchClass::kSpFlops:
+      ops[OpClass::kSpFlop] = intensity * n;
+      ops[OpClass::kIntOp] += 0.02 * intensity * n;
+      break;
+    case BenchClass::kDpFlops:
+      ops[OpClass::kDpFlop] = intensity * n;
+      ops[OpClass::kIntOp] += 0.02 * intensity * n;
+      break;
+    case BenchClass::kIntOps:
+      ops[OpClass::kIntOp] += intensity * n;
+      break;
+    case BenchClass::kSharedMem:
+      ops[OpClass::kSmAccess] = intensity * n;
+      ops[OpClass::kIntOp] += 0.1 * intensity * n;
+      break;
+    case BenchClass::kL2:
+      ops[OpClass::kL2Access] = intensity * n;
+      ops[OpClass::kIntOp] += 0.1 * intensity * n;
+      break;
+    case BenchClass::kDram:
+      // Pure stream; the 13 "intensities" scale the stream length instead.
+      ops[OpClass::kDramAccess] = n * intensity;
+      ops[OpClass::kIntOp] = 0.05 * n * intensity;
+      break;
+  }
+
+  w.compute_utilization = jitter(c, index, 0.93, 0.99);
+  w.memory_utilization = jitter(c, index + 1000, 0.85, 0.95);
+  return p;
+}
+
+}  // namespace
+
+std::string to_string(BenchClass c) {
+  switch (c) {
+    case BenchClass::kSpFlops: return "sp";
+    case BenchClass::kDpFlops: return "dp";
+    case BenchClass::kIntOps: return "int";
+    case BenchClass::kSharedMem: return "sm";
+    case BenchClass::kL2: return "l2";
+    case BenchClass::kDram: return "dram";
+  }
+  EROOF_REQUIRE_MSG(false, "bad BenchClass");
+  return {};
+}
+
+std::size_t sweep_size(BenchClass c) {
+  switch (c) {
+    case BenchClass::kSpFlops: return 25;  // Table II: "out of 25"
+    case BenchClass::kDpFlops: return 36;  // "out of 36"
+    case BenchClass::kIntOps: return 23;   // "out of 23"
+    case BenchClass::kSharedMem: return 10;  // "out of 10"
+    case BenchClass::kL2: return 9;          // "out of 9"
+    case BenchClass::kDram: return 13;  // completes 116 points -> 1856 samples
+  }
+  return 0;
+}
+
+std::vector<BenchPoint> intensity_sweep(BenchClass c, double stream_words) {
+  EROOF_REQUIRE(stream_words >= 1e6);
+  const std::size_t count = sweep_size(c);
+  std::vector<double> xs;
+  switch (c) {
+    case BenchClass::kSpFlops:
+      xs = log_spaced(0.25, 64.0, count);
+      break;
+    case BenchClass::kDpFlops:
+      // DP peak is 1/24 of SP, so the compute roof is met much earlier;
+      // sweep a tighter range more densely.
+      xs = log_spaced(0.25, 16.0, count);
+      break;
+    case BenchClass::kIntOps:
+      xs = log_spaced(0.25, 64.0, count);
+      break;
+    case BenchClass::kSharedMem:
+      xs = log_spaced(1.0, 32.0, count);
+      break;
+    case BenchClass::kL2:
+      xs = log_spaced(1.0, 16.0, count);
+      break;
+    case BenchClass::kDram:
+      xs = log_spaced(0.25, 1.0, count);  // stream-length scale factors
+      break;
+  }
+  std::vector<BenchPoint> points;
+  points.reserve(xs.size());
+  for (std::size_t i = 0; i < xs.size(); ++i)
+    points.push_back(make_point(c, xs[i], i, stream_words));
+  return points;
+}
+
+std::vector<BenchPoint> default_suite(double stream_words) {
+  std::vector<BenchPoint> all;
+  for (BenchClass c : {BenchClass::kSpFlops, BenchClass::kDpFlops,
+                       BenchClass::kIntOps, BenchClass::kSharedMem,
+                       BenchClass::kL2, BenchClass::kDram}) {
+    auto sweep = intensity_sweep(c, stream_words);
+    all.insert(all.end(), sweep.begin(), sweep.end());
+  }
+  return all;
+}
+
+}  // namespace eroof::ub

@@ -1,0 +1,51 @@
+// The "intensity" microbenchmark suite (the paper's archline equivalent).
+//
+// Each benchmark class stresses a single resource at ~full utilization while
+// streaming data from DRAM, and is swept over arithmetic intensity (flops --
+// or integer ops, or on-chip words -- per word of DRAM traffic). The sweep
+// sizes reproduce the paper's Table II denominators: 25 SP, 36 DP, 23
+// integer, 10 shared-memory and 9 L2 intensities; a 13-point pure-DRAM sweep
+// completes the 116 points whose 16-setting campaign yields the paper's 1856
+// samples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hw/workload.hpp"
+
+namespace eroof::ub {
+
+/// Which resource the benchmark targets.
+enum class BenchClass {
+  kSpFlops,
+  kDpFlops,
+  kIntOps,
+  kSharedMem,
+  kL2,
+  kDram,
+};
+
+std::string to_string(BenchClass c);
+
+/// One point of a sweep: a fully-characterized workload plus the knob value
+/// that produced it.
+struct BenchPoint {
+  BenchClass cls = BenchClass::kSpFlops;
+  double intensity = 0;  ///< target ops per DRAM word (0 for pure streaming)
+  hw::Workload workload;
+};
+
+/// Number of intensity values per class (Table II denominators).
+std::size_t sweep_size(BenchClass c);
+
+/// Builds the intensity sweep for one class. `stream_words` is the number of
+/// DRAM words each kernel streams (default sized so runs last ~0.1-1 s on
+/// the simulated SoC, comfortably above PowerMon's sampling period).
+std::vector<BenchPoint> intensity_sweep(BenchClass c,
+                                        double stream_words = 64e6);
+
+/// The full 116-point suite.
+std::vector<BenchPoint> default_suite(double stream_words = 64e6);
+
+}  // namespace eroof::ub

@@ -1,0 +1,40 @@
+#include "util/csv.hpp"
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& columns)
+    : out_(path), ncols_(columns.size()) {
+  EROOF_REQUIRE(ncols_ > 0);
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << columns[i];
+  }
+  out_ << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<double>& values) {
+  EROOF_REQUIRE(values.size() == ncols_);
+  std::ostringstream line;
+  line.precision(12);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    if (i) line << ',';
+    line << values[i];
+  }
+  out_ << line.str() << '\n';
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& cells) {
+  EROOF_REQUIRE(cells.size() == ncols_);
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << cells[i];
+  }
+  out_ << '\n';
+}
+
+}  // namespace eroof::util

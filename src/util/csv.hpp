@@ -1,0 +1,30 @@
+// Minimal CSV writer for exporting experiment series (figure data) so the
+// paper's plots can be regenerated with any external plotting tool.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace eroof::util {
+
+/// Writes rows of doubles with a header line; one file per figure series.
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits `columns` as the header row.
+  CsvWriter(const std::string& path, const std::vector<std::string>& columns);
+
+  /// Appends one data row; must match the header width.
+  void add_row(const std::vector<double>& values);
+
+  /// Appends one row of preformatted cells (for mixed text/number rows).
+  void add_row(const std::vector<std::string>& cells);
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+ private:
+  std::ofstream out_;
+  std::size_t ncols_;
+};
+
+}  // namespace eroof::util

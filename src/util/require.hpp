@@ -1,0 +1,37 @@
+// Lightweight precondition / invariant checking.
+//
+// EROOF_REQUIRE is always on (it guards public API contracts and costs
+// nothing measurable next to the numerical kernels it protects); violations
+// throw eroof::util::ContractError so tests can assert on them.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace eroof::util {
+
+/// Thrown when a function's stated precondition or invariant is violated.
+class ContractError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+[[noreturn]] inline void contract_fail(const char* expr, const char* file,
+                                       int line, const std::string& msg) {
+  throw ContractError(std::string(file) + ":" + std::to_string(line) +
+                      ": requirement `" + expr + "` failed" +
+                      (msg.empty() ? "" : (": " + msg)));
+}
+
+}  // namespace eroof::util
+
+#define EROOF_REQUIRE(expr)                                            \
+  do {                                                                 \
+    if (!(expr)) ::eroof::util::contract_fail(#expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define EROOF_REQUIRE_MSG(expr, msg)                                   \
+  do {                                                                 \
+    if (!(expr))                                                       \
+      ::eroof::util::contract_fail(#expr, __FILE__, __LINE__, (msg));  \
+  } while (false)

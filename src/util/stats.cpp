@@ -1,0 +1,51 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+
+Summary summarize(std::span<const double> xs) {
+  EROOF_REQUIRE(!xs.empty());
+  Summary s;
+  s.n = xs.size();
+  s.min = xs[0];
+  s.max = xs[0];
+  double sum = 0;
+  for (double x : xs) {
+    sum += x;
+    s.min = std::min(s.min, x);
+    s.max = std::max(s.max, x);
+  }
+  s.mean = sum / static_cast<double>(s.n);
+  if (s.n > 1) {
+    double ss = 0;
+    for (double x : xs) ss += (x - s.mean) * (x - s.mean);
+    s.stddev = std::sqrt(ss / static_cast<double>(s.n - 1));
+  }
+  return s;
+}
+
+double relative_error_pct(double a, double b) {
+  EROOF_REQUIRE(b != 0.0);
+  return 100.0 * std::abs(a - b) / std::abs(b);
+}
+
+double mean(std::span<const double> xs) {
+  EROOF_REQUIRE(!xs.empty());
+  double sum = 0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double median(std::vector<double> xs) {
+  EROOF_REQUIRE(!xs.empty());
+  std::sort(xs.begin(), xs.end());
+  const std::size_t n = xs.size();
+  if (n % 2 == 1) return xs[n / 2];
+  return 0.5 * (xs[n / 2 - 1] + xs[n / 2]);
+}
+
+}  // namespace eroof::util

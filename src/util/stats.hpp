@@ -1,0 +1,33 @@
+// Descriptive statistics used throughout the validation and autotuning
+// experiments (mean / population stddev / min / max of error distributions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace eroof::util {
+
+/// Summary of a sample: the four numbers every validation table in the paper
+/// reports (mean, standard deviation, minimum, maximum).
+struct Summary {
+  double mean = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  std::size_t n = 0;
+};
+
+/// Computes the summary of `xs`. Uses the sample (n-1) standard deviation,
+/// matching the paper's R `sd()`. Requires a non-empty sample.
+Summary summarize(std::span<const double> xs);
+
+/// |a - b| / |b| expressed in percent; `b` is the reference (measured) value.
+double relative_error_pct(double a, double b);
+
+/// Mean of `xs`; requires non-empty.
+double mean(std::span<const double> xs);
+
+/// Median (average of middle two for even n); requires non-empty.
+double median(std::vector<double> xs);
+
+}  // namespace eroof::util

@@ -1,0 +1,60 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+
+Table::Table(std::vector<std::string> headers, std::vector<Align> aligns)
+    : headers_(std::move(headers)), aligns_(std::move(aligns)) {
+  EROOF_REQUIRE(!headers_.empty());
+  if (aligns_.empty()) aligns_.assign(headers_.size(), Align::kRight);
+  EROOF_REQUIRE(aligns_.size() == headers_.size());
+}
+
+void Table::add_row(std::vector<std::string> cells) {
+  EROOF_REQUIRE_MSG(cells.size() == headers_.size(),
+                    "row width must match header width");
+  rows_.push_back(std::move(cells));
+}
+
+std::string Table::num(double v, int prec) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(prec) << v;
+  return os.str();
+}
+
+void Table::print(std::ostream& os) const {
+  std::vector<std::size_t> width(headers_.size());
+  for (std::size_t c = 0; c < headers_.size(); ++c)
+    width[c] = headers_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      width[c] = std::max(width[c], row[c].size());
+
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) os << "  ";
+      if (aligns_[c] == Align::kRight)
+        os << std::setw(static_cast<int>(width[c])) << std::right << row[c];
+      else
+        os << std::setw(static_cast<int>(width[c])) << std::left << row[c];
+    }
+    os << '\n';
+  };
+
+  emit(headers_);
+  std::string rule;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) rule += "  ";
+    rule += std::string(width[c], '-');
+  }
+  os << rule << '\n';
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace eroof::util

@@ -1,0 +1,39 @@
+// Fixed-width ASCII table printer.
+//
+// Every bench binary that regenerates one of the paper's tables/figures emits
+// its rows through this printer so outputs line up and are diffable.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace eroof::util {
+
+/// Column alignment inside a Table.
+enum class Align { kLeft, kRight };
+
+/// Accumulates rows of strings and renders them with per-column widths.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers,
+                 std::vector<Align> aligns = {});
+
+  /// Appends one row; must have exactly as many cells as there are headers.
+  void add_row(std::vector<std::string> cells);
+
+  /// Convenience: formats a double with `prec` digits after the point.
+  static std::string num(double v, int prec = 2);
+
+  /// Renders the table (header, separator, rows) to `os`.
+  void print(std::ostream& os) const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<Align> aligns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace eroof::util

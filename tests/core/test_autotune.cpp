@@ -1,0 +1,133 @@
+#include "core/autotune.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include "core/fit.hpp"
+#include "ubench/campaign.hpp"
+
+namespace eroof::model {
+namespace {
+
+EnergyModel fitted_model() {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(42);
+  const auto campaign = ub::paper_campaign(soc, pm, rng);
+  std::vector<FitSample> train;
+  for (const auto& s : campaign)
+    if (s.role == hw::SettingRole::kTrain)
+      train.push_back(to_fit_sample(s.meas));
+  return fit_energy_model(train).model;
+}
+
+TEST(Autotune, GridMeasurementCoversAllSettings) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(1);
+  hw::Workload w;
+  w.name = "at_test";
+  w.ops[hw::OpClass::kSpFlop] = 1e9;
+  w.ops[hw::OpClass::kDramAccess] = 64e6;
+  const auto grid = hw::full_grid();
+  const auto ms = measure_grid(soc, w, grid, pm, rng);
+  EXPECT_EQ(ms.size(), 105u);
+}
+
+TEST(Autotune, BestIndexIsTheMeasuredArgmin) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(2);
+  hw::Workload w;
+  w.name = "at_argmin";
+  w.ops[hw::OpClass::kDramAccess] = 256e6;
+  const auto grid = hw::full_grid();
+  const auto ms = measure_grid(soc, w, grid, pm, rng);
+  const TuneOutcome out = autotune(fitted_model(), ms);
+  for (const auto& m : ms)
+    EXPECT_GE(m.energy_j, ms[out.best_idx].energy_j);
+  EXPECT_DOUBLE_EQ(out.model_lost_pct >= 0, true);
+}
+
+TEST(Autotune, MemoryBoundWorkloadShouldNotRaceCoreClock) {
+  // For a pure-DRAM stream the core clock only adds voltage cost; the model
+  // must pick a low core frequency, and it must beat the time oracle
+  // (which race-to-halts to the highest clocks).
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(3);
+  hw::Workload w;
+  w.name = "at_membound";
+  w.ops[hw::OpClass::kDramAccess] = 512e6;
+  w.ops[hw::OpClass::kIntOp] = 1e6;
+  const auto grid = hw::full_grid();
+  const auto ms = measure_grid(soc, w, grid, pm, rng);
+  const TuneOutcome out = autotune(fitted_model(), ms);
+
+  EXPECT_LT(ms[out.model_idx].setting.core.freq_mhz, 400);
+  EXPECT_LE(out.model_lost_pct, out.oracle_lost_pct + 1e-9);
+}
+
+TEST(Autotune, ComputeBoundWorkloadShouldNotRaceMemClock) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(4);
+  hw::Workload w;
+  w.name = "at_compbound";
+  w.ops[hw::OpClass::kSpFlop] = 6e10;
+  w.ops[hw::OpClass::kDramAccess] = 1e6;
+  const auto grid = hw::full_grid();
+  const auto ms = measure_grid(soc, w, grid, pm, rng);
+  const TuneOutcome out = autotune(fitted_model(), ms);
+  // The memory ladder's low rungs cost least here.
+  EXPECT_LT(ms[out.model_idx].setting.mem.freq_mhz, 500);
+}
+
+TEST(Autotune, LostPctZeroWhenChoiceIsBest) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon pm;
+  util::Rng rng(5);
+  hw::Workload w;
+  w.name = "at_zero";
+  w.ops[hw::OpClass::kL2Access] = 4e8;
+  const auto grid = hw::full_grid();
+  const auto ms = measure_grid(soc, w, grid, pm, rng);
+  const TuneOutcome out = autotune(fitted_model(), ms);
+  if (out.model_correct) {
+    EXPECT_LE(out.model_lost_pct, 0.5);
+  }
+  if (out.oracle_correct) {
+    EXPECT_LE(out.oracle_lost_pct, 0.5);
+  }
+}
+
+TEST(Autotune, EmptyGridThrows) {
+  const std::vector<hw::Measurement> empty;
+  EXPECT_THROW(autotune(fitted_model(), empty), util::ContractError);
+}
+
+TEST(Autotune, OracleTieBreakPrefersHigherClocks) {
+  // Two measurements with identical time: the oracle must take the higher
+  // core frequency (race-to-halt convention).
+  hw::Measurement a;
+  a.setting = hw::setting(396, 528);
+  a.time_s = 1.0;
+  a.energy_j = 5.0;
+  hw::Measurement b;
+  b.setting = hw::setting(852, 528);
+  b.time_s = 1.0;
+  b.energy_j = 7.0;
+  EnergyModel m;
+  m.c0 = {29e-12, 139e-12, 60e-12, 35e-12, 90e-12, 377e-12};
+  m.c1_proc = 2.7;
+  m.c1_mem = 3.8;
+  const std::vector<hw::Measurement> grid{a, b};
+  const TuneOutcome out = autotune(m, grid);
+  EXPECT_EQ(out.oracle_idx, 1u);  // 852 MHz despite equal time
+  EXPECT_EQ(out.best_idx, 0u);    // but 396 MHz measured cheaper
+  EXPECT_FALSE(out.oracle_correct);
+}
+
+}  // namespace
+}  // namespace eroof::model

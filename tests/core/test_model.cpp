@@ -1,0 +1,98 @@
+#include "core/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace eroof::model {
+namespace {
+
+EnergyModel sample_model() {
+  EnergyModel m;
+  m.c0 = {29e-12, 139e-12, 60e-12, 35e-12, 90e-12, 377e-12};
+  m.c1_proc = 2.7;
+  m.c1_mem = 3.8;
+  m.p_misc = 0.15;
+  return m;
+}
+
+TEST(Model, CoeffMappingCoversAllOpClasses) {
+  using hw::OpClass;
+  EXPECT_EQ(coeff_for(OpClass::kSpFlop), Coeff::kSp);
+  EXPECT_EQ(coeff_for(OpClass::kDpFlop), Coeff::kDp);
+  EXPECT_EQ(coeff_for(OpClass::kIntOp), Coeff::kInt);
+  EXPECT_EQ(coeff_for(OpClass::kSmAccess), Coeff::kSm);
+  EXPECT_EQ(coeff_for(OpClass::kL1Access), Coeff::kSm);  // priced like SM
+  EXPECT_EQ(coeff_for(OpClass::kL2Access), Coeff::kL2);
+  EXPECT_EQ(coeff_for(OpClass::kDramAccess), Coeff::kDram);
+}
+
+TEST(Model, OnlyDramIsMemoryDomain) {
+  EXPECT_TRUE(is_core_coeff(Coeff::kSp));
+  EXPECT_TRUE(is_core_coeff(Coeff::kL2));
+  EXPECT_FALSE(is_core_coeff(Coeff::kDram));
+}
+
+TEST(Model, OpEnergyIsVSquaredScaled) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(852, 924);  // Vp = 1.030, Vm = 1.010
+  EXPECT_NEAR(m.op_energy_j(hw::OpClass::kSpFlop, s), 29e-12 * 1.030 * 1.030,
+              1e-18);
+  EXPECT_NEAR(m.op_energy_j(hw::OpClass::kDramAccess, s),
+              377e-12 * 1.010 * 1.010, 1e-18);
+}
+
+TEST(Model, ConstantPowerEquation8) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(396, 204);  // Vp = 0.770, Vm = 0.800
+  EXPECT_NEAR(m.constant_power_w(s), 2.7 * 0.770 + 3.8 * 0.800 + 0.15, 1e-12);
+}
+
+TEST(Model, PredictEnergyEquation9Decomposition) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(648, 528);
+  hw::OpCounts ops;
+  ops[hw::OpClass::kSpFlop] = 1e9;
+  ops[hw::OpClass::kDramAccess] = 1e8;
+  const double t = 0.25;
+  const double total = m.predict_energy_j(ops, s, t);
+  const double dynamic = m.predict_dynamic_energy_j(ops, s);
+  EXPECT_NEAR(total, dynamic + m.constant_power_w(s) * t, 1e-12);
+  EXPECT_NEAR(dynamic,
+              1e9 * m.op_energy_j(hw::OpClass::kSpFlop, s) +
+                  1e8 * m.op_energy_j(hw::OpClass::kDramAccess, s),
+              1e-12);
+}
+
+TEST(Model, ZeroOpsGivesPureConstantEnergy) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(852, 924);
+  const hw::OpCounts none;
+  EXPECT_NEAR(m.predict_energy_j(none, s, 2.0),
+              2.0 * m.constant_power_w(s), 1e-12);
+}
+
+TEST(Model, EnergyMonotoneInTime) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(852, 924);
+  hw::OpCounts ops;
+  ops[hw::OpClass::kIntOp] = 1e9;
+  EXPECT_GT(m.predict_energy_j(ops, s, 2.0), m.predict_energy_j(ops, s, 1.0));
+}
+
+TEST(Model, NonPositiveTimeThrows) {
+  const EnergyModel m = sample_model();
+  const hw::OpCounts ops;
+  EXPECT_THROW(m.predict_energy_j(ops, hw::setting(852, 924), 0.0),
+               util::ContractError);
+}
+
+TEST(Model, L1PricedAtSmRate) {
+  const EnergyModel m = sample_model();
+  const auto s = hw::setting(852, 924);
+  EXPECT_DOUBLE_EQ(m.op_energy_j(hw::OpClass::kL1Access, s),
+                   m.op_energy_j(hw::OpClass::kSmAccess, s));
+}
+
+}  // namespace
+}  // namespace eroof::model

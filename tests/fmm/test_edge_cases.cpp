@@ -1,0 +1,116 @@
+// Degenerate and adversarial inputs the library must survive.
+#include <gtest/gtest.h>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+TEST(EdgeCases, AllPointsCoincide) {
+  // Degenerate bounding box; K(x,x) == 0 makes all potentials zero.
+  const std::vector<Vec3> pts(64, Vec3{0.25, 0.5, 0.75});
+  const std::vector<double> dens(64, 1.0);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16, .max_level = 4},
+                  FmmConfig{.p = 4});
+  for (const double v : ev.evaluate(dens)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(EdgeCases, DuplicatePointsAmongDistinctOnes) {
+  util::Rng rng(70);
+  auto pts = uniform_cube(512, rng);
+  // Duplicate a quarter of the points exactly.
+  for (std::size_t i = 0; i < 128; ++i) pts.push_back(pts[i]);
+  const auto dens = random_densities(pts.size(), rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16, .max_level = 6},
+                  FmmConfig{.p = 4});
+  const auto phi = ev.evaluate(dens);
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 5e-3);
+}
+
+TEST(EdgeCases, MaxLevelCapsDepthOnPathologicalClusters) {
+  // A cluster so tight that Q can never be satisfied: max_level must stop
+  // the recursion and the evaluation must stay correct (U handles the
+  // overfull leaves directly).
+  util::Rng rng(71);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 512; ++i)
+    pts.push_back({0.5 + 1e-9 * rng.normal(), 0.5 + 1e-9 * rng.normal(),
+                   0.5 + 1e-9 * rng.normal()});
+  for (int i = 0; i < 512; ++i)
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  const auto dens = random_densities(pts.size(), rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 8, .max_level = 5},
+                  FmmConfig{.p = 4});
+  EXPECT_LE(ev.tree().max_depth(), 5);
+  const auto phi = ev.evaluate(dens);
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 5e-3);
+}
+
+TEST(EdgeCases, QOfOneBuildsDeepTreeAndStaysCorrect) {
+  util::Rng rng(72);
+  const auto pts = uniform_cube(256, rng);
+  const auto dens = random_densities(256, rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 1, .max_level = 8},
+                  FmmConfig{.p = 4});
+  EXPECT_GT(ev.tree().max_depth(), 2);
+  const auto phi = ev.evaluate(dens);
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 5e-3);
+}
+
+TEST(EdgeCases, CollinearPointsAlongAnAxis) {
+  // Zero extent in two dimensions.
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 300; ++i) pts.push_back({i / 299.0, 0.0, 0.0});
+  util::Rng rng(73);
+  const auto dens = random_densities(pts.size(), rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16},
+                  FmmConfig{.p = 5});
+  const auto phi = ev.evaluate(dens);
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 1e-3);
+}
+
+TEST(EdgeCases, HugeCoordinatesFarFromOrigin) {
+  util::Rng rng(74);
+  auto pts = uniform_cube(1024, rng);
+  for (auto& p : pts) p = p + Vec3{1e6, -1e6, 5e5};
+  const auto dens = random_densities(pts.size(), rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 32},
+                  FmmConfig{.p = 5});
+  const auto phi = ev.evaluate(dens);
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 1e-3);
+}
+
+TEST(EdgeCases, SinglePoint) {
+  const std::vector<Vec3> one{{0.5, 0.5, 0.5}};
+  const std::vector<double> d{3.0};
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, one, {}, FmmConfig{.p = 4});
+  const auto phi = ev.evaluate(d);
+  ASSERT_EQ(phi.size(), 1u);
+  EXPECT_DOUBLE_EQ(phi[0], 0.0);
+}
+
+TEST(EdgeCases, EmptyPointSetRejected) {
+  const std::vector<Vec3> none;
+  const LaplaceKernel kernel;
+  EXPECT_THROW(FmmEvaluator(kernel, none, {}, FmmConfig{.p = 4}),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

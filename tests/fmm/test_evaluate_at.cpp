@@ -1,0 +1,86 @@
+// Distinct target/source sets (eq. 10's general form).
+#include <gtest/gtest.h>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+TEST(EvaluateAt, MatchesDirectSumOnDisjointSets) {
+  util::Rng rng(61);
+  const auto sources = uniform_cube(4096, rng);
+  const auto targets = sphere_surface(1024, rng);
+  const auto dens = random_densities(4096, rng);
+  const LaplaceKernel kernel;
+
+  const auto phi = FmmEvaluator::evaluate_at(kernel, targets, sources, dens,
+                                             {.max_points_per_box = 32},
+                                             FmmConfig{.p = 5});
+  ASSERT_EQ(phi.size(), targets.size());
+  const auto ref = direct_sum(kernel, targets, sources, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 1e-3);
+}
+
+TEST(EvaluateAt, GridObservationPlane) {
+  // A classic use: potentials on a regular observation grid from scattered
+  // charges.
+  util::Rng rng(62);
+  const auto sources = gaussian_clusters(4096, 3, 0.04, rng);
+  const auto dens = random_densities(4096, rng);
+  std::vector<Vec3> grid;
+  for (int i = 0; i < 16; ++i)
+    for (int j = 0; j < 16; ++j)
+      grid.push_back({i / 15.0, j / 15.0, 0.5});
+
+  const LaplaceKernel kernel;
+  const auto phi = FmmEvaluator::evaluate_at(kernel, grid, sources, dens,
+                                             {.max_points_per_box = 32},
+                                             FmmConfig{.p = 5});
+  const auto ref = direct_sum(kernel, grid, sources, dens);
+  EXPECT_LT(rel_l2_error(phi, ref), 1e-3);
+}
+
+TEST(EvaluateAt, TargetsCoincidingWithSourcesSkipSelfTerm) {
+  // Target set == source set must equal the usual evaluate() (which also
+  // excludes self-interactions).
+  util::Rng rng(63);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  const LaplaceKernel kernel;
+
+  const auto via_at = FmmEvaluator::evaluate_at(
+      kernel, pts, pts, dens, {.max_points_per_box = 32}, FmmConfig{.p = 4});
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 32}, FmmConfig{.p = 4});
+  const auto via_eval = ev.evaluate(dens);
+  // The trees differ (2N points vs N), so agreement is at method accuracy.
+  EXPECT_LT(rel_l2_error(via_at, via_eval), 5e-3);
+}
+
+TEST(EvaluateAt, SingleTargetFarAway) {
+  util::Rng rng(64);
+  const auto sources = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  const std::vector<Vec3> target{{25.0, 25.0, 25.0}};
+  const LaplaceKernel kernel;
+  const auto phi = FmmEvaluator::evaluate_at(kernel, target, sources, dens,
+                                             {.max_points_per_box = 32},
+                                             FmmConfig{.p = 5});
+  const auto ref = direct_sum(kernel, target, sources, dens);
+  EXPECT_NEAR(phi[0], ref[0], 1e-5 * std::abs(ref[0]) + 1e-12);
+}
+
+TEST(EvaluateAt, MismatchedDensitiesThrow) {
+  const std::vector<Vec3> sources{{0.1, 0.1, 0.1}, {0.2, 0.2, 0.2}};
+  const std::vector<Vec3> targets{{0.5, 0.5, 0.5}};
+  const std::vector<double> wrong{1.0};
+  const LaplaceKernel kernel;
+  EXPECT_THROW(FmmEvaluator::evaluate_at(kernel, targets, sources, wrong),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

@@ -1,0 +1,82 @@
+#include "fmm/geometry.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eroof::fmm {
+namespace {
+
+TEST(Vec3, Arithmetic) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  const Vec3 s = a + b;
+  EXPECT_DOUBLE_EQ(s.x, 5);
+  EXPECT_DOUBLE_EQ(s.y, 7);
+  EXPECT_DOUBLE_EQ(s.z, 9);
+  const Vec3 d = b - a;
+  EXPECT_DOUBLE_EQ(d.x, 3);
+  const Vec3 t = a * 2.0;
+  EXPECT_DOUBLE_EQ(t.z, 6);
+  EXPECT_DOUBLE_EQ((2.0 * a).z, 6);
+}
+
+TEST(Vec3, DotAndNorm) {
+  const Vec3 a{1, 2, 2};
+  EXPECT_DOUBLE_EQ(a.dot(a), 9.0);
+  EXPECT_DOUBLE_EQ(a.norm2(), 3.0);
+  EXPECT_DOUBLE_EQ(a.dot(Vec3{0, 0, 0}), 0.0);
+}
+
+TEST(Box, ContainsBoundaryInclusive) {
+  const Box b{{0, 0, 0}, 1.0};
+  EXPECT_TRUE(b.contains({0, 0, 0}));
+  EXPECT_TRUE(b.contains({1, 1, 1}));
+  EXPECT_TRUE(b.contains({-1, 0.5, -0.2}));
+  EXPECT_FALSE(b.contains({1.001, 0, 0}));
+}
+
+TEST(Box, ChildOctantsTileTheParent) {
+  const Box b{{2, 3, 4}, 1.0};
+  for (unsigned o = 0; o < 8; ++o) {
+    const Box c = b.child(o);
+    EXPECT_DOUBLE_EQ(c.half, 0.5);
+    EXPECT_TRUE(b.contains(c.center));
+    // Octant bit i selects the + side of axis i.
+    EXPECT_DOUBLE_EQ(c.center.x, b.center.x + ((o & 1u) ? 0.5 : -0.5));
+    EXPECT_DOUBLE_EQ(c.center.y, b.center.y + ((o & 2u) ? 0.5 : -0.5));
+    EXPECT_DOUBLE_EQ(c.center.z, b.center.z + ((o & 4u) ? 0.5 : -0.5));
+  }
+}
+
+TEST(Box, ChebyshevCenterDistance) {
+  const Box a{{0, 0, 0}, 1.0};
+  const Box b{{3, 1, -2}, 1.0};
+  EXPECT_DOUBLE_EQ(center_distance_inf(a, b), 3.0);
+}
+
+TEST(Box, AdjacencySameSize) {
+  const Box a{{0, 0, 0}, 1.0};
+  EXPECT_TRUE(boxes_adjacent(a, Box{{2, 0, 0}, 1.0}));   // face
+  EXPECT_TRUE(boxes_adjacent(a, Box{{2, 2, 0}, 1.0}));   // edge
+  EXPECT_TRUE(boxes_adjacent(a, Box{{2, 2, 2}, 1.0}));   // corner
+  EXPECT_FALSE(boxes_adjacent(a, Box{{4, 0, 0}, 1.0}));  // gap
+  EXPECT_TRUE(boxes_adjacent(a, a));                     // overlap counts
+}
+
+TEST(Box, AdjacencyAcrossLevels) {
+  const Box coarse{{0, 0, 0}, 2.0};
+  const Box fine_touching{{2.5, 0, 0}, 0.5};
+  const Box fine_separated{{3.5, 0, 0}, 0.5};
+  EXPECT_TRUE(boxes_adjacent(coarse, fine_touching));
+  EXPECT_FALSE(boxes_adjacent(coarse, fine_separated));
+}
+
+TEST(Box, AdjacencyToleratesRoundoff) {
+  // Boxes produced by repeated halving touch to within roundoff; the
+  // predicate must not reject them.
+  const Box a{{0, 0, 0}, 1.0 / 3.0};
+  const Box b{{2.0 / 3.0 + 1e-16, 0, 0}, 1.0 / 3.0};
+  EXPECT_TRUE(boxes_adjacent(a, b));
+}
+
+}  // namespace
+}  // namespace eroof::fmm

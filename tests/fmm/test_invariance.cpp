@@ -1,0 +1,113 @@
+// Physical-invariance property tests of the FMM: potentials must be
+// invariant under rigid translation of the whole system, and for the
+// homogeneous Laplace kernel they must scale exactly with the system size.
+#include <gtest/gtest.h>
+
+#include "fmm/direct.hpp"
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+class Translation : public ::testing::TestWithParam<Vec3> {};
+
+TEST_P(Translation, PotentialsAreTranslationInvariant) {
+  const Vec3 shift = GetParam();
+  util::Rng rng(55);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  const LaplaceKernel kernel;
+
+  FmmEvaluator base(kernel, pts, {.max_points_per_box = 32},
+                    FmmConfig{.p = 5});
+  const auto phi0 = base.evaluate(dens);
+
+  std::vector<Vec3> moved(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) moved[i] = pts[i] + shift;
+  FmmEvaluator shifted(kernel, moved, {.max_points_per_box = 32},
+                       FmmConfig{.p = 5});
+  const auto phi1 = shifted.evaluate(dens);
+
+  // Both runs are FMM approximations with the same parameters; their
+  // difference is bounded by twice the method error.
+  EXPECT_LT(rel_l2_error(phi1, phi0), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Shifts, Translation,
+                         ::testing::Values(Vec3{10, 0, 0}, Vec3{0, -3, 7},
+                                           Vec3{100, 100, 100},
+                                           Vec3{-0.5, 0.25, -0.125}));
+
+class Scaling : public ::testing::TestWithParam<double> {};
+
+TEST_P(Scaling, LaplacePotentialScalesAsInverseLength) {
+  // K(ax, ay) = K(x, y)/a for Laplace, so scaling all coordinates by `a`
+  // scales every potential by 1/a.
+  const double a = GetParam();
+  util::Rng rng(56);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  const LaplaceKernel kernel;
+
+  FmmEvaluator base(kernel, pts, {.max_points_per_box = 32},
+                    FmmConfig{.p = 5});
+  const auto phi0 = base.evaluate(dens);
+
+  std::vector<Vec3> scaled(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) scaled[i] = pts[i] * a;
+  FmmEvaluator big(kernel, scaled, {.max_points_per_box = 32},
+                   FmmConfig{.p = 5});
+  auto phi1 = big.evaluate(dens);
+  for (auto& v : phi1) v *= a;
+
+  EXPECT_LT(rel_l2_error(phi1, phi0), 2e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, Scaling,
+                         ::testing::Values(0.01, 0.5, 3.0, 1000.0));
+
+TEST(Invariance, PermutingInputOrderPermutesOutputs) {
+  // The evaluator must be independent of the caller's point ordering.
+  util::Rng rng(57);
+  const auto pts = uniform_cube(1024, rng);
+  const auto dens = random_densities(1024, rng);
+  const LaplaceKernel kernel;
+
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 32}, FmmConfig{.p = 4});
+  const auto phi = ev.evaluate(dens);
+
+  // Reverse the input order.
+  std::vector<Vec3> rev(pts.rbegin(), pts.rend());
+  std::vector<double> rev_dens(dens.rbegin(), dens.rend());
+  FmmEvaluator ev_rev(kernel, rev, {.max_points_per_box = 32},
+                      FmmConfig{.p = 4});
+  const auto phi_rev = ev_rev.evaluate(rev_dens);
+
+  for (std::size_t i = 0; i < phi.size(); ++i)
+    EXPECT_NEAR(phi_rev[phi.size() - 1 - i], phi[i],
+                1e-9 * (std::abs(phi[i]) + 1.0));
+}
+
+TEST(Invariance, ZeroDensityGivesZeroPotential) {
+  util::Rng rng(58);
+  const auto pts = uniform_cube(1024, rng);
+  const std::vector<double> zeros(1024, 0.0);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 32}, FmmConfig{.p = 4});
+  for (const double v : ev.evaluate(zeros)) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Invariance, UnitDensitiesGivePositivePotentials) {
+  // All-positive sources and a positive kernel: every potential positive.
+  util::Rng rng(59);
+  const auto pts = uniform_cube(2048, rng);
+  const std::vector<double> ones(2048, 1.0);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 32}, FmmConfig{.p = 5});
+  for (const double v : ev.evaluate(ones)) EXPECT_GT(v, 0.0);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

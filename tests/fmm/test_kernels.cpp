@@ -1,0 +1,93 @@
+#include "fmm/kernel.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numbers>
+
+namespace eroof::fmm {
+namespace {
+
+TEST(Kernel, LaplaceMatchesClosedForm) {
+  const LaplaceKernel k;
+  const Vec3 x{1, 0, 0};
+  const Vec3 y{0, 0, 0};
+  EXPECT_NEAR(k.eval(x, y), 1.0 / (4.0 * std::numbers::pi), 1e-15);
+  const Vec3 z{0, 2, 0};
+  EXPECT_NEAR(k.eval(z, y), 1.0 / (8.0 * std::numbers::pi), 1e-15);
+}
+
+TEST(Kernel, LaplaceSelfInteractionIsZero) {
+  const LaplaceKernel k;
+  const Vec3 x{0.3, 0.4, 0.5};
+  EXPECT_DOUBLE_EQ(k.eval(x, x), 0.0);
+}
+
+TEST(Kernel, LaplaceIsSymmetric) {
+  const LaplaceKernel k;
+  const Vec3 x{0.1, 0.9, 0.4};
+  const Vec3 y{0.7, 0.2, 0.6};
+  EXPECT_DOUBLE_EQ(k.eval(x, y), k.eval(y, x));
+}
+
+TEST(Kernel, LaplaceHomogeneousDegreeMinusOne) {
+  const LaplaceKernel k;
+  double degree = 0;
+  ASSERT_TRUE(k.homogeneous(&degree));
+  EXPECT_DOUBLE_EQ(degree, -1.0);
+  const Vec3 x{0.2, 0.3, 0.4};
+  const Vec3 y{0.9, 0.1, 0.5};
+  EXPECT_NEAR(k.eval(x * 2.0, y * 2.0), 0.5 * k.eval(x, y), 1e-15);
+}
+
+TEST(Kernel, YukawaDecaysFasterThanLaplace) {
+  const LaplaceKernel lap;
+  const YukawaKernel yuk(3.0);
+  const Vec3 o{0, 0, 0};
+  const Vec3 near{0.1, 0, 0};
+  const Vec3 far{3.0, 0, 0};
+  EXPECT_LT(yuk.eval(far, o) / yuk.eval(near, o),
+            lap.eval(far, o) / lap.eval(near, o));
+}
+
+TEST(Kernel, YukawaReducesToLaplaceAtZeroScreening) {
+  const LaplaceKernel lap;
+  const YukawaKernel yuk(0.0);
+  const Vec3 x{0.4, 0.5, 0.6};
+  const Vec3 y{0.1, 0.1, 0.1};
+  EXPECT_NEAR(yuk.eval(x, y), lap.eval(x, y), 1e-15);
+}
+
+TEST(Kernel, GaussianIsOneAtCoincidence) {
+  const GaussianKernel g(0.5);
+  const Vec3 x{0.3, 0.3, 0.3};
+  // Gaussian is smooth: no self-interaction exclusion needed, K(x,x) = 1.
+  EXPECT_DOUBLE_EQ(g.eval(x, x), 1.0);
+}
+
+TEST(Kernel, GaussianMatchesClosedForm) {
+  const GaussianKernel g(1.0);
+  const Vec3 x{1, 1, 1};
+  const Vec3 y{0, 0, 0};
+  EXPECT_NEAR(g.eval(x, y), std::exp(-1.5), 1e-15);
+}
+
+TEST(Kernel, MatrixHasEvalEntries) {
+  const LaplaceKernel k;
+  const std::vector<Vec3> targets{{0, 0, 0}, {1, 0, 0}};
+  const std::vector<Vec3> sources{{0, 1, 0}, {0, 0, 2}, {3, 0, 0}};
+  const la::Matrix m = k.matrix(targets, sources);
+  ASSERT_EQ(m.rows(), 2u);
+  ASSERT_EQ(m.cols(), 3u);
+  for (std::size_t i = 0; i < 2; ++i)
+    for (std::size_t j = 0; j < 3; ++j)
+      EXPECT_DOUBLE_EQ(m(i, j), k.eval(targets[i], sources[j]));
+}
+
+TEST(Kernel, FlopCostsArePositive) {
+  EXPECT_GT(LaplaceKernel{}.flops_per_eval(), 0);
+  EXPECT_GT(YukawaKernel{1.0}.flops_per_eval(), 0);
+  EXPECT_GT(GaussianKernel{1.0}.flops_per_eval(), 0);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

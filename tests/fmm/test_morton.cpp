@@ -1,0 +1,139 @@
+#include "fmm/morton.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+TEST(Morton, InterleaveRoundTrip) {
+  util::Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = static_cast<std::uint32_t>(rng.below(1u << 20));
+    EXPECT_EQ(deinterleave3(interleave3(v)), v);
+  }
+}
+
+TEST(Morton, InterleaveSpreadsBits) {
+  EXPECT_EQ(interleave3(0b1), 0b1u);
+  EXPECT_EQ(interleave3(0b11), 0b1001u);
+  EXPECT_EQ(interleave3(0b101), 0b1000001u);
+}
+
+TEST(Morton, CoordsRoundTrip) {
+  util::Rng rng(2);
+  for (int i = 0; i < 500; ++i) {
+    const int level = static_cast<int>(rng.below(10)) + 1;
+    const std::uint32_t cells = 1u << level;
+    const auto x = static_cast<std::uint32_t>(rng.below(cells));
+    const auto y = static_cast<std::uint32_t>(rng.below(cells));
+    const auto z = static_cast<std::uint32_t>(rng.below(cells));
+    const MortonKey k = MortonKey::from_coords(level, x, y, z);
+    EXPECT_EQ(k.level(), level);
+    const auto c = k.coords();
+    EXPECT_EQ(c[0], x);
+    EXPECT_EQ(c[1], y);
+    EXPECT_EQ(c[2], z);
+  }
+}
+
+TEST(Morton, ParentHalvesCoordinates) {
+  const MortonKey k = MortonKey::from_coords(5, 13, 26, 7);
+  const MortonKey p = k.parent();
+  EXPECT_EQ(p.level(), 4);
+  const auto c = p.coords();
+  EXPECT_EQ(c[0], 6u);
+  EXPECT_EQ(c[1], 13u);
+  EXPECT_EQ(c[2], 3u);
+}
+
+TEST(Morton, ChildOfParentIsSelf) {
+  const MortonKey k = MortonKey::from_coords(6, 33, 12, 60);
+  EXPECT_EQ(k.parent().child(k.octant_in_parent()), k);
+}
+
+TEST(Morton, AllEightChildrenAreDistinctAndReturnToParent) {
+  const MortonKey p = MortonKey::from_coords(3, 4, 2, 7);
+  std::vector<MortonKey> kids;
+  for (unsigned o = 0; o < 8; ++o) {
+    const MortonKey c = p.child(o);
+    EXPECT_EQ(c.level(), 4);
+    EXPECT_EQ(c.parent(), p);
+    EXPECT_EQ(c.octant_in_parent(), o);
+    kids.push_back(c);
+  }
+  std::sort(kids.begin(), kids.end());
+  EXPECT_EQ(std::unique(kids.begin(), kids.end()), kids.end());
+}
+
+TEST(Morton, FromPointSelectsCorrectCell) {
+  const MortonKey k = MortonKey::from_point(2, 0.1, 0.6, 0.9);
+  const auto c = k.coords();
+  EXPECT_EQ(c[0], 0u);
+  EXPECT_EQ(c[1], 2u);
+  EXPECT_EQ(c[2], 3u);
+}
+
+TEST(Morton, FromPointRejectsOutOfRange) {
+  EXPECT_THROW(MortonKey::from_point(3, 1.0, 0.5, 0.5), util::ContractError);
+  EXPECT_THROW(MortonKey::from_point(3, -0.1, 0.5, 0.5), util::ContractError);
+}
+
+TEST(Morton, InteriorBoxHas26Neighbors) {
+  const MortonKey k = MortonKey::from_coords(3, 4, 4, 4);
+  EXPECT_EQ(k.neighbors().size(), 26u);
+}
+
+TEST(Morton, CornerBoxHas7Neighbors) {
+  const MortonKey k = MortonKey::from_coords(3, 0, 0, 0);
+  EXPECT_EQ(k.neighbors().size(), 7u);
+}
+
+TEST(Morton, FaceBoxHas17Neighbors) {
+  const MortonKey k = MortonKey::from_coords(3, 0, 4, 4);
+  EXPECT_EQ(k.neighbors().size(), 17u);
+}
+
+TEST(Morton, NeighborsAreAtChebyshevDistanceOne) {
+  const MortonKey k = MortonKey::from_coords(4, 7, 3, 9);
+  const auto c0 = k.coords();
+  for (const MortonKey n : k.neighbors()) {
+    EXPECT_EQ(n.level(), 4);
+    const auto c = n.coords();
+    int d = 0;
+    for (int a = 0; a < 3; ++a)
+      d = std::max(d, std::abs(static_cast<int>(c[a]) -
+                               static_cast<int>(c0[a])));
+    EXPECT_EQ(d, 1);
+  }
+}
+
+TEST(Morton, OrderingGroupsSiblingsTogether) {
+  // All 8 children of one parent sort contiguously between any keys of
+  // neighboring parents (Z-order locality).
+  const MortonKey p = MortonKey::from_coords(2, 1, 1, 1);
+  std::vector<MortonKey> keys;
+  for (unsigned o = 0; o < 8; ++o) keys.push_back(p.child(o));
+  const MortonKey other = MortonKey::from_coords(2, 2, 1, 1).child(0);
+  keys.push_back(other);
+  std::sort(keys.begin(), keys.end());
+  // `other` must not interleave the siblings: it's either before all or
+  // after all of them.
+  int pos = -1;
+  for (std::size_t i = 0; i < keys.size(); ++i)
+    if (keys[i] == other) pos = static_cast<int>(i);
+  EXPECT_TRUE(pos == 0 || pos == 8);
+}
+
+TEST(Morton, RootHasNoParent) {
+  const MortonKey root = MortonKey::from_coords(0, 0, 0, 0);
+  EXPECT_THROW(root.parent(), util::ContractError);
+  EXPECT_EQ(root.level(), 0);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

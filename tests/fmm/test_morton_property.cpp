@@ -1,0 +1,118 @@
+// Randomized cross-checks of the Morton-key machinery against brute force.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "fmm/morton.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+TEST(MortonProperty, NeighborsMatchBruteForceEnumeration) {
+  util::Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int level = 1 + static_cast<int>(rng.below(8));
+    const std::uint32_t cells = 1u << level;
+    const auto x = static_cast<std::uint32_t>(rng.below(cells));
+    const auto y = static_cast<std::uint32_t>(rng.below(cells));
+    const auto z = static_cast<std::uint32_t>(rng.below(cells));
+    const MortonKey k = MortonKey::from_coords(level, x, y, z);
+
+    std::vector<MortonKey> expected;
+    for (int dx = -1; dx <= 1; ++dx)
+      for (int dy = -1; dy <= 1; ++dy)
+        for (int dz = -1; dz <= 1; ++dz) {
+          if (!dx && !dy && !dz) continue;
+          const std::int64_t nx = static_cast<std::int64_t>(x) + dx;
+          const std::int64_t ny = static_cast<std::int64_t>(y) + dy;
+          const std::int64_t nz = static_cast<std::int64_t>(z) + dz;
+          if (nx < 0 || ny < 0 || nz < 0 || nx >= cells || ny >= cells ||
+              nz >= cells)
+            continue;
+          expected.push_back(MortonKey::from_coords(
+              level, static_cast<std::uint32_t>(nx),
+              static_cast<std::uint32_t>(ny),
+              static_cast<std::uint32_t>(nz)));
+        }
+    auto actual = k.neighbors();
+    std::sort(expected.begin(), expected.end());
+    std::sort(actual.begin(), actual.end());
+    ASSERT_EQ(actual.size(), expected.size());
+    for (std::size_t i = 0; i < actual.size(); ++i)
+      EXPECT_EQ(actual[i], expected[i]);
+  }
+}
+
+TEST(MortonProperty, SortOrderMatchesInterleavedBits) {
+  // Z-order comparison of two same-level keys must equal comparison of
+  // their bit-interleaved coordinates.
+  util::Rng rng(100);
+  for (int trial = 0; trial < 500; ++trial) {
+    const int level = 1 + static_cast<int>(rng.below(10));
+    const std::uint32_t cells = 1u << level;
+    const auto ka = MortonKey::from_coords(
+        level, static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)));
+    const auto kb = MortonKey::from_coords(
+        level, static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)));
+    const auto ca = ka.coords();
+    const auto cb = kb.coords();
+    const std::uint64_t za = interleave3(ca[0]) | (interleave3(ca[1]) << 1) |
+                             (interleave3(ca[2]) << 2);
+    const std::uint64_t zb = interleave3(cb[0]) | (interleave3(cb[1]) << 1) |
+                             (interleave3(cb[2]) << 2);
+    EXPECT_EQ(ka < kb, za < zb);
+  }
+}
+
+TEST(MortonProperty, AncestorChainsTerminateAtRoot) {
+  util::Rng rng(101);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int level = 1 + static_cast<int>(rng.below(12));
+    const std::uint32_t cells = 1u << level;
+    MortonKey k = MortonKey::from_coords(
+        level, static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)));
+    int steps = 0;
+    while (k.level() > 0) {
+      const MortonKey p = k.parent();
+      // Parent coords contain the child's (halved).
+      const auto ck = k.coords();
+      const auto cp = p.coords();
+      for (int a = 0; a < 3; ++a) EXPECT_EQ(cp[a], ck[a] >> 1);
+      k = p;
+      ++steps;
+    }
+    EXPECT_EQ(steps, level);
+  }
+}
+
+TEST(MortonProperty, ChildNeighborsStayWithinParentNeighborhood) {
+  // Every neighbor of a child is either inside the parent or inside one of
+  // the parent's neighbors -- the geometric fact the V-list construction
+  // relies on.
+  util::Rng rng(102);
+  for (int trial = 0; trial < 100; ++trial) {
+    const int level = 2 + static_cast<int>(rng.below(6));
+    const std::uint32_t cells = 1u << level;
+    const MortonKey k = MortonKey::from_coords(
+        level, static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)),
+        static_cast<std::uint32_t>(rng.below(cells)));
+    const MortonKey parent = k.parent();
+    std::vector<MortonKey> allowed = parent.neighbors();
+    allowed.push_back(parent);
+    for (const MortonKey n : k.neighbors()) {
+      const MortonKey np = n.parent();
+      EXPECT_NE(std::find(allowed.begin(), allowed.end(), np), allowed.end());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace eroof::fmm

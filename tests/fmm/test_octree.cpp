@@ -1,0 +1,188 @@
+#include "fmm/octree.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+Octree make_tree(std::size_t n, std::uint32_t q, std::uint64_t seed,
+                 bool clustered = false) {
+  util::Rng rng(seed);
+  const auto pts = clustered ? gaussian_clusters(n, 4, 0.02, rng)
+                             : uniform_cube(n, rng);
+  return Octree(pts, {.max_points_per_box = q});
+}
+
+TEST(Octree, EveryPointLandsInExactlyOneLeaf) {
+  const Octree t = make_tree(2000, 32, 1);
+  std::vector<int> covered(t.points().size(), 0);
+  for (const int b : t.leaves()) {
+    const Node& n = t.node(b);
+    for (std::uint32_t i = n.point_begin; i < n.point_end; ++i) ++covered[i];
+  }
+  for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(Octree, LeafPointsLieInsideTheirBox) {
+  const Octree t = make_tree(1500, 16, 2);
+  const auto pts = t.points();
+  for (const int b : t.leaves()) {
+    const Node& n = t.node(b);
+    for (std::uint32_t i = n.point_begin; i < n.point_end; ++i)
+      EXPECT_TRUE(n.box.contains(pts[i]))
+          << "point " << i << " outside its leaf";
+  }
+}
+
+TEST(Octree, LeavesRespectQ) {
+  const Octree t = make_tree(3000, 25, 3);
+  for (const int b : t.leaves())
+    EXPECT_LE(t.node(b).num_points(), 25u);
+}
+
+TEST(Octree, InternalRangesEqualUnionOfChildren) {
+  const Octree t = make_tree(2000, 32, 4);
+  for (const auto& n : t.nodes()) {
+    if (n.leaf) continue;
+    std::uint32_t total = 0;
+    for (int c : n.children)
+      if (c >= 0) total += t.node(c).num_points();
+    EXPECT_EQ(total, n.num_points());
+  }
+}
+
+TEST(Octree, ChildBoxesNestInParent) {
+  const Octree t = make_tree(1000, 16, 5);
+  for (const auto& n : t.nodes()) {
+    if (n.parent < 0) continue;
+    const Node& p = t.node(n.parent);
+    EXPECT_NEAR(n.box.half * 2.0, p.box.half, 1e-12);
+    EXPECT_TRUE(p.box.contains(n.box.center));
+    EXPECT_EQ(n.level(), p.level() + 1);
+  }
+}
+
+TEST(Octree, KeysMatchGeometry) {
+  const Octree t = make_tree(1000, 16, 6);
+  const Box& dom = t.domain();
+  for (const auto& n : t.nodes()) {
+    const auto c = n.key.coords();
+    const double cells = std::exp2(n.level());
+    const double expect_x =
+        dom.center.x - dom.half + (2.0 * c[0] + 1.0) * dom.half / cells;
+    EXPECT_NEAR(n.box.center.x, expect_x, 1e-9 * dom.half);
+  }
+}
+
+TEST(Octree, FindLocatesEveryNode) {
+  const Octree t = make_tree(1000, 16, 7);
+  for (std::size_t i = 0; i < t.nodes().size(); ++i)
+    EXPECT_EQ(t.find(t.nodes()[i].key), static_cast<int>(i));
+}
+
+TEST(Octree, FindDeepestAncestorFallsBack) {
+  const Octree t = make_tree(500, 64, 8);
+  // A key below an existing leaf resolves to that leaf.
+  const int leaf = t.leaves().front();
+  const MortonKey below = t.node(leaf).key.child(0).child(0);
+  EXPECT_EQ(t.find_deepest_ancestor(below), leaf);
+}
+
+TEST(Octree, TwoToOneBalanceHolds) {
+  // Clustered points force depth differences; balance must cap them
+  // between adjacent leaves.
+  const Octree t = make_tree(4000, 16, 9, /*clustered=*/true);
+  for (const int a : t.leaves()) {
+    for (const int b : t.leaves()) {
+      if (a == b) continue;
+      const Node& na = t.node(a);
+      const Node& nb = t.node(b);
+      if (!boxes_adjacent(na.box, nb.box)) continue;
+      EXPECT_LE(std::abs(na.level() - nb.level()), 1)
+          << "leaves " << a << " and " << b << " violate 2:1 balance";
+    }
+  }
+}
+
+TEST(Octree, UnbalancedModeCanViolateBalance) {
+  // Sanity check that balance_2to1 actually does something: with it off,
+  // clustered inputs typically produce >1 level jumps somewhere.
+  util::Rng rng(10);
+  const auto pts = gaussian_clusters(4000, 2, 0.01, rng);
+  const Octree t(pts, {.max_points_per_box = 16, .balance_2to1 = false});
+  int max_jump = 0;
+  for (const int a : t.leaves())
+    for (const int b : t.leaves()) {
+      const Node& na = t.node(a);
+      const Node& nb = t.node(b);
+      if (boxes_adjacent(na.box, nb.box))
+        max_jump = std::max(max_jump, std::abs(na.level() - nb.level()));
+    }
+  EXPECT_GT(max_jump, 1);
+}
+
+TEST(Octree, UniformDepthBuildsCompleteTree) {
+  util::Rng rng(11);
+  const auto pts = uniform_cube(4096, rng);
+  const Octree t(pts, {.max_points_per_box = 64,
+                       .uniform_depth = Octree::uniform_depth_for(4096, 64)});
+  // All leaves at the same level.
+  for (const int b : t.leaves())
+    EXPECT_EQ(t.node(b).level(), t.max_depth());
+}
+
+TEST(Octree, UniformDepthForComputesCeilLog8) {
+  EXPECT_EQ(Octree::uniform_depth_for(64, 64), 0);
+  EXPECT_EQ(Octree::uniform_depth_for(65, 64), 1);
+  EXPECT_EQ(Octree::uniform_depth_for(512 * 64, 64), 3);
+  EXPECT_EQ(Octree::uniform_depth_for(512 * 64 + 1, 64), 4);
+}
+
+TEST(Octree, OriginalIndexIsAPermutation) {
+  const Octree t = make_tree(1234, 32, 12);
+  std::vector<bool> seen(1234, false);
+  for (const std::uint32_t idx : t.original_index()) {
+    ASSERT_LT(idx, 1234u);
+    EXPECT_FALSE(seen[idx]);
+    seen[idx] = true;
+  }
+}
+
+TEST(Octree, PermutedPointsMatchOriginals) {
+  util::Rng rng(13);
+  const auto pts = uniform_cube(500, rng);
+  const Octree t(pts, {.max_points_per_box = 16});
+  const auto sorted = t.points();
+  const auto orig = t.original_index();
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    EXPECT_DOUBLE_EQ(sorted[i].x, pts[orig[i]].x);
+    EXPECT_DOUBLE_EQ(sorted[i].y, pts[orig[i]].y);
+    EXPECT_DOUBLE_EQ(sorted[i].z, pts[orig[i]].z);
+  }
+}
+
+TEST(Octree, SinglePointMakesRootLeaf) {
+  const std::vector<Vec3> one{{0.5, 0.5, 0.5}};
+  const Octree t(one, {});
+  EXPECT_EQ(t.nodes().size(), 1u);
+  EXPECT_TRUE(t.node(0).leaf);
+  EXPECT_EQ(t.max_depth(), 0);
+}
+
+TEST(Octree, NodesByLevelPartitionsAllNodes) {
+  const Octree t = make_tree(2000, 16, 14);
+  std::size_t total = 0;
+  for (const auto& level : t.nodes_by_level()) total += level.size();
+  EXPECT_EQ(total, t.nodes().size());
+}
+
+TEST(Octree, DomainContainsAllPoints) {
+  const Octree t = make_tree(800, 16, 15);
+  for (const Vec3& p : t.points()) EXPECT_TRUE(t.domain().contains(p));
+}
+
+}  // namespace
+}  // namespace eroof::fmm

@@ -1,0 +1,181 @@
+#include "fmm/operators.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+#include <set>
+
+#include "fmm/direct.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+constexpr int kP = 4;
+
+Operators make_ops(const Kernel& k, int max_level = 3) {
+  return Operators(k, 0.5, max_level, FmmConfig{.p = kP});
+}
+
+TEST(Operators, GridGeometry) {
+  const LaplaceKernel k;
+  const Operators ops = make_ops(k);
+  EXPECT_EQ(ops.grid_m(), 8u);
+  EXPECT_EQ(ops.grid_size(), 512u);
+  EXPECT_EQ(ops.n_surf(), surface_point_count(kP));
+  EXPECT_EQ(ops.surf_to_grid().size(), ops.n_surf());
+}
+
+TEST(Operators, EmbedExtractRoundTrip) {
+  const LaplaceKernel k;
+  const Operators ops = make_ops(k);
+  util::Rng rng(1);
+  std::vector<double> vals(ops.n_surf());
+  for (auto& v : vals) v = rng.uniform(-1, 1);
+  std::vector<fft::cplx> grid(ops.grid_size());
+  ops.embed(vals, grid);
+  std::vector<double> back(ops.n_surf());
+  ops.extract(grid, back);
+  for (std::size_t i = 0; i < vals.size(); ++i)
+    EXPECT_DOUBLE_EQ(back[i], vals[i]);
+}
+
+TEST(Operators, RelIndexRejectsNearField) {
+  EXPECT_FALSE(Operators::rel_index(0, 0, 0).has_value());
+  EXPECT_FALSE(Operators::rel_index(1, -1, 1).has_value());
+  EXPECT_TRUE(Operators::rel_index(2, 0, 0).has_value());
+  EXPECT_TRUE(Operators::rel_index(-3, 3, 1).has_value());
+  EXPECT_FALSE(Operators::rel_index(4, 0, 0).has_value());
+}
+
+TEST(Operators, RelIndexIsInjective) {
+  std::set<std::size_t> seen;
+  int count = 0;
+  for (int dx = -3; dx <= 3; ++dx)
+    for (int dy = -3; dy <= 3; ++dy)
+      for (int dz = -3; dz <= 3; ++dz) {
+        const auto r = Operators::rel_index(dx, dy, dz);
+        if (!r) continue;
+        EXPECT_TRUE(seen.insert(*r).second);
+        ++count;
+      }
+  EXPECT_EQ(count, 316);  // 7^3 - 3^3
+}
+
+TEST(Operators, UpwardEquivalentReproducesFarField) {
+  // Place random sources in a level-2 box, build the upward equivalent
+  // density through UC2E, and compare the equivalent density's field
+  // against the true source field at a well-separated point.
+  const LaplaceKernel kernel;
+  const FmmConfig cfg{.p = 6};
+  const double root_half = 0.5;
+  const Operators ops(kernel, root_half, 2, cfg);
+
+  const double h = root_half / 4.0;  // level-2 box half-width
+  const Box box{{h, h, h}, h};       // a corner box, center arbitrary
+  util::Rng rng(3);
+  std::vector<Vec3> sources(20);
+  for (auto& s : sources)
+    s = {box.center.x + rng.uniform(-h, h), box.center.y + rng.uniform(-h, h),
+         box.center.z + rng.uniform(-h, h)};
+  std::vector<double> dens(20);
+  for (auto& d : dens) d = rng.uniform(-1, 1);
+
+  // P2M: sources -> check potentials -> equivalent density.
+  const auto check_pts = surface_points(cfg.p, box, kRadiusOuter);
+  const auto equiv_pts = surface_points(cfg.p, box, kRadiusInner);
+  std::vector<double> check(check_pts.size(), 0.0);
+  for (std::size_t c = 0; c < check_pts.size(); ++c)
+    for (std::size_t j = 0; j < sources.size(); ++j)
+      check[c] += kernel.eval(check_pts[c], sources[j]) * dens[j];
+  const auto equiv = la::matvec(ops.level(2).uc2e, check);
+
+  // Evaluate both representations at far points (outside 3 box halves).
+  for (const Vec3 far : {Vec3{box.center.x + 8 * h, box.center.y, box.center.z},
+                         Vec3{box.center.x, box.center.y + 10 * h,
+                              box.center.z + 6 * h}}) {
+    double truth = 0;
+    for (std::size_t j = 0; j < sources.size(); ++j)
+      truth += kernel.eval(far, sources[j]) * dens[j];
+    double approx = 0;
+    for (std::size_t j = 0; j < equiv_pts.size(); ++j)
+      approx += kernel.eval(far, equiv_pts[j]) * equiv[j];
+    EXPECT_NEAR(approx, truth, 1e-5 * std::abs(truth) + 1e-12);
+  }
+}
+
+TEST(Operators, FftM2LMatchesDenseTranslation) {
+  // For one V-list offset, the FFT path (embed -> forward -> Hadamard with
+  // the precomputed tensor -> inverse -> extract) must reproduce the dense
+  // kernel-matrix application between equivalent and check surfaces.
+  const LaplaceKernel kernel;
+  const FmmConfig cfg{.p = kP};
+  const double root_half = 0.5;
+  const int level = 2;
+  const Operators ops(kernel, root_half, level, cfg);
+  const double h = root_half / 4.0;
+
+  const Box src_box{{0, 0, 0}, h};
+  const int dx = 3;
+  const int dy = -2;
+  const int dz = 0;
+  const Box tgt_box{{2 * h * dx, 2 * h * dy, 2 * h * dz}, h};
+
+  util::Rng rng(4);
+  std::vector<double> equiv(ops.n_surf());
+  for (auto& v : equiv) v = rng.uniform(-1, 1);
+
+  // Dense reference.
+  const auto src_pts = surface_points(cfg.p, src_box, kRadiusInner);
+  const auto tgt_pts = surface_points(cfg.p, tgt_box, kRadiusInner);
+  std::vector<double> dense(ops.n_surf(), 0.0);
+  for (std::size_t i = 0; i < tgt_pts.size(); ++i)
+    for (std::size_t j = 0; j < src_pts.size(); ++j)
+      dense[i] += kernel.eval(tgt_pts[i], src_pts[j]) * equiv[j];
+
+  // FFT path. The tensor was built for target-minus-source coordinate
+  // deltas, so rel = (dx, dy, dz).
+  std::vector<fft::cplx> grid(ops.grid_size());
+  ops.embed(equiv, grid);
+  ops.plan().forward(grid);
+  const auto rel = Operators::rel_index(dx, dy, dz);
+  ASSERT_TRUE(rel.has_value());
+  const auto& t_hat = ops.level(level).m2l_fft[*rel];
+  ASSERT_EQ(t_hat.size(), ops.grid_size());
+  for (std::size_t i = 0; i < grid.size(); ++i) grid[i] *= t_hat[i];
+  ops.plan().inverse(grid);
+  std::vector<double> fft_result(ops.n_surf());
+  ops.extract(grid, fft_result);
+
+  for (std::size_t i = 0; i < dense.size(); ++i)
+    EXPECT_NEAR(fft_result[i], dense[i], 1e-10 + 1e-10 * std::abs(dense[i]))
+        << "surface index " << i;
+}
+
+TEST(Operators, DenseM2LDisabledSkipsTensors) {
+  const LaplaceKernel kernel;
+  const Operators ops(kernel, 0.5, 2, FmmConfig{.p = kP, .use_fft_m2l = false});
+  EXPECT_TRUE(ops.level(2).m2l_fft.empty());
+}
+
+TEST(Operators, LevelBelowTwoRejected) {
+  const LaplaceKernel kernel;
+  const Operators ops = make_ops(kernel);
+  EXPECT_THROW(ops.level(0), util::ContractError);
+  EXPECT_THROW(ops.level(1), util::ContractError);
+  EXPECT_NO_THROW(ops.level(2));
+}
+
+TEST(Operators, InvalidConfigRejected) {
+  const LaplaceKernel kernel;
+  EXPECT_THROW(Operators(kernel, 0.5, 2, FmmConfig{.p = 2}),
+               util::ContractError);
+  EXPECT_THROW(Operators(kernel, 0.5, 2,
+                         FmmConfig{.p = 4, .tikhonov_eps = 0.0}),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

@@ -1,0 +1,90 @@
+#include "fmm/surface.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/require.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+TEST(Surface, PointCountFormula) {
+  EXPECT_EQ(surface_point_count(2), 8u);     // all corners
+  EXPECT_EQ(surface_point_count(3), 26u);    // 27 - 1
+  EXPECT_EQ(surface_point_count(4), 56u);    // 64 - 8
+  EXPECT_EQ(surface_point_count(6), 152u);   // 216 - 64
+  EXPECT_EQ(surface_point_count(8), 296u);
+}
+
+TEST(Surface, GridCoordsAreOnTheBoundary) {
+  for (int p : {3, 4, 6}) {
+    for (const auto& [i, j, k] : surface_grid_coords(p)) {
+      const bool boundary = i == 0 || i == p - 1 || j == 0 || j == p - 1 ||
+                            k == 0 || k == p - 1;
+      EXPECT_TRUE(boundary);
+    }
+  }
+}
+
+TEST(Surface, GridCoordsAreUnique) {
+  const auto& coords = surface_grid_coords(5);
+  std::set<std::array<int, 3>> s(coords.begin(), coords.end());
+  EXPECT_EQ(s.size(), coords.size());
+}
+
+TEST(Surface, PointsLieOnTheScaledCube) {
+  const Box box{{1.0, 2.0, 3.0}, 0.5};
+  const double r = 1.05;
+  const auto pts = surface_points(6, box, r);
+  ASSERT_EQ(pts.size(), surface_point_count(6));
+  for (const Vec3& p : pts) {
+    const Vec3 d = p - box.center;
+    const double inf =
+        std::max({std::abs(d.x), std::abs(d.y), std::abs(d.z)});
+    EXPECT_NEAR(inf, r * box.half, 1e-12);
+  }
+}
+
+TEST(Surface, PointsAreSymmetricAboutCenter) {
+  const Box box{{0, 0, 0}, 1.0};
+  const auto pts = surface_points(4, box, 2.95);
+  // For every surface point, its negation is also a surface point.
+  for (const Vec3& p : pts) {
+    bool found = false;
+    for (const Vec3& q : pts)
+      if (std::abs(q.x + p.x) < 1e-12 && std::abs(q.y + p.y) < 1e-12 &&
+          std::abs(q.z + p.z) < 1e-12)
+        found = true;
+    EXPECT_TRUE(found);
+  }
+}
+
+TEST(Surface, SpacingMatchesAdjacentPoints) {
+  const Box box{{0, 0, 0}, 0.25};
+  const int p = 6;
+  const double s = surface_spacing(p, box, 1.05);
+  EXPECT_NEAR(s, 2.0 * 1.05 * 0.25 / 5.0, 1e-15);
+  // The two first grid coords (0,0,0) and (0,0,1) are adjacent on the
+  // surface; their distance must equal the spacing.
+  const auto pts = surface_points(p, box, 1.05);
+  const auto& coords = surface_grid_coords(p);
+  ASSERT_EQ(coords[0], (std::array<int, 3>{0, 0, 0}));
+  ASSERT_EQ(coords[1], (std::array<int, 3>{0, 0, 1}));
+  EXPECT_NEAR((pts[1] - pts[0]).norm2(), s, 1e-12);
+}
+
+TEST(Surface, InvalidOrderThrows) {
+  EXPECT_THROW(surface_point_count(1), util::ContractError);
+  const Box box{{0, 0, 0}, 1.0};
+  EXPECT_THROW(surface_points(4, box, 0.0), util::ContractError);
+}
+
+TEST(Surface, InnerRadiusBelowOuter) {
+  EXPECT_LT(kRadiusInner, kRadiusOuter);
+  EXPECT_GT(kRadiusInner, 1.0);  // outside the box itself
+  EXPECT_LT(kRadiusOuter, 3.0);  // inside the far-field cut
+}
+
+}  // namespace
+}  // namespace eroof::fmm

@@ -1,0 +1,140 @@
+#include "hw/cachesim.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+namespace {
+
+TEST(Cache, FirstAccessMissesSecondHits) {
+  Cache c({1024, 64, 2});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_TRUE(c.access(63));  // same line
+  EXPECT_FALSE(c.access(64)); // next line
+  EXPECT_EQ(c.hits(), 2u);
+  EXPECT_EQ(c.misses(), 2u);
+}
+
+TEST(Cache, LruEvictsLeastRecentlyUsed) {
+  // 2-way, line 64 B, 2 sets (256 B total): addresses 0, 128, 256 map to
+  // set 0. Touch 0, 128, then re-touch 0, then 256 must evict 128.
+  Cache c({256, 64, 2});
+  EXPECT_FALSE(c.access(0));
+  EXPECT_FALSE(c.access(128));
+  EXPECT_TRUE(c.access(0));
+  EXPECT_FALSE(c.access(256));  // evicts 128 (LRU)
+  EXPECT_TRUE(c.access(0));     // still resident
+  EXPECT_FALSE(c.access(128));  // was evicted
+}
+
+TEST(Cache, WorkingSetWithinCapacityAlwaysHitsAfterWarmup) {
+  Cache c({4096, 64, 4});
+  for (std::uint64_t a = 0; a < 4096; a += 64) c.access(a);
+  const std::uint64_t misses_after_warmup = c.misses();
+  for (int pass = 0; pass < 3; ++pass)
+    for (std::uint64_t a = 0; a < 4096; a += 64) EXPECT_TRUE(c.access(a));
+  EXPECT_EQ(c.misses(), misses_after_warmup);
+}
+
+TEST(Cache, StreamingNeverHits) {
+  Cache c({4096, 64, 4});
+  for (std::uint64_t a = 0; a < 1 << 20; a += 64) c.access(a);
+  EXPECT_EQ(c.hits(), 0u);
+}
+
+TEST(Cache, ResetClearsContentsAndStats) {
+  Cache c({1024, 64, 2});
+  c.access(0);
+  c.access(0);
+  c.reset();
+  EXPECT_EQ(c.hits(), 0u);
+  EXPECT_FALSE(c.access(0));  // cold again
+}
+
+TEST(Cache, InvalidGeometryThrows) {
+  EXPECT_THROW(Cache({1000, 48, 2}), util::ContractError);  // non-pow2 line
+  EXPECT_THROW(Cache({1024, 64, 0}), util::ContractError);  // zero ways
+  EXPECT_THROW(Cache({1000, 64, 2}), util::ContractError);  // size mismatch
+}
+
+TEST(Hierarchy, ColdReadGoesToDram) {
+  MemoryHierarchy h;
+  h.access(0, 128, false);
+  EXPECT_DOUBLE_EQ(h.traffic().l1_words, 0.0);
+  EXPECT_DOUBLE_EQ(h.traffic().l2_words, 0.0);
+  EXPECT_DOUBLE_EQ(h.traffic().dram_words, 32.0);  // 128 B = 32 words
+  EXPECT_EQ(h.dram_read_sectors(), 4u);
+}
+
+TEST(Hierarchy, RepeatedReadHitsL1) {
+  MemoryHierarchy h;
+  h.access(0, 128, false);
+  h.access(0, 128, false);
+  EXPECT_DOUBLE_EQ(h.traffic().l1_words, 32.0);
+  EXPECT_EQ(h.l1_hit_lines(), 1u);
+}
+
+TEST(Hierarchy, L1CapacityOverflowServedByL2) {
+  MemoryHierarchy h;  // L1 16 KiB, L2 128 KiB
+  const std::uint64_t ws = 64 * 1024;  // 64 KiB: fits L2, not L1
+  for (std::uint64_t a = 0; a < ws; a += 128) h.access(a, 128, false);
+  const double cold_dram = h.traffic().dram_words;
+  for (std::uint64_t a = 0; a < ws; a += 128) h.access(a, 128, false);
+  // Second pass: mostly L2 hits, no new DRAM traffic.
+  EXPECT_DOUBLE_EQ(h.traffic().dram_words, cold_dram);
+  EXPECT_GT(h.traffic().l2_words, 0.8 * 64 * 1024 / 4.0);
+}
+
+TEST(Hierarchy, SingleStreamingAccessDoesNotSelfHitL1) {
+  // One long contiguous read is one coalesced transaction per line; its own
+  // sectors must not count as L1 hits.
+  MemoryHierarchy h;
+  h.access(0, 4096, false);
+  EXPECT_DOUBLE_EQ(h.traffic().l1_words, 0.0);
+}
+
+TEST(Hierarchy, WritesCountedSeparately) {
+  MemoryHierarchy h;
+  h.access(0, 128, true);
+  EXPECT_EQ(h.dram_write_sectors(), 4u);
+  EXPECT_EQ(h.dram_read_sectors(), 0u);
+  EXPECT_EQ(h.l2_write_sector_queries(), 4u);
+}
+
+TEST(Hierarchy, PartialLineCountsOnlyTouchedSectors) {
+  MemoryHierarchy h;
+  h.access(0, 32, false);  // one sector
+  EXPECT_DOUBLE_EQ(h.traffic().dram_words, 8.0);
+}
+
+TEST(Hierarchy, UnalignedAccessTouchesBothSectors) {
+  MemoryHierarchy h;
+  h.access(30, 4, false);  // straddles sectors 0 and 1
+  EXPECT_DOUBLE_EQ(h.traffic().dram_words, 16.0);
+}
+
+TEST(Hierarchy, ResetRestoresColdState) {
+  MemoryHierarchy h;
+  h.access(0, 128, false);
+  h.access(0, 128, false);
+  h.reset();
+  EXPECT_DOUBLE_EQ(h.traffic().l1_words, 0.0);
+  h.access(0, 128, false);
+  EXPECT_DOUBLE_EQ(h.traffic().dram_words, 32.0);
+}
+
+TEST(Hierarchy, TrafficAccumulates) {
+  LevelTraffic t;
+  t.l1_words = 1;
+  LevelTraffic u;
+  u.l1_words = 2;
+  u.dram_words = 3;
+  t += u;
+  EXPECT_DOUBLE_EQ(t.l1_words, 3.0);
+  EXPECT_DOUBLE_EQ(t.dram_words, 3.0);
+}
+
+}  // namespace
+}  // namespace eroof::hw

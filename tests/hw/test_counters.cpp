@@ -1,0 +1,121 @@
+#include "hw/counters.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eroof::hw {
+namespace {
+
+TEST(Counters, RegistryContainsThePaperTable3Entries) {
+  const auto& table = counter_table();
+  const auto find = [&table](std::string_view name) -> const CounterDef* {
+    for (const auto& def : table)
+      if (def.name == name) return &def;
+    return nullptr;
+  };
+
+  // Spot-check the rows of Table III with their E/M types.
+  ASSERT_NE(find("flops_dp_fma"), nullptr);
+  EXPECT_EQ(find("flops_dp_fma")->type, CounterType::kMetric);
+  ASSERT_NE(find("inst_integer"), nullptr);
+  EXPECT_EQ(find("inst_integer")->type, CounterType::kMetric);
+  ASSERT_NE(find("l1_global_load_hit"), nullptr);
+  EXPECT_EQ(find("l1_global_load_hit")->type, CounterType::kEvent);
+  ASSERT_NE(find("fb_subp0_read_sectors"), nullptr);
+  ASSERT_NE(find("fb_subp1_read_sectors"), nullptr);
+  ASSERT_NE(find("l2_subp0_total_read_sector_queries"), nullptr);
+  ASSERT_NE(find("l2_subp3_read_l1_hit_sectors"), nullptr);
+  ASSERT_NE(find("gld_request"), nullptr);
+  ASSERT_NE(find("gst_request"), nullptr);
+  ASSERT_NE(find("l1_shared_load_transactions"), nullptr);
+  ASSERT_NE(find("l1_shared_store_transactions"), nullptr);
+}
+
+TEST(Counters, AddAccumulates) {
+  CounterSet c;
+  c.add("inst_integer", 10);
+  c.add("inst_integer", 5);
+  EXPECT_DOUBLE_EQ(c.get("inst_integer"), 15.0);
+}
+
+TEST(Counters, MissingCounterReadsZero) {
+  const CounterSet c;
+  EXPECT_DOUBLE_EQ(c.get("nonexistent"), 0.0);
+  EXPECT_FALSE(c.has("nonexistent"));
+}
+
+TEST(Counters, MergeSumsBothSets) {
+  CounterSet a;
+  a.add("gld_request", 3);
+  CounterSet b;
+  b.add("gld_request", 4);
+  b.add("gst_request", 1);
+  a += b;
+  EXPECT_DOUBLE_EQ(a.get("gld_request"), 7.0);
+  EXPECT_DOUBLE_EQ(a.get("gst_request"), 1.0);
+}
+
+TEST(Counters, DeriveFlopMetricsSum) {
+  CounterSet c;
+  c.add("flops_sp_fma", 100);
+  c.add("flops_sp_add", 20);
+  c.add("flops_sp_mul", 30);
+  c.add("flops_dp_fma", 7);
+  const OpCounts ops = derive_op_counts(c);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kSpFlop], 150.0);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kDpFlop], 7.0);
+}
+
+TEST(Counters, DeriveSharedMemoryWords) {
+  CounterSet c;
+  c.add("l1_shared_load_transactions", 10);  // 10 x 32 B = 80 words
+  c.add("l1_shared_store_transactions", 2);
+  const OpCounts ops = derive_op_counts(c);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kSmAccess], 96.0);
+}
+
+TEST(Counters, DeriveL2AsQueriesMinusDram) {
+  // The paper's derivation: L2-served = total L2 queries - DRAM sectors.
+  CounterSet c;
+  c.add("l2_subp0_total_read_sector_queries", 100);  // 800 words queried
+  c.add("fb_subp0_read_sectors", 10);
+  c.add("fb_subp1_read_sectors", 10);  // 160 words from DRAM
+  const OpCounts ops = derive_op_counts(c);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kDramAccess], 160.0);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kL2Access], 640.0);
+}
+
+TEST(Counters, DeriveL2NeverNegative) {
+  CounterSet c;
+  c.add("l2_subp0_total_read_sector_queries", 5);
+  c.add("fb_subp0_read_sectors", 50);  // inconsistent counters
+  const OpCounts ops = derive_op_counts(c);
+  EXPECT_GE(ops[OpClass::kL2Access], 0.0);
+}
+
+TEST(Counters, DeriveL1FromHitLines) {
+  CounterSet c;
+  c.add("l1_global_load_hit", 4);  // 4 lines x 128 B = 128 words
+  const OpCounts ops = derive_op_counts(c);
+  EXPECT_DOUBLE_EQ(ops[OpClass::kL1Access], 128.0);
+}
+
+TEST(Counters, EmptySetDerivesToZeroCounts) {
+  const OpCounts ops = derive_op_counts(CounterSet{});
+  EXPECT_DOUBLE_EQ(ops.compute_ops(), 0.0);
+  EXPECT_DOUBLE_EQ(ops.memory_ops(), 0.0);
+}
+
+TEST(OpCounts, ArithmeticHelpers) {
+  OpCounts a;
+  a[OpClass::kSpFlop] = 1;
+  a[OpClass::kIntOp] = 2;
+  a[OpClass::kSmAccess] = 3;
+  OpCounts b;
+  b[OpClass::kDramAccess] = 4;
+  const OpCounts sum = a + b;
+  EXPECT_DOUBLE_EQ(sum.compute_ops(), 3.0);
+  EXPECT_DOUBLE_EQ(sum.memory_ops(), 7.0);
+}
+
+}  // namespace
+}  // namespace eroof::hw

@@ -1,0 +1,90 @@
+#include "hw/dvfs.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+namespace {
+
+TEST(Dvfs, LadderSizesMatchThePlatform) {
+  // The paper: 15 processor and 7 memory operating points (105 permutations).
+  EXPECT_EQ(core_ladder().size(), 15u);
+  EXPECT_EQ(mem_ladder().size(), 7u);
+  EXPECT_EQ(full_grid().size(), 105u);
+}
+
+TEST(Dvfs, LaddersAreMonotoneInFrequencyAndVoltage) {
+  for (const auto* ladder : {&core_ladder(), &mem_ladder()}) {
+    for (std::size_t i = 1; i < ladder->size(); ++i) {
+      EXPECT_GT((*ladder)[i].freq_mhz, (*ladder)[i - 1].freq_mhz);
+      EXPECT_GE((*ladder)[i].volt_mv, (*ladder)[i - 1].volt_mv);
+    }
+  }
+}
+
+TEST(Dvfs, PaperVoltagesReproduced) {
+  // Voltage pairs published in Table I.
+  EXPECT_EQ(point_at(core_ladder(), 852).volt_mv, 1030);
+  EXPECT_EQ(point_at(core_ladder(), 756).volt_mv, 950);
+  EXPECT_EQ(point_at(core_ladder(), 648).volt_mv, 890);
+  EXPECT_EQ(point_at(core_ladder(), 540).volt_mv, 840);
+  EXPECT_EQ(point_at(core_ladder(), 396).volt_mv, 770);
+  EXPECT_EQ(point_at(core_ladder(), 180).volt_mv, 760);
+  EXPECT_EQ(point_at(core_ladder(), 72).volt_mv, 760);
+  EXPECT_EQ(point_at(mem_ladder(), 924).volt_mv, 1010);
+  EXPECT_EQ(point_at(mem_ladder(), 528).volt_mv, 880);
+  EXPECT_EQ(point_at(mem_ladder(), 204).volt_mv, 800);
+  EXPECT_EQ(point_at(mem_ladder(), 68).volt_mv, 800);
+}
+
+TEST(Dvfs, UnknownFrequencyThrows) {
+  EXPECT_THROW(point_at(core_ladder(), 500), util::ContractError);
+  EXPECT_THROW(setting(100, 924), util::ContractError);
+}
+
+TEST(Dvfs, Table1Has8TrainAnd8ValidationSettings) {
+  int train = 0;
+  int val = 0;
+  for (const auto& [role, s] : table1_settings())
+    (role == SettingRole::kTrain ? train : val)++;
+  EXPECT_EQ(train, 8);
+  EXPECT_EQ(val, 8);
+}
+
+TEST(Dvfs, Table1SettingsAreDistinct) {
+  const auto& rows = table1_settings();
+  for (std::size_t i = 0; i < rows.size(); ++i)
+    for (std::size_t j = i + 1; j < rows.size(); ++j)
+      EXPECT_FALSE(rows[i].s.core.freq_mhz == rows[j].s.core.freq_mhz &&
+                   rows[i].s.mem.freq_mhz == rows[j].s.mem.freq_mhz)
+          << i << " vs " << j;
+}
+
+TEST(Dvfs, Table4HasEightSettingsFromThePaper) {
+  const auto& s = table4_settings();
+  ASSERT_EQ(s.size(), 8u);
+  EXPECT_EQ(s[0].core.freq_mhz, 852);
+  EXPECT_EQ(s[0].mem.freq_mhz, 924);
+  EXPECT_EQ(s[2].core.freq_mhz, 180);
+  EXPECT_EQ(s[7].mem.freq_mhz, 204);
+}
+
+TEST(Dvfs, SettingLabelFormat) {
+  EXPECT_EQ(setting(852, 924).label(), "852/924");
+}
+
+TEST(Dvfs, FullGridContainsEveryPair) {
+  const auto grid = full_grid();
+  for (const auto& c : core_ladder())
+    for (const auto& m : mem_ladder()) {
+      bool found = false;
+      for (const auto& s : grid)
+        if (s.core.freq_mhz == c.freq_mhz && s.mem.freq_mhz == m.freq_mhz)
+          found = true;
+      EXPECT_TRUE(found);
+    }
+}
+
+}  // namespace
+}  // namespace eroof::hw

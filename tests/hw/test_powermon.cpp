@@ -1,0 +1,122 @@
+#include "hw/powermon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "util/require.hpp"
+
+namespace eroof::hw {
+namespace {
+
+TEST(PowerMon, IntegratesConstantPowerExactly) {
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;
+  cfg.adc_bits = 24;  // negligible quantization
+  const PowerMon pm(cfg);
+  util::Rng rng(1);
+  const auto trace = pm.measure(2.0, [](double) { return 5.0; }, rng);
+  EXPECT_NEAR(trace.energy_j, 10.0, 1e-3);
+  EXPECT_NEAR(trace.avg_power_w, 5.0, 1e-4);
+}
+
+TEST(PowerMon, SampleCountMatchesRate) {
+  PowerMonConfig cfg;
+  cfg.sample_hz = 100.0;
+  const PowerMon pm(cfg);
+  util::Rng rng(2);
+  const auto trace = pm.measure(1.0, [](double) { return 1.0; }, rng);
+  EXPECT_NEAR(static_cast<double>(trace.samples_w.size()), 101.0, 2.0);
+}
+
+TEST(PowerMon, ShortRunStillGetsTwoSamples) {
+  const PowerMon pm;
+  util::Rng rng(3);
+  const auto trace = pm.measure(1e-5, [](double) { return 3.0; }, rng);
+  EXPECT_GE(trace.samples_w.size(), 2u);
+  EXPECT_NEAR(trace.energy_j, 3.0 * 1e-5, 0.2 * 3.0 * 1e-5);
+}
+
+TEST(PowerMon, RampIntegratesToAverage) {
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;
+  cfg.adc_bits = 24;
+  const PowerMon pm(cfg);
+  util::Rng rng(4);
+  // P(t) = 10 t over [0, 1] integrates to 5 J.
+  const auto trace = pm.measure(1.0, [](double t) { return 10.0 * t; }, rng);
+  EXPECT_NEAR(trace.energy_j, 5.0, 1e-3);
+}
+
+TEST(PowerMon, SinusoidAveragesOut) {
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;
+  cfg.adc_bits = 24;
+  const PowerMon pm(cfg);
+  util::Rng rng(5);
+  const auto trace = pm.measure(
+      1.0,
+      [](double t) {
+        return 6.0 + std::sin(2.0 * std::numbers::pi * 16.0 * t);
+      },
+      rng);
+  EXPECT_NEAR(trace.energy_j, 6.0, 0.02);
+}
+
+TEST(PowerMon, NoiseAveragesAcrossManySamples) {
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.5;  // large per-sample noise
+  const PowerMon pm(cfg);
+  util::Rng rng(6);
+  const auto trace = pm.measure(4.0, [](double) { return 8.0; }, rng);
+  // ~4096 samples: the mean is tight even with 0.5 W noise.
+  EXPECT_NEAR(trace.avg_power_w, 8.0, 0.1);
+}
+
+TEST(PowerMon, QuantizationClampsToFullScale) {
+  PowerMonConfig cfg;
+  cfg.full_scale_w = 10.0;
+  cfg.noise_w = 0.0;
+  const PowerMon pm(cfg);
+  util::Rng rng(7);
+  const auto trace = pm.measure(0.1, [](double) { return 50.0; }, rng);
+  for (double s : trace.samples_w) EXPECT_LE(s, 10.0);
+}
+
+TEST(PowerMon, NegativePowerClampsToZero) {
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;
+  const PowerMon pm(cfg);
+  util::Rng rng(8);
+  const auto trace = pm.measure(0.1, [](double) { return -2.0; }, rng);
+  for (double s : trace.samples_w) EXPECT_GE(s, 0.0);
+}
+
+TEST(PowerMon, DeterministicGivenSameRngSeed) {
+  const PowerMon pm;
+  util::Rng rng_a(9);
+  util::Rng rng_b(9);
+  const auto a = pm.measure(0.5, [](double) { return 7.0; }, rng_a);
+  const auto b = pm.measure(0.5, [](double) { return 7.0; }, rng_b);
+  EXPECT_DOUBLE_EQ(a.energy_j, b.energy_j);
+}
+
+TEST(PowerMon, InvalidConfigThrows) {
+  PowerMonConfig bad;
+  bad.sample_hz = 0;
+  EXPECT_THROW(PowerMon{bad}, util::ContractError);
+  PowerMonConfig bad2;
+  bad2.adc_bits = 2;
+  EXPECT_THROW(PowerMon{bad2}, util::ContractError);
+}
+
+TEST(PowerMon, ZeroDurationRejected) {
+  const PowerMon pm;
+  util::Rng rng(10);
+  EXPECT_THROW(pm.measure(0.0, [](double) { return 1.0; }, rng),
+               util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::hw

@@ -1,0 +1,55 @@
+#include "linalg/cholesky.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::la {
+namespace {
+
+Matrix random_spd(std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix b(n, n);
+  for (std::size_t i = 0; i < n; ++i)
+    for (std::size_t j = 0; j < n; ++j) b(i, j) = rng.uniform(-1, 1);
+  Matrix a = b.transposed() * b;
+  for (std::size_t i = 0; i < n; ++i) a(i, i) += static_cast<double>(n);
+  return a;
+}
+
+TEST(Cholesky, FactorReconstructsMatrix) {
+  const Matrix a = random_spd(6, 1);
+  const Cholesky chol(a);
+  const Matrix llt = chol.l() * chol.l().transposed();
+  EXPECT_LT(llt.max_abs_diff(a), 1e-11);
+}
+
+TEST(Cholesky, SolveRecoversPlantedSolution) {
+  const Matrix a = random_spd(8, 2);
+  util::Rng rng(3);
+  std::vector<double> x_true(8);
+  for (auto& v : x_true) v = rng.uniform(-2, 2);
+  const auto b = matvec(a, x_true);
+  const auto x = solve_spd(a, b);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+TEST(Cholesky, LIsLowerTriangular) {
+  const Cholesky chol(random_spd(5, 4));
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = i + 1; j < 5; ++j) EXPECT_EQ(chol.l()(i, j), 0.0);
+}
+
+TEST(Cholesky, IndefiniteMatrixThrows) {
+  Matrix a{{1, 0}, {0, -1}};
+  EXPECT_THROW(Cholesky{a}, util::ContractError);
+}
+
+TEST(Cholesky, NonSquareThrows) {
+  Matrix a(3, 2);
+  EXPECT_THROW(Cholesky{a}, util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::la

@@ -1,0 +1,108 @@
+#include "linalg/nnls.hpp"
+
+#include <gtest/gtest.h>
+
+#include "linalg/qr.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::la {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(0.0, 1.0);
+  return a;
+}
+
+TEST(Nnls, RecoversNonNegativePlantedSolution) {
+  const Matrix a = random_matrix(40, 6, 1);
+  const std::vector<double> x_true{0.5, 2.0, 0.0, 1.25, 3.0, 0.1};
+  const auto b = matvec(a, x_true);
+  const NnlsResult r = nnls(a, b);
+  ASSERT_TRUE(r.converged);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(r.x[j], x_true[j], 1e-8);
+  EXPECT_LT(r.residual_norm, 1e-8);
+}
+
+TEST(Nnls, MatchesUnconstrainedWhenSolutionIsInterior) {
+  const Matrix a = random_matrix(30, 4, 2);
+  const std::vector<double> x_true{1.0, 2.0, 3.0, 4.0};
+  const auto b = matvec(a, x_true);
+  const auto x_ls = lstsq(a, b);
+  const NnlsResult r = nnls(a, b);
+  for (std::size_t j = 0; j < 4; ++j) EXPECT_NEAR(r.x[j], x_ls[j], 1e-8);
+}
+
+TEST(Nnls, ClampsNegativeComponent) {
+  // b is best approximated with a negative coefficient on column 1;
+  // NNLS must return 0 there instead.
+  Matrix a{{1, 0}, {0, 1}, {0, 0}};
+  const std::vector<double> b{2.0, -3.0, 0.0};
+  const NnlsResult r = nnls(a, b);
+  EXPECT_NEAR(r.x[0], 2.0, 1e-10);
+  EXPECT_DOUBLE_EQ(r.x[1], 0.0);
+  EXPECT_NEAR(r.residual_norm, 3.0, 1e-10);
+}
+
+TEST(Nnls, KktConditionsHoldOnRandomProblems) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Matrix a = random_matrix(25, 5, 100 + seed);
+    util::Rng rng(200 + seed);
+    std::vector<double> b(25);
+    for (auto& v : b) v = rng.uniform(-1, 1);
+    const NnlsResult r = nnls(a, b);
+    ASSERT_TRUE(r.converged) << "seed " << seed;
+
+    // Feasibility.
+    for (double v : r.x) EXPECT_GE(v, 0.0);
+
+    // Stationarity: gradient w = A^T (b - A x) must be <= 0 where x = 0
+    // and ~0 where x > 0 (KKT complementary slackness).
+    const auto ax = matvec(a, r.x);
+    std::vector<double> res(b.size());
+    for (std::size_t i = 0; i < b.size(); ++i) res[i] = b[i] - ax[i];
+    const auto w = matvec_t(a, res);
+    for (std::size_t j = 0; j < w.size(); ++j) {
+      if (r.x[j] > 1e-10)
+        EXPECT_NEAR(w[j], 0.0, 1e-7) << "seed " << seed << " col " << j;
+      else
+        EXPECT_LE(w[j], 1e-7) << "seed " << seed << " col " << j;
+    }
+  }
+}
+
+TEST(Nnls, ZeroRhsGivesZeroSolution) {
+  const Matrix a = random_matrix(10, 3, 7);
+  const std::vector<double> b(10, 0.0);
+  const NnlsResult r = nnls(a, b);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+  EXPECT_TRUE(r.converged);
+}
+
+TEST(Nnls, AllNegativeRhsGivesZeroSolution) {
+  // Columns are non-negative, b is negative: the optimum is x = 0.
+  const Matrix a = random_matrix(10, 3, 8);
+  const std::vector<double> b(10, -1.0);
+  const NnlsResult r = nnls(a, b);
+  for (double v : r.x) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Nnls, WorksWithCollinearish) {
+  // Two nearly identical columns; NNLS should still converge and fit well.
+  Matrix a(20, 2);
+  util::Rng rng(9);
+  for (std::size_t i = 0; i < 20; ++i) {
+    a(i, 0) = rng.uniform(0.5, 1.0);
+    a(i, 1) = a(i, 0) * (1.0 + 1e-6 * rng.uniform());
+  }
+  const std::vector<double> x_true{1.0, 1.0};
+  const auto b = matvec(a, x_true);
+  const NnlsResult r = nnls(a, b);
+  EXPECT_TRUE(r.converged);
+  EXPECT_LT(r.residual_norm, 1e-6);
+}
+
+}  // namespace
+}  // namespace eroof::la

@@ -1,0 +1,87 @@
+#include "linalg/qr.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::la {
+namespace {
+
+Matrix random_matrix(std::size_t m, std::size_t n, std::uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix a(m, n);
+  for (std::size_t i = 0; i < m; ++i)
+    for (std::size_t j = 0; j < n; ++j) a(i, j) = rng.uniform(-1, 1);
+  return a;
+}
+
+TEST(QR, ReconstructsA) {
+  const Matrix a = random_matrix(8, 5, 1);
+  QR qr(a);
+  const Matrix recon = qr.thin_q() * qr.r();
+  EXPECT_LT(recon.max_abs_diff(a), 1e-12);
+}
+
+TEST(QR, ThinQHasOrthonormalColumns) {
+  const Matrix a = random_matrix(10, 4, 2);
+  const Matrix q = QR(a).thin_q();
+  const Matrix qtq = q.transposed() * q;
+  EXPECT_LT(qtq.max_abs_diff(Matrix::identity(4)), 1e-12);
+}
+
+TEST(QR, RIsUpperTriangular) {
+  const Matrix r = QR(random_matrix(6, 6, 3)).r();
+  for (std::size_t i = 1; i < 6; ++i)
+    for (std::size_t j = 0; j < i; ++j) EXPECT_EQ(r(i, j), 0.0);
+}
+
+TEST(QR, SolvesSquareSystemExactly) {
+  Matrix a{{2, 1}, {1, 3}};
+  const std::vector<double> x_true{1.0, -2.0};
+  const auto b = matvec(a, x_true);
+  const auto x = QR(a).solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], -2.0, 1e-12);
+}
+
+TEST(QR, LeastSquaresResidualOrthogonalToColumns) {
+  const Matrix a = random_matrix(12, 3, 4);
+  util::Rng rng(5);
+  std::vector<double> b(12);
+  for (auto& v : b) v = rng.uniform(-1, 1);
+  const auto x = lstsq(a, b);
+  // r = b - A x must satisfy A^T r = 0 (normal equations).
+  const auto ax = matvec(a, x);
+  std::vector<double> r(12);
+  for (std::size_t i = 0; i < 12; ++i) r[i] = b[i] - ax[i];
+  const auto atr = matvec_t(a, r);
+  for (double v : atr) EXPECT_NEAR(v, 0.0, 1e-12);
+}
+
+TEST(QR, ExactlyRecoversPlantedSolution) {
+  const Matrix a = random_matrix(30, 6, 6);
+  util::Rng rng(7);
+  std::vector<double> x_true(6);
+  for (auto& v : x_true) v = rng.uniform(-3, 3);
+  const auto b = matvec(a, x_true);
+  const auto x = lstsq(a, b);
+  for (std::size_t j = 0; j < 6; ++j) EXPECT_NEAR(x[j], x_true[j], 1e-10);
+}
+
+TEST(QR, WideMatrixRejected) {
+  EXPECT_THROW(QR(random_matrix(3, 5, 8)), util::ContractError);
+}
+
+TEST(QR, RankDeficientSolveThrows) {
+  Matrix a(4, 2);
+  for (std::size_t i = 0; i < 4; ++i) {
+    a(i, 0) = static_cast<double>(i + 1);
+    a(i, 1) = 2.0 * static_cast<double>(i + 1);  // duplicate direction
+  }
+  const std::vector<double> b{1, 2, 3, 4};
+  EXPECT_THROW(QR(a).solve(b), util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::la

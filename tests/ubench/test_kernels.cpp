@@ -1,0 +1,67 @@
+#include "ubench/kernels.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::ub {
+namespace {
+
+std::vector<float> random_floats(std::size_t n) {
+  util::Rng rng(1);
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.1, 0.9));
+  return v;
+}
+
+TEST(Kernels, SpFmaStreamProducesFiniteChecksum) {
+  const auto data = random_floats(4096);
+  const float r = sp_fma_stream(data, 8);
+  EXPECT_TRUE(std::isfinite(r));
+  EXPECT_NE(r, 0.0f);
+}
+
+TEST(Kernels, SpFmaStreamDeterministic) {
+  const auto data = random_floats(4096);
+  EXPECT_EQ(sp_fma_stream(data, 8), sp_fma_stream(data, 8));
+}
+
+TEST(Kernels, DpFmaStreamProducesFiniteChecksum) {
+  util::Rng rng(2);
+  std::vector<double> data(4096);
+  for (auto& x : data) x = rng.uniform(0.1, 0.9);
+  EXPECT_TRUE(std::isfinite(dp_fma_stream(data, 4)));
+}
+
+TEST(Kernels, IntOpsStreamMixesBits) {
+  util::Rng rng(3);
+  std::vector<std::uint64_t> data(1024);
+  for (auto& x : data) x = rng();
+  const auto a = int_ops_stream(data, 4);
+  const auto b = int_ops_stream(data, 5);
+  EXPECT_NE(a, b);  // intensity changes the result
+}
+
+TEST(Kernels, ScratchReuseSumsEveryElementPerPass) {
+  std::vector<float> data(2048, 1.0f);
+  // 3 reuse passes over all-ones data: checksum = 3 * 2048.
+  EXPECT_FLOAT_EQ(scratch_reuse_stream(data, 3, 512), 3.0f * 2048.0f);
+}
+
+TEST(Kernels, CacheResidentStreamSumsWorkingSet) {
+  std::vector<float> data(1024, 2.0f);
+  // 2 passes over a 256-element working set of 2.0f.
+  EXPECT_FLOAT_EQ(cache_resident_stream(data, 256, 2), 2.0f * 256.0f * 2.0f);
+}
+
+TEST(Kernels, InvalidIntensityThrows) {
+  const auto data = random_floats(64);
+  EXPECT_THROW(sp_fma_stream(data, 0), util::ContractError);
+  EXPECT_THROW(scratch_reuse_stream(data, 0), util::ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::ub

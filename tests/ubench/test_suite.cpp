@@ -1,0 +1,95 @@
+#include "ubench/suite.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eroof::ub {
+namespace {
+
+using hw::OpClass;
+
+TEST(Suite, SweepSizesMatchTable2Denominators) {
+  // Table II reports "out of 25 / 36 / 23 / 10 / 9" tuning cases per class.
+  EXPECT_EQ(sweep_size(BenchClass::kSpFlops), 25u);
+  EXPECT_EQ(sweep_size(BenchClass::kDpFlops), 36u);
+  EXPECT_EQ(sweep_size(BenchClass::kIntOps), 23u);
+  EXPECT_EQ(sweep_size(BenchClass::kSharedMem), 10u);
+  EXPECT_EQ(sweep_size(BenchClass::kL2), 9u);
+}
+
+TEST(Suite, DefaultSuiteHas116Points) {
+  // 116 points x 16 Table I settings = the paper's 1856 samples.
+  EXPECT_EQ(default_suite().size(), 116u);
+}
+
+TEST(Suite, IntensitiesAreStrictlyIncreasing) {
+  for (auto c : {BenchClass::kSpFlops, BenchClass::kDpFlops,
+                 BenchClass::kIntOps, BenchClass::kSharedMem, BenchClass::kL2,
+                 BenchClass::kDram}) {
+    const auto sweep = intensity_sweep(c);
+    for (std::size_t i = 1; i < sweep.size(); ++i)
+      EXPECT_GT(sweep[i].intensity, sweep[i - 1].intensity)
+          << to_string(c) << " index " << i;
+  }
+}
+
+TEST(Suite, SpPointTargetsSpOnly) {
+  const auto sweep = intensity_sweep(BenchClass::kSpFlops, 1e6);
+  for (const auto& p : sweep) {
+    EXPECT_GT(p.workload.ops[OpClass::kSpFlop], 0.0);
+    EXPECT_DOUBLE_EQ(p.workload.ops[OpClass::kDpFlop], 0.0);
+    EXPECT_DOUBLE_EQ(p.workload.ops[OpClass::kSmAccess], 0.0);
+    // Target op count follows the intensity knob exactly.
+    EXPECT_DOUBLE_EQ(p.workload.ops[OpClass::kSpFlop], p.intensity * 1e6);
+  }
+}
+
+TEST(Suite, EveryPointStreamsFromDram) {
+  for (const auto& p : default_suite(1e6))
+    EXPECT_GT(p.workload.ops[OpClass::kDramAccess], 0.0) << p.workload.name;
+}
+
+TEST(Suite, OverheadIntegerOpsAreSmall) {
+  // Tuned kernels: loop overhead well under 10% of the targeted op count.
+  const auto sweep = intensity_sweep(BenchClass::kSpFlops, 1e6);
+  const auto& high = sweep.back();
+  EXPECT_LT(high.workload.ops[OpClass::kIntOp],
+            0.1 * high.workload.ops[OpClass::kSpFlop]);
+}
+
+TEST(Suite, UtilizationsNearFullButVaried) {
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& p : default_suite(1e6)) {
+    EXPECT_GE(p.workload.compute_utilization, 0.9);
+    EXPECT_LE(p.workload.compute_utilization, 1.0);
+    lo = std::min(lo, p.workload.compute_utilization);
+    hi = std::max(hi, p.workload.compute_utilization);
+  }
+  EXPECT_GT(hi - lo, 0.01);  // genuinely varied, not constant
+}
+
+TEST(Suite, NamesAreUniqueAcrossSuite) {
+  const auto suite = default_suite(1e6);
+  for (std::size_t i = 0; i < suite.size(); ++i)
+    for (std::size_t j = i + 1; j < suite.size(); ++j)
+      EXPECT_NE(suite[i].workload.name, suite[j].workload.name);
+}
+
+TEST(Suite, SuiteIsDeterministic) {
+  const auto a = default_suite(2e6);
+  const auto b = default_suite(2e6);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].workload.name, b[i].workload.name);
+    EXPECT_DOUBLE_EQ(a[i].workload.compute_utilization,
+                     b[i].workload.compute_utilization);
+  }
+}
+
+TEST(Suite, ClassNames) {
+  EXPECT_EQ(to_string(BenchClass::kSpFlops), "sp");
+  EXPECT_EQ(to_string(BenchClass::kDram), "dram");
+}
+
+}  // namespace
+}  // namespace eroof::ub

@@ -1,0 +1,36 @@
+#include "util/require.hpp"
+
+#include <gtest/gtest.h>
+
+namespace eroof::util {
+namespace {
+
+TEST(Require, PassingConditionIsSilent) {
+  EXPECT_NO_THROW(EROOF_REQUIRE(1 + 1 == 2));
+}
+
+TEST(Require, FailingConditionThrowsContractError) {
+  EXPECT_THROW(EROOF_REQUIRE(false), ContractError);
+}
+
+TEST(Require, MessageAppearsInWhat) {
+  try {
+    EROOF_REQUIRE_MSG(false, "the-custom-message");
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("the-custom-message"),
+              std::string::npos);
+  }
+}
+
+TEST(Require, ExpressionTextAppearsInWhat) {
+  try {
+    EROOF_REQUIRE(2 < 1);
+    FAIL() << "should have thrown";
+  } catch (const ContractError& e) {
+    EXPECT_NE(std::string(e.what()).find("2 < 1"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace eroof::util

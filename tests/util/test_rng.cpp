@@ -1,0 +1,90 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace eroof::util {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a() == b()) ++same;
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = r.uniform();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = r.uniform(-2.5, 3.5);
+    EXPECT_GE(x, -2.5);
+    EXPECT_LT(x, 3.5);
+  }
+}
+
+TEST(Rng, UniformMeanNearOneHalf) {
+  Rng r(11);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, BelowStaysInRange) {
+  Rng r(3);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(r.below(17), 17u);
+}
+
+TEST(Rng, BelowCoversAllResidues) {
+  Rng r(5);
+  std::array<int, 7> seen{};
+  for (int i = 0; i < 7000; ++i) ++seen[r.below(7)];
+  for (int c : seen) EXPECT_GT(c, 700);  // roughly uniform
+}
+
+TEST(Rng, NormalMomentsMatchStandardGaussian) {
+  Rng r(13);
+  const int n = 200000;
+  double mean = 0;
+  double m2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const double z = r.normal();
+    mean += z;
+    m2 += z * z;
+  }
+  mean /= n;
+  m2 /= n;
+  EXPECT_NEAR(mean, 0.0, 0.01);
+  EXPECT_NEAR(m2, 1.0, 0.02);
+}
+
+TEST(Rng, NormalScaleAndShift) {
+  Rng r(17);
+  const int n = 100000;
+  double mean = 0;
+  for (int i = 0; i < n; ++i) mean += r.normal(5.0, 2.0);
+  EXPECT_NEAR(mean / n, 5.0, 0.05);
+}
+
+}  // namespace
+}  // namespace eroof::util

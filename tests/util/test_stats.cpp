@@ -1,0 +1,67 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+namespace {
+
+TEST(Stats, SummaryOfConstantSample) {
+  const std::vector<double> xs{3.0, 3.0, 3.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_DOUBLE_EQ(s.min, 3.0);
+  EXPECT_DOUBLE_EQ(s.max, 3.0);
+  EXPECT_EQ(s.n, 3u);
+}
+
+TEST(Stats, SummaryKnownValues) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.mean, 5.0);
+  // Sample stddev of this classic data set: sqrt(32/7).
+  EXPECT_NEAR(s.stddev, std::sqrt(32.0 / 7.0), 1e-12);
+  EXPECT_DOUBLE_EQ(s.min, 2.0);
+  EXPECT_DOUBLE_EQ(s.max, 9.0);
+}
+
+TEST(Stats, SingleElementHasZeroStddev) {
+  const std::vector<double> xs{42.0};
+  const Summary s = summarize(xs);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+  EXPECT_EQ(s.n, 1u);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> xs;
+  EXPECT_THROW(summarize(xs), ContractError);
+}
+
+TEST(Stats, RelativeErrorPct) {
+  EXPECT_DOUBLE_EQ(relative_error_pct(110.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(relative_error_pct(90.0, 100.0), 10.0);
+  EXPECT_DOUBLE_EQ(relative_error_pct(-90.0, -100.0), 10.0);
+  EXPECT_DOUBLE_EQ(relative_error_pct(5.0, 5.0), 0.0);
+}
+
+TEST(Stats, RelativeErrorZeroReferenceThrows) {
+  EXPECT_THROW(relative_error_pct(1.0, 0.0), ContractError);
+}
+
+TEST(Stats, Mean) {
+  const std::vector<double> xs{1.0, 2.0, 3.0, 4.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 2.5);
+}
+
+TEST(Stats, MedianOddAndEven) {
+  EXPECT_DOUBLE_EQ(median({3.0, 1.0, 2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+}  // namespace
+}  // namespace eroof::util

@@ -1,0 +1,47 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+namespace {
+
+TEST(Table, RendersHeaderRuleAndRows) {
+  Table t({"name", "value"});
+  t.add_row({"alpha", "1"});
+  t.add_row({"b", "22"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("-----"), std::string::npos);
+  EXPECT_NE(out.find("alpha"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsRaggedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), ContractError);
+}
+
+TEST(Table, ColumnsAlign) {
+  Table t({"x", "y"}, {Align::kLeft, Align::kRight});
+  t.add_row({"aa", "1"});
+  t.add_row({"b", "100"});
+  std::ostringstream os;
+  t.print(os);
+  // Right-aligned column: "1" must be preceded by spaces up to width 3.
+  EXPECT_NE(os.str().find("  1"), std::string::npos);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+}
+
+}  // namespace
+}  // namespace eroof::util
