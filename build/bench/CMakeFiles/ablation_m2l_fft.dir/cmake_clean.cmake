@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_m2l_fft.dir/ablation_m2l_fft.cpp.o"
+  "CMakeFiles/ablation_m2l_fft.dir/ablation_m2l_fft.cpp.o.d"
+  "ablation_m2l_fft"
+  "ablation_m2l_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_m2l_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ablation_m2l_fft.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_q_sweep.dir/ablation_q_sweep.cpp.o"
+  "CMakeFiles/ablation_q_sweep.dir/ablation_q_sweep.cpp.o.d"
+  "ablation_q_sweep"
+  "ablation_q_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_q_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

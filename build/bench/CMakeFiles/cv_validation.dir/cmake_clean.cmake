@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cv_validation.dir/cv_validation.cpp.o"
+  "CMakeFiles/cv_validation.dir/cv_validation.cpp.o.d"
+  "cv_validation"
+  "cv_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cv_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

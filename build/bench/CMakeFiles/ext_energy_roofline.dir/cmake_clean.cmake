@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_energy_roofline.dir/ext_energy_roofline.cpp.o"
+  "CMakeFiles/ext_energy_roofline.dir/ext_energy_roofline.cpp.o.d"
+  "ext_energy_roofline"
+  "ext_energy_roofline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_energy_roofline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

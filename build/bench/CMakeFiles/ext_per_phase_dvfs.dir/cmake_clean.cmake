@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_per_phase_dvfs.dir/ext_per_phase_dvfs.cpp.o"
+  "CMakeFiles/ext_per_phase_dvfs.dir/ext_per_phase_dvfs.cpp.o.d"
+  "ext_per_phase_dvfs"
+  "ext_per_phase_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_per_phase_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ext_per_phase_dvfs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ext_predictive_autotune.dir/ext_predictive_autotune.cpp.o"
+  "CMakeFiles/ext_predictive_autotune.dir/ext_predictive_autotune.cpp.o.d"
+  "ext_predictive_autotune"
+  "ext_predictive_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ext_predictive_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

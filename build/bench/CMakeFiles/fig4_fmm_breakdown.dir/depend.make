@@ -1,0 +1,2 @@
+# Empty dependencies file for fig4_fmm_breakdown.
+# This may be replaced when dependencies are built.

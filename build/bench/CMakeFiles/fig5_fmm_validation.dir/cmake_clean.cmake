@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_fmm_validation.dir/fig5_fmm_validation.cpp.o"
+  "CMakeFiles/fig5_fmm_validation.dir/fig5_fmm_validation.cpp.o.d"
+  "fig5_fmm_validation"
+  "fig5_fmm_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_fmm_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

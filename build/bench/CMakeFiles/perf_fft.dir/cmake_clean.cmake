@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fft.dir/perf_fft.cpp.o"
+  "CMakeFiles/perf_fft.dir/perf_fft.cpp.o.d"
+  "perf_fft"
+  "perf_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

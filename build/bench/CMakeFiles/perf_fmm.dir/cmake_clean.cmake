@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_fmm.dir/perf_fmm.cpp.o"
+  "CMakeFiles/perf_fmm.dir/perf_fmm.cpp.o.d"
+  "perf_fmm"
+  "perf_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_octree.dir/perf_octree.cpp.o"
+  "CMakeFiles/perf_octree.dir/perf_octree.cpp.o.d"
+  "perf_octree"
+  "perf_octree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_octree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/perf_platform.dir/perf_platform.cpp.o"
+  "CMakeFiles/perf_platform.dir/perf_platform.cpp.o.d"
+  "perf_platform"
+  "perf_platform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/perf_platform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_costs.dir/table1_costs.cpp.o"
+  "CMakeFiles/table1_costs.dir/table1_costs.cpp.o.d"
+  "table1_costs"
+  "table1_costs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_costs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

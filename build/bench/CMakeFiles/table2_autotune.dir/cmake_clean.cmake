@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_autotune.dir/table2_autotune.cpp.o"
+  "CMakeFiles/table2_autotune.dir/table2_autotune.cpp.o.d"
+  "table2_autotune"
+  "table2_autotune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_autotune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_counters.dir/table3_counters.cpp.o"
+  "CMakeFiles/table3_counters.dir/table3_counters.cpp.o.d"
+  "table3_counters"
+  "table3_counters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_counters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

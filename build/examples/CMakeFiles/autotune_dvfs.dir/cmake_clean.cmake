@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autotune_dvfs.dir/autotune_dvfs.cpp.o"
+  "CMakeFiles/autotune_dvfs.dir/autotune_dvfs.cpp.o.d"
+  "autotune_dvfs"
+  "autotune_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autotune_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

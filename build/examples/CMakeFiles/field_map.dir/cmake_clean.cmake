@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/field_map.dir/field_map.cpp.o"
+  "CMakeFiles/field_map.dir/field_map.cpp.o.d"
+  "field_map"
+  "field_map.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/field_map.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

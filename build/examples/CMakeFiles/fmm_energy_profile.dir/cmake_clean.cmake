@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_energy_profile.dir/fmm_energy_profile.cpp.o"
+  "CMakeFiles/fmm_energy_profile.dir/fmm_energy_profile.cpp.o.d"
+  "fmm_energy_profile"
+  "fmm_energy_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_energy_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

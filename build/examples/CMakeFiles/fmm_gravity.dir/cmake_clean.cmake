@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fmm_gravity.dir/fmm_gravity.cpp.o"
+  "CMakeFiles/fmm_gravity.dir/fmm_gravity.cpp.o.d"
+  "fmm_gravity"
+  "fmm_gravity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fmm_gravity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/kernel_zoo.dir/kernel_zoo.cpp.o"
+  "CMakeFiles/kernel_zoo.dir/kernel_zoo.cpp.o.d"
+  "kernel_zoo"
+  "kernel_zoo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/kernel_zoo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

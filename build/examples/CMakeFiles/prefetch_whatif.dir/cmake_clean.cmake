@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/prefetch_whatif.dir/prefetch_whatif.cpp.o"
+  "CMakeFiles/prefetch_whatif.dir/prefetch_whatif.cpp.o.d"
+  "prefetch_whatif"
+  "prefetch_whatif.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/prefetch_whatif.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

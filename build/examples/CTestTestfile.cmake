@@ -1,0 +1,20 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/examples
+# Build directory: /root/repo/build/examples
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(example_quickstart "/root/repo/build/examples/quickstart")
+set_tests_properties(example_quickstart PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;21;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_kernel_zoo "/root/repo/build/examples/kernel_zoo" "2048")
+set_tests_properties(example_kernel_zoo PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;22;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_prefetch_whatif "/root/repo/build/examples/prefetch_whatif")
+set_tests_properties(example_prefetch_whatif PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;23;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fmm_gravity "/root/repo/build/examples/fmm_gravity" "8192" "64" "4")
+set_tests_properties(example_fmm_gravity PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;24;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_field_map "/root/repo/build/examples/field_map" "4096" "24")
+set_tests_properties(example_field_map PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;25;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_autotune_dvfs "/root/repo/build/examples/autotune_dvfs")
+set_tests_properties(example_autotune_dvfs PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;26;add_test;/root/repo/examples/CMakeLists.txt;0;")
+add_test(example_fmm_energy_profile "/root/repo/build/examples/fmm_energy_profile" "16384" "64")
+set_tests_properties(example_fmm_energy_profile PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/examples/CMakeLists.txt;27;add_test;/root/repo/examples/CMakeLists.txt;0;")

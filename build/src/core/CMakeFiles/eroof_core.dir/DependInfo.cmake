@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/autotune.cpp" "src/core/CMakeFiles/eroof_core.dir/autotune.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/autotune.cpp.o.d"
+  "/root/repo/src/core/crossval.cpp" "src/core/CMakeFiles/eroof_core.dir/crossval.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/crossval.cpp.o.d"
+  "/root/repo/src/core/fit.cpp" "src/core/CMakeFiles/eroof_core.dir/fit.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/fit.cpp.o.d"
+  "/root/repo/src/core/model.cpp" "src/core/CMakeFiles/eroof_core.dir/model.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/model.cpp.o.d"
+  "/root/repo/src/core/profile.cpp" "src/core/CMakeFiles/eroof_core.dir/profile.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/profile.cpp.o.d"
+  "/root/repo/src/core/timemodel.cpp" "src/core/CMakeFiles/eroof_core.dir/timemodel.cpp.o" "gcc" "src/core/CMakeFiles/eroof_core.dir/timemodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

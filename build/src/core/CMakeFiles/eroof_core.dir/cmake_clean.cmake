@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_core.dir/autotune.cpp.o"
+  "CMakeFiles/eroof_core.dir/autotune.cpp.o.d"
+  "CMakeFiles/eroof_core.dir/crossval.cpp.o"
+  "CMakeFiles/eroof_core.dir/crossval.cpp.o.d"
+  "CMakeFiles/eroof_core.dir/fit.cpp.o"
+  "CMakeFiles/eroof_core.dir/fit.cpp.o.d"
+  "CMakeFiles/eroof_core.dir/model.cpp.o"
+  "CMakeFiles/eroof_core.dir/model.cpp.o.d"
+  "CMakeFiles/eroof_core.dir/profile.cpp.o"
+  "CMakeFiles/eroof_core.dir/profile.cpp.o.d"
+  "CMakeFiles/eroof_core.dir/timemodel.cpp.o"
+  "CMakeFiles/eroof_core.dir/timemodel.cpp.o.d"
+  "liberoof_core.a"
+  "liberoof_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_fft.dir/fft.cpp.o"
+  "CMakeFiles/eroof_fft.dir/fft.cpp.o.d"
+  "CMakeFiles/eroof_fft.dir/fft3.cpp.o"
+  "CMakeFiles/eroof_fft.dir/fft3.cpp.o.d"
+  "liberoof_fft.a"
+  "liberoof_fft.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_fft.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

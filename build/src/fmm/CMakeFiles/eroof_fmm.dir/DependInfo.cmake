@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fmm/direct.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/direct.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/direct.cpp.o.d"
+  "/root/repo/src/fmm/evaluator.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/evaluator.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/evaluator.cpp.o.d"
+  "/root/repo/src/fmm/gpu_profile.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/gpu_profile.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/gpu_profile.cpp.o.d"
+  "/root/repo/src/fmm/kernel.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/kernel.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/kernel.cpp.o.d"
+  "/root/repo/src/fmm/lists.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/lists.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/lists.cpp.o.d"
+  "/root/repo/src/fmm/morton.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/morton.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/morton.cpp.o.d"
+  "/root/repo/src/fmm/octree.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/octree.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/octree.cpp.o.d"
+  "/root/repo/src/fmm/operators.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/operators.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/operators.cpp.o.d"
+  "/root/repo/src/fmm/pointgen.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/pointgen.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/pointgen.cpp.o.d"
+  "/root/repo/src/fmm/surface.cpp" "src/fmm/CMakeFiles/eroof_fmm.dir/surface.cpp.o" "gcc" "src/fmm/CMakeFiles/eroof_fmm.dir/surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/fft/CMakeFiles/eroof_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_fmm.dir/direct.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/direct.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/evaluator.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/evaluator.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/gpu_profile.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/gpu_profile.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/kernel.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/kernel.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/lists.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/lists.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/morton.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/morton.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/octree.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/octree.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/operators.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/operators.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/pointgen.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/pointgen.cpp.o.d"
+  "CMakeFiles/eroof_fmm.dir/surface.cpp.o"
+  "CMakeFiles/eroof_fmm.dir/surface.cpp.o.d"
+  "liberoof_fmm.a"
+  "liberoof_fmm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

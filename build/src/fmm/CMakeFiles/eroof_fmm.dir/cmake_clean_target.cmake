@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liberoof_fmm.a"
+)

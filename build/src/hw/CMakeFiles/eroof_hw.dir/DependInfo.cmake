@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/cachesim.cpp" "src/hw/CMakeFiles/eroof_hw.dir/cachesim.cpp.o" "gcc" "src/hw/CMakeFiles/eroof_hw.dir/cachesim.cpp.o.d"
+  "/root/repo/src/hw/counters.cpp" "src/hw/CMakeFiles/eroof_hw.dir/counters.cpp.o" "gcc" "src/hw/CMakeFiles/eroof_hw.dir/counters.cpp.o.d"
+  "/root/repo/src/hw/dvfs.cpp" "src/hw/CMakeFiles/eroof_hw.dir/dvfs.cpp.o" "gcc" "src/hw/CMakeFiles/eroof_hw.dir/dvfs.cpp.o.d"
+  "/root/repo/src/hw/powermon.cpp" "src/hw/CMakeFiles/eroof_hw.dir/powermon.cpp.o" "gcc" "src/hw/CMakeFiles/eroof_hw.dir/powermon.cpp.o.d"
+  "/root/repo/src/hw/soc.cpp" "src/hw/CMakeFiles/eroof_hw.dir/soc.cpp.o" "gcc" "src/hw/CMakeFiles/eroof_hw.dir/soc.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

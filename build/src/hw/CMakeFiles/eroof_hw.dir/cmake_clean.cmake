@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_hw.dir/cachesim.cpp.o"
+  "CMakeFiles/eroof_hw.dir/cachesim.cpp.o.d"
+  "CMakeFiles/eroof_hw.dir/counters.cpp.o"
+  "CMakeFiles/eroof_hw.dir/counters.cpp.o.d"
+  "CMakeFiles/eroof_hw.dir/dvfs.cpp.o"
+  "CMakeFiles/eroof_hw.dir/dvfs.cpp.o.d"
+  "CMakeFiles/eroof_hw.dir/powermon.cpp.o"
+  "CMakeFiles/eroof_hw.dir/powermon.cpp.o.d"
+  "CMakeFiles/eroof_hw.dir/soc.cpp.o"
+  "CMakeFiles/eroof_hw.dir/soc.cpp.o.d"
+  "liberoof_hw.a"
+  "liberoof_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

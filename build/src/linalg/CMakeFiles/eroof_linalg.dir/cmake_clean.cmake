@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_linalg.dir/cholesky.cpp.o"
+  "CMakeFiles/eroof_linalg.dir/cholesky.cpp.o.d"
+  "CMakeFiles/eroof_linalg.dir/matrix.cpp.o"
+  "CMakeFiles/eroof_linalg.dir/matrix.cpp.o.d"
+  "CMakeFiles/eroof_linalg.dir/nnls.cpp.o"
+  "CMakeFiles/eroof_linalg.dir/nnls.cpp.o.d"
+  "CMakeFiles/eroof_linalg.dir/qr.cpp.o"
+  "CMakeFiles/eroof_linalg.dir/qr.cpp.o.d"
+  "CMakeFiles/eroof_linalg.dir/svd.cpp.o"
+  "CMakeFiles/eroof_linalg.dir/svd.cpp.o.d"
+  "liberoof_linalg.a"
+  "liberoof_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

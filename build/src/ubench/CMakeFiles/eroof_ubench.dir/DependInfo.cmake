@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ubench/campaign.cpp" "src/ubench/CMakeFiles/eroof_ubench.dir/campaign.cpp.o" "gcc" "src/ubench/CMakeFiles/eroof_ubench.dir/campaign.cpp.o.d"
+  "/root/repo/src/ubench/kernels.cpp" "src/ubench/CMakeFiles/eroof_ubench.dir/kernels.cpp.o" "gcc" "src/ubench/CMakeFiles/eroof_ubench.dir/kernels.cpp.o.d"
+  "/root/repo/src/ubench/suite.cpp" "src/ubench/CMakeFiles/eroof_ubench.dir/suite.cpp.o" "gcc" "src/ubench/CMakeFiles/eroof_ubench.dir/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

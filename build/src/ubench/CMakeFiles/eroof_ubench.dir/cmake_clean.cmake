@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_ubench.dir/campaign.cpp.o"
+  "CMakeFiles/eroof_ubench.dir/campaign.cpp.o.d"
+  "CMakeFiles/eroof_ubench.dir/kernels.cpp.o"
+  "CMakeFiles/eroof_ubench.dir/kernels.cpp.o.d"
+  "CMakeFiles/eroof_ubench.dir/suite.cpp.o"
+  "CMakeFiles/eroof_ubench.dir/suite.cpp.o.d"
+  "liberoof_ubench.a"
+  "liberoof_ubench.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/eroof_util.dir/csv.cpp.o"
+  "CMakeFiles/eroof_util.dir/csv.cpp.o.d"
+  "CMakeFiles/eroof_util.dir/stats.cpp.o"
+  "CMakeFiles/eroof_util.dir/stats.cpp.o.d"
+  "CMakeFiles/eroof_util.dir/table.cpp.o"
+  "CMakeFiles/eroof_util.dir/table.cpp.o.d"
+  "liberoof_util.a"
+  "liberoof_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/eroof_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

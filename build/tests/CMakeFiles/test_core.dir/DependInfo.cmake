@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/test_autotune.cpp" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "/root/repo/tests/core/test_crossval.cpp" "tests/CMakeFiles/test_core.dir/core/test_crossval.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_crossval.cpp.o.d"
+  "/root/repo/tests/core/test_fit.cpp" "tests/CMakeFiles/test_core.dir/core/test_fit.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_fit.cpp.o.d"
+  "/root/repo/tests/core/test_model.cpp" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "/root/repo/tests/core/test_profile.cpp" "tests/CMakeFiles/test_core.dir/core/test_profile.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_profile.cpp.o.d"
+  "/root/repo/tests/core/test_timemodel.cpp" "tests/CMakeFiles/test_core.dir/core/test_timemodel.cpp.o" "gcc" "tests/CMakeFiles/test_core.dir/core/test_timemodel.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eroof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmm/CMakeFiles/eroof_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/eroof_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/eroof_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

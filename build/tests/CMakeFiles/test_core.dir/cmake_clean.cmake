@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_autotune.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_crossval.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_crossval.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_fit.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_fit.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_model.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_profile.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_profile.cpp.o.d"
+  "CMakeFiles/test_core.dir/core/test_timemodel.cpp.o"
+  "CMakeFiles/test_core.dir/core/test_timemodel.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

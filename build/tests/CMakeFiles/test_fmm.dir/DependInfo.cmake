@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/fmm/test_accuracy.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_accuracy.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_accuracy.cpp.o.d"
+  "/root/repo/tests/fmm/test_edge_cases.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_edge_cases.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_edge_cases.cpp.o.d"
+  "/root/repo/tests/fmm/test_evaluate_at.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_evaluate_at.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_evaluate_at.cpp.o.d"
+  "/root/repo/tests/fmm/test_geometry.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_geometry.cpp.o.d"
+  "/root/repo/tests/fmm/test_gpu_profile.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_gpu_profile.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_gpu_profile.cpp.o.d"
+  "/root/repo/tests/fmm/test_invariance.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_invariance.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_invariance.cpp.o.d"
+  "/root/repo/tests/fmm/test_kernels.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_kernels.cpp.o.d"
+  "/root/repo/tests/fmm/test_lists.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_lists.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_lists.cpp.o.d"
+  "/root/repo/tests/fmm/test_morton.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_morton.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_morton.cpp.o.d"
+  "/root/repo/tests/fmm/test_morton_property.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_morton_property.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_morton_property.cpp.o.d"
+  "/root/repo/tests/fmm/test_octree.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_octree.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_octree.cpp.o.d"
+  "/root/repo/tests/fmm/test_operators.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_operators.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_operators.cpp.o.d"
+  "/root/repo/tests/fmm/test_surface.cpp" "tests/CMakeFiles/test_fmm.dir/fmm/test_surface.cpp.o" "gcc" "tests/CMakeFiles/test_fmm.dir/fmm/test_surface.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eroof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmm/CMakeFiles/eroof_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/eroof_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/eroof_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,36 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_fmm.dir/fmm/test_accuracy.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_accuracy.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_edge_cases.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_edge_cases.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_evaluate_at.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_evaluate_at.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_geometry.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_geometry.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_gpu_profile.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_gpu_profile.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_invariance.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_invariance.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_kernels.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_kernels.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_lists.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_lists.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_morton.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_morton.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_morton_property.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_morton_property.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_octree.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_octree.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_operators.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_operators.cpp.o.d"
+  "CMakeFiles/test_fmm.dir/fmm/test_surface.cpp.o"
+  "CMakeFiles/test_fmm.dir/fmm/test_surface.cpp.o.d"
+  "test_fmm"
+  "test_fmm.pdb"
+  "test_fmm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_fmm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

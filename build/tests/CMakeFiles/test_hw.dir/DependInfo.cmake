@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hw/test_cachesim.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cachesim.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cachesim.cpp.o.d"
+  "/root/repo/tests/hw/test_cachesim_property.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_cachesim_property.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_cachesim_property.cpp.o.d"
+  "/root/repo/tests/hw/test_counters.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_counters.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_counters.cpp.o.d"
+  "/root/repo/tests/hw/test_dvfs.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_dvfs.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_dvfs.cpp.o.d"
+  "/root/repo/tests/hw/test_powermon.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_powermon.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_powermon.cpp.o.d"
+  "/root/repo/tests/hw/test_soc.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_soc.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_soc.cpp.o.d"
+  "/root/repo/tests/hw/test_soc_activity.cpp" "tests/CMakeFiles/test_hw.dir/hw/test_soc_activity.cpp.o" "gcc" "tests/CMakeFiles/test_hw.dir/hw/test_soc_activity.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eroof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmm/CMakeFiles/eroof_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/eroof_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/eroof_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hw.dir/hw/test_cachesim.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cachesim.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_cachesim_property.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_cachesim_property.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_counters.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_counters.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_dvfs.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_dvfs.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_powermon.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_powermon.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_soc.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_soc.cpp.o.d"
+  "CMakeFiles/test_hw.dir/hw/test_soc_activity.cpp.o"
+  "CMakeFiles/test_hw.dir/hw/test_soc_activity.cpp.o.d"
+  "test_hw"
+  "test_hw.pdb"
+  "test_hw[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

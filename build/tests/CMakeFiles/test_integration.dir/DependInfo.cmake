@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration/test_pipeline.cpp" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o" "gcc" "tests/CMakeFiles/test_integration.dir/integration/test_pipeline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/eroof_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/fmm/CMakeFiles/eroof_fmm.dir/DependInfo.cmake"
+  "/root/repo/build/src/ubench/CMakeFiles/eroof_ubench.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/eroof_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/fft/CMakeFiles/eroof_fft.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/eroof_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/eroof_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

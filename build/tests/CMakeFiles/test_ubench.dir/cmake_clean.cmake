@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ubench.dir/ubench/test_campaign.cpp.o"
+  "CMakeFiles/test_ubench.dir/ubench/test_campaign.cpp.o.d"
+  "CMakeFiles/test_ubench.dir/ubench/test_kernels.cpp.o"
+  "CMakeFiles/test_ubench.dir/ubench/test_kernels.cpp.o.d"
+  "CMakeFiles/test_ubench.dir/ubench/test_suite.cpp.o"
+  "CMakeFiles/test_ubench.dir/ubench/test_suite.cpp.o.d"
+  "test_ubench"
+  "test_ubench.pdb"
+  "test_ubench[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ubench.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
