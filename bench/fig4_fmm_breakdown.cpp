@@ -6,16 +6,21 @@
 // instructions for all inputs; DRAM accesses are only ~13% of all data
 // accesses. Counts are independent of the DVFS setting.
 //
-// Writes fig4_instructions.csv / fig4_data.csv next to the binary.
+// Writes fig4_instructions.csv / fig4_data.csv next to the binary. With
+// `--trace=out.json`, the per-input profiling pipeline is recorded to a
+// chrome://tracing file whose counter registry holds the modeled op counts
+// ("profile.<phase>.<class>") the figure is computed from.
 #include <iostream>
 
 #include "bench/common.hpp"
+#include "trace/export.hpp"
 #include "util/csv.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace eroof;
   using hw::OpClass;
+  trace::CliTracer tracer(argc, argv);
 
   std::cout << "Figure 4: FMM instruction and data-access breakdown per "
                "input (percent)\n\n";
@@ -32,8 +37,13 @@ int main() {
                      {"input", "sm_pct", "l1_pct", "l2_pct", "dram_pct"});
 
   for (const auto& in : bench::kFmmInputs) {
+    trace::ScopedSpan span(in.id, "bench.input");
     const auto prof = bench::profile_fmm_input(in);
     const auto total = prof.total(in.id);
+    if (span.active()) {
+      span.arg("n", static_cast<double>(in.n));
+      span.arg("q", static_cast<double>(in.q));
+    }
     const auto& o = total.ops;
 
     const double insts = o.compute_ops();

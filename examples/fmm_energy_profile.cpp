@@ -4,6 +4,10 @@
 // the fitted energy model, and prints the per-phase time/energy breakdown
 // plus the instruction / data-access / constant-power decomposition -- the
 // kind of report a performance analyst would use to find energy bottlenecks.
+// With `--trace=out.json` (and/or `--trace-csv=prefix`) the whole run is
+// recorded to a chrome://tracing file: the six FMM phase spans with their
+// work tallies, the campaign cells, the fitted-model residuals, and the
+// PowerMon sample stream.
 #include <iostream>
 
 #include "core/fit.hpp"
@@ -11,11 +15,13 @@
 #include "fmm/evaluator.hpp"
 #include "fmm/gpu_profile.hpp"
 #include "fmm/pointgen.hpp"
+#include "trace/export.hpp"
 #include "ubench/campaign.hpp"
 #include "util/table.hpp"
 
 int main(int argc, char** argv) {
   using namespace eroof;
+  trace::CliTracer tracer(argc, argv);
   const std::size_t n = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 65536;
   const std::uint32_t q = argc > 2
                               ? static_cast<std::uint32_t>(std::atoi(argv[2]))
@@ -40,6 +46,12 @@ int main(int argc, char** argv) {
       {.max_points_per_box = q,
        .uniform_depth = fmm::Octree::uniform_depth_for(n, q)},
       fmm::FmmConfig{.p = 4});
+  if (tracer.enabled()) {
+    // Run the evaluation for real so the trace holds the six phase spans
+    // with their work tallies, not just the modeled GPU profile.
+    const std::vector<double> dens(n, 1.0);
+    ev.evaluate(dens);
+  }
   const auto prof = fmm::profile_gpu_execution(ev);
 
   const auto setting = hw::setting(852, 924);

@@ -2,6 +2,7 @@
 
 #include <limits>
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::model {
@@ -35,6 +36,9 @@ TuneOutcome autotune(const EnergyModel& model,
                      std::span<const hw::Measurement> grid, double tie_tol) {
   EROOF_REQUIRE(!grid.empty());
 
+  trace::ScopedSpan span("autotune", "model.autotune");
+  trace::TraceSession* ts = trace::session();
+
   TuneOutcome out;
   double best_pred = std::numeric_limits<double>::infinity();
   double best_time = std::numeric_limits<double>::infinity();
@@ -44,6 +48,13 @@ TuneOutcome autotune(const EnergyModel& model,
     const hw::Measurement& m = grid[i];
 
     const double pred = model.predict_energy_j(m.ops, m.setting, m.time_s);
+    if (ts) {
+      // Per-candidate predicted vs ground-truth energy, as counter tracks.
+      const std::int64_t t = ts->now_us();
+      ts->emit_counter("autotune.predicted_j", t, pred);
+      ts->emit_counter("autotune.measured_j", t, m.energy_j);
+      ts->add_counter_total("autotune.candidates", 1);
+    }
     if (pred < best_pred) {
       best_pred = pred;
       out.model_idx = i;
@@ -76,6 +87,14 @@ TuneOutcome autotune(const EnergyModel& model,
   out.oracle_lost_pct = lost_pct(out.oracle_idx);
   out.model_correct = out.model_lost_pct <= 100.0 * tie_tol;
   out.oracle_correct = out.oracle_lost_pct <= 100.0 * tie_tol;
+  if (span.active()) {
+    span.arg("candidates", static_cast<double>(grid.size()));
+    span.arg("model_idx", static_cast<double>(out.model_idx));
+    span.arg("oracle_idx", static_cast<double>(out.oracle_idx));
+    span.arg("best_idx", static_cast<double>(out.best_idx));
+    span.arg("model_lost_pct", out.model_lost_pct);
+    span.arg("oracle_lost_pct", out.oracle_lost_pct);
+  }
   return out;
 }
 

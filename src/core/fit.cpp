@@ -1,9 +1,11 @@
 #include "core/fit.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "linalg/matrix.hpp"
 #include "linalg/nnls.hpp"
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::model {
@@ -70,6 +72,28 @@ FitResult fit_energy_model(std::span<const FitSample> samples) {
   out.model.c1_proc = x[kNumCoeffs + 0];
   out.model.c1_mem = x[kNumCoeffs + 1];
   out.model.p_misc = x[kNumCoeffs + 2];
+
+  // Record the fitted model's per-sample residuals (predicted minus
+  // measured energy, via the un-scaled coefficients) so a trace aligns fit
+  // quality with the campaign that produced the samples.
+  if (trace::TraceSession* ts = trace::session()) {
+    trace::ScopedSpan span("fit_energy_model", "model.fit");
+    double max_abs = 0;
+    for (std::size_t i = 0; i < m; ++i) {
+      const auto row = design_row(samples[i]);
+      double pred = 0;
+      for (std::size_t j = 0; j < kNumFitColumns; ++j) pred += row[j] * x[j];
+      const double resid = pred - samples[i].energy_j;
+      max_abs = std::max(max_abs, std::abs(resid));
+      ts->emit_counter("fit.residual_j", ts->now_us(), resid);
+    }
+    span.arg("n_samples", static_cast<double>(m));
+    span.arg("residual_norm_j", out.residual_norm);
+    span.arg("max_abs_residual_j", max_abs);
+    span.arg("converged", out.converged ? 1.0 : 0.0);
+    ts->add_counter_total("fit.n_samples", static_cast<double>(m));
+    ts->add_counter_total("fit.max_abs_residual_j", max_abs);
+  }
   return out;
 }
 

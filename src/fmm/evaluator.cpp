@@ -2,13 +2,34 @@
 
 #include <algorithm>
 #include <cmath>
+#include <string>
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::fmm {
 namespace {
 
 constexpr int kMinLevel = 2;  // expansions exist from this level down
+
+/// Annotates a finished phase span with the phase's tallies and mirrors them
+/// into the session's counter registry as "fmm.<phase>.<tally>" so
+/// regression tests can compare runs bit-for-bit.
+void record_phase(trace::ScopedSpan& span, const char* phase,
+                  const FmmStats::Phase& p) {
+  if (!span.active()) return;
+  span.arg("kernel_evals", p.kernel_evals);
+  span.arg("pair_count", p.pair_count);
+  span.arg("ffts", p.ffts);
+  span.arg("hadamard_cmuls", p.hadamard_cmuls);
+  span.arg("solve_matvecs", p.solve_matvecs);
+  const std::string prefix = std::string("fmm.") + phase + ".";
+  trace::counter_add(prefix + "kernel_evals", p.kernel_evals);
+  trace::counter_add(prefix + "pair_count", p.pair_count);
+  trace::counter_add(prefix + "ffts", p.ffts);
+  trace::counter_add(prefix + "hadamard_cmuls", p.hadamard_cmuls);
+  trace::counter_add(prefix + "solve_matvecs", p.solve_matvecs);
+}
 
 /// y += M x  (dense, row-major), tallying into `matvecs`.
 void add_matvec(const la::Matrix& m, std::span<const double> x,
@@ -47,13 +68,46 @@ std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
   down_check_.assign(n_nodes, std::vector<double>(ns, 0.0));
   down_equiv_.assign(n_nodes, {});
 
-  upward_pass(dens);
-  v_phase();
-  x_phase(dens);
-  downward_pass();
+  trace::ScopedSpan eval_span("evaluate", "fmm");
+  if (eval_span.active()) {
+    eval_span.arg("n_points", static_cast<double>(dens.size()));
+    eval_span.arg("n_nodes", static_cast<double>(n_nodes));
+  }
 
   std::vector<double> phi(dens.size(), 0.0);
-  leaf_outputs(dens, phi);
+  {
+    trace::ScopedSpan span("UP", "fmm.phase");
+    upward_pass(dens);
+    record_phase(span, "UP", stats_.up);
+  }
+  {
+    trace::ScopedSpan span("V", "fmm.phase");
+    v_phase();
+    record_phase(span, "V", stats_.v);
+  }
+  {
+    trace::ScopedSpan span("X", "fmm.phase");
+    x_phase(dens);
+    record_phase(span, "X", stats_.x);
+  }
+  {
+    // DOWN covers the DC2E/L2L sweep and the L2P leaf outputs: both tally
+    // into stats_.down, matching the paper's phase taxonomy.
+    trace::ScopedSpan span("DOWN", "fmm.phase");
+    downward_pass();
+    l2p_pass(phi);
+    record_phase(span, "DOWN", stats_.down);
+  }
+  {
+    trace::ScopedSpan span("U", "fmm.phase");
+    u_pass(dens, phi);
+    record_phase(span, "U", stats_.u);
+  }
+  {
+    trace::ScopedSpan span("W", "fmm.phase");
+    w_pass(phi);
+    record_phase(span, "W", stats_.w);
+  }
 
   // Un-permute the potentials to the caller's order.
   std::vector<double> out(phi.size());
@@ -282,31 +336,45 @@ void FmmEvaluator::downward_pass() {
   }
 }
 
-void FmmEvaluator::leaf_outputs(std::span<const double> dens,
-                                std::span<double> phi) {
+void FmmEvaluator::l2p_pass(std::span<double> phi) {
   const auto pts = tree_.points();
   const std::size_t ns = ops_.n_surf();
   const auto& leaves = tree_.leaves();
 
+  // L2P: downward equivalent density -> target points.
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
     const Node& node = tree_.node(b);
-
-    // L2P: downward equivalent density -> target points.
-    if (node.level() >= kMinLevel) {
-      const auto equiv_pts =
-          surface_points(ops_.p(), node.box, kRadiusOuter);
-      const auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
-      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
-        double acc = 0;
-        for (std::size_t j = 0; j < ns; ++j)
-          acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
-        phi[i] += acc;
-      }
+    if (node.level() < kMinLevel) continue;
+    const auto equiv_pts = surface_points(ops_.p(), node.box, kRadiusOuter);
+    const auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
+    for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
+      double acc = 0;
+      for (std::size_t j = 0; j < ns; ++j)
+        acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
+      phi[i] += acc;
     }
+  }
 
-    // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
+  for (const int b : leaves) {
+    const Node& node = tree_.node(b);
+    if (node.level() >= kMinLevel)
+      stats_.down.kernel_evals +=
+          node.num_points() * static_cast<double>(ns);
+  }
+}
+
+void FmmEvaluator::u_pass(std::span<const double> dens,
+                          std::span<double> phi) {
+  const auto pts = tree_.points();
+  const auto& leaves = tree_.leaves();
+
+  // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    const int b = leaves[li];
+    const Node& node = tree_.node(b);
     for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
       const Node& src = tree_.node(a);
       for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
@@ -316,8 +384,28 @@ void FmmEvaluator::leaf_outputs(std::span<const double> dens,
         phi[i] += acc;
       }
     }
+  }
 
-    // W: M2P from W-node equivalent densities.
+  for (const int b : leaves) {
+    const double npts = tree_.node(b).num_points();
+    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
+      stats_.u.kernel_evals +=
+          npts * static_cast<double>(tree_.node(a).num_points());
+      stats_.u.pair_count += 1;
+    }
+  }
+}
+
+void FmmEvaluator::w_pass(std::span<double> phi) {
+  const auto pts = tree_.points();
+  const std::size_t ns = ops_.n_surf();
+  const auto& leaves = tree_.leaves();
+
+  // W: M2P from W-node equivalent densities.
+#pragma omp parallel for schedule(dynamic)
+  for (std::size_t li = 0; li < leaves.size(); ++li) {
+    const int b = leaves[li];
+    const Node& node = tree_.node(b);
     for (const int a : lists_.w[static_cast<std::size_t>(b)]) {
       const auto equiv_pts =
           surface_points(ops_.p(), tree_.node(a).box, kRadiusInner);
@@ -331,18 +419,10 @@ void FmmEvaluator::leaf_outputs(std::span<const double> dens,
     }
   }
 
-  // Tallies.
   for (const int b : leaves) {
-    const Node& node = tree_.node(b);
-    const double npts = node.num_points();
-    if (node.level() >= kMinLevel)
-      stats_.down.kernel_evals += npts * static_cast<double>(ns);
-    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
-      stats_.u.kernel_evals +=
-          npts * static_cast<double>(tree_.node(a).num_points());
-      stats_.u.pair_count += 1;
-    }
-    for ([[maybe_unused]] const int a : lists_.w[static_cast<std::size_t>(b)]) {
+    const double npts = tree_.node(b).num_points();
+    for ([[maybe_unused]] const int a :
+         lists_.w[static_cast<std::size_t>(b)]) {
       stats_.w.kernel_evals += npts * static_cast<double>(ns);
       stats_.w.pair_count += 1;
     }

@@ -47,6 +47,11 @@ class FmmEvaluator {
 
   /// Potentials at every point for the given densities; both vectors are in
   /// the caller's original point order. Self-interactions excluded.
+  ///
+  /// When a trace::TraceSession is installed, each phase emits exactly one
+  /// span (category "fmm.phase", names UP/U/V/W/X/DOWN) carrying its
+  /// FmmStats tallies as args, plus registry totals "fmm.<phase>.<tally>",
+  /// all nested under one "evaluate" span (category "fmm").
   std::vector<double> evaluate(std::span<const double> densities);
 
   const Octree& tree() const { return tree_; }
@@ -75,7 +80,9 @@ class FmmEvaluator {
   void v_phase();
   void x_phase(std::span<const double> dens);
   void downward_pass();
-  void leaf_outputs(std::span<const double> dens, std::span<double> phi);
+  void l2p_pass(std::span<double> phi);
+  void u_pass(std::span<const double> dens, std::span<double> phi);
+  void w_pass(std::span<double> phi);
 
   const Kernel& kernel_;
   Octree tree_;

@@ -2,7 +2,9 @@
 
 #include <cmath>
 #include <sstream>
+#include <string>
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::fmm {
@@ -105,18 +107,38 @@ class Profiler {
                                      1)) {}
 
   FmmGpuProfile run() {
+    trace::ScopedSpan span("profile_gpu_execution", "fmm.profile");
     FmmGpuProfile out;
-    out.phases.push_back(phase_up());
-    out.phases.push_back(phase_u());
-    out.phases.push_back(phase_v());
-    out.phases.push_back(phase_w());
-    out.phases.push_back(phase_x());
-    out.phases.push_back(phase_down());
+    out.phases.push_back(traced("UP", &Profiler::phase_up));
+    out.phases.push_back(traced("U", &Profiler::phase_u));
+    out.phases.push_back(traced("V", &Profiler::phase_v));
+    out.phases.push_back(traced("W", &Profiler::phase_w));
+    out.phases.push_back(traced("X", &Profiler::phase_x));
+    out.phases.push_back(traced("DOWN", &Profiler::phase_down));
     return out;
   }
 
  private:
   static constexpr int kMinLevel = 2;
+
+  /// Spans one modeled phase and mirrors its derived op counts into the
+  /// counter registry ("profile.<phase>.<class>") -- the numbers the
+  /// paper's Fig. 4 breakdown is computed from, guarded bit-for-bit by the
+  /// deterministic-pipeline regression test.
+  GpuPhaseProfile traced(const char* name,
+                         GpuPhaseProfile (Profiler::*phase_fn)()) {
+    trace::ScopedSpan span(name, "fmm.profile");
+    GpuPhaseProfile out = (this->*phase_fn)();
+    if (span.active()) {
+      const std::string prefix = std::string("profile.") + name + ".";
+      for (std::size_t i = 0; i < hw::kNumOpClasses; ++i) {
+        const std::string cls(hw::kOpClassNames[i]);
+        span.arg(cls, out.workload.ops.n[i]);
+        trace::counter_add(prefix + cls, out.workload.ops.n[i]);
+      }
+    }
+    return out;
+  }
 
   struct Acc {
     double sp = 0;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::hw {
@@ -32,6 +33,13 @@ PowerTrace PowerMon::measure(double duration_s,
       std::max<std::size_t>(2, static_cast<std::size_t>(duration_s / dt) + 1);
   const double step = duration_s / static_cast<double>(nsamples - 1);
 
+  // When a trace session is installed, the sample stream is mirrored into
+  // it as a "power_w" counter track anchored at the wall-clock moment this
+  // measurement started, with samples spread over the *simulated* duration
+  // -- so a single trace file overlays the power curve on the phase spans.
+  trace::TraceSession* ts = trace::session();
+  const std::int64_t base_us = ts ? ts->now_us() : 0;
+
   PowerTrace trace;
   trace.duration_s = duration_s;
   trace.samples_w.reserve(nsamples);
@@ -39,6 +47,10 @@ PowerTrace PowerMon::measure(double duration_s,
     const double t = static_cast<double>(i) * step;
     const double noisy = power_w(t) + rng.normal(0.0, cfg_.noise_w);
     trace.samples_w.push_back(quantize(noisy));
+    if (ts)
+      ts->emit_counter("power_w",
+                       base_us + static_cast<std::int64_t>(t * 1e6),
+                       trace.samples_w.back());
   }
 
   double energy = 0;
@@ -46,6 +58,11 @@ PowerTrace PowerMon::measure(double duration_s,
     energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
   trace.energy_j = energy;
   trace.avg_power_w = energy / duration_s;
+  if (ts) {
+    ts->add_counter_total("powermon.samples",
+                          static_cast<double>(nsamples));
+    ts->add_counter_total("powermon.energy_j", energy);
+  }
   return trace;
 }
 

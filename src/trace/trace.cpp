@@ -1,0 +1,101 @@
+#include "trace/trace.hpp"
+
+namespace eroof::trace {
+namespace {
+
+std::atomic<TraceSession*> g_session{nullptr};
+
+// Session-scope thread indices: the first thread to emit gets 0, the next 1,
+// and so on. Stable for the life of the process (OpenMP worker pools are
+// reused across parallel regions, so phase spans from the same worker share
+// a tid row in the chrome timeline).
+std::uint32_t thread_index() {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id = next.fetch_add(1);
+  return id;
+}
+
+int& nesting_depth() {
+  thread_local int depth = 0;
+  return depth;
+}
+
+}  // namespace
+
+TraceSession::TraceSession() : epoch_(Clock::now()) {}
+
+std::int64_t TraceSession::now_us() const {
+  return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                               epoch_)
+      .count();
+}
+
+void TraceSession::emit_span(SpanEvent ev) {
+  std::lock_guard<std::mutex> lock(mu_);
+  spans_.push_back(std::move(ev));
+}
+
+void TraceSession::emit_counter(std::string_view name, std::int64_t t_us,
+                                double value) {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_.push_back(CounterEvent{std::string(name), t_us, value});
+}
+
+void TraceSession::add_counter_total(std::string_view name, double delta) {
+  std::lock_guard<std::mutex> lock(mu_);
+  totals_[std::string(name)] += delta;
+}
+
+std::vector<SpanEvent> TraceSession::spans() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return spans_;
+}
+
+std::vector<CounterEvent> TraceSession::counter_samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_;
+}
+
+std::map<std::string, double> TraceSession::counter_totals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return totals_;
+}
+
+void install(TraceSession* session) {
+  g_session.store(session, std::memory_order_release);
+}
+
+TraceSession* session() {
+  return g_session.load(std::memory_order_relaxed);
+}
+
+ScopedSpan::ScopedSpan(std::string_view name, std::string_view category)
+    : session_(session()) {
+  if (!session_) return;
+  event_.name = std::string(name);
+  event_.category = std::string(category);
+  event_.tid = thread_index();
+  event_.depth = nesting_depth()++;
+  start_ = Clock::now();
+  event_.start_us = session_->now_us();
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!session_) return;
+  event_.dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                      Clock::now() - start_)
+                      .count();
+  --nesting_depth();
+  session_->emit_span(std::move(event_));
+}
+
+void ScopedSpan::arg(std::string_view key, double value) {
+  if (!session_) return;
+  event_.args.push_back(Arg{std::string(key), value});
+}
+
+void counter_add(std::string_view name, double delta) {
+  if (TraceSession* s = session()) s->add_counter_total(name, delta);
+}
+
+}  // namespace eroof::trace

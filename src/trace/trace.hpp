@@ -1,0 +1,132 @@
+// Phase-level tracing & metrics (the observability layer).
+//
+// The paper's argument is built on attributing time and energy to individual
+// FMM phases (UP/U/V/W/X/DOWN, Figs. 4-6). This module records that
+// attribution in a machine-readable way: a process-wide TraceSession collects
+//
+//   * spans      -- named, nested wall-time intervals (ScopedSpan RAII),
+//                   each carrying key=value annotations such as a phase's
+//                   FmmStats tallies,
+//   * counter samples -- timestamped (t, value) points, e.g. the PowerMon
+//                   power stream, so one trace file aligns power with phases,
+//   * counter totals  -- a named-counter registry of deterministic running
+//                   sums (work tallies, sample counts) that regression tests
+//                   compare bit-for-bit across runs and thread counts.
+//
+// Exporters (trace/export.hpp) serialize a session to chrome://tracing JSON
+// and CSV. When no session is installed the instrumentation costs one
+// relaxed atomic load per call site and touches no clock -- hot paths stay
+// hot with tracing compiled in.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eroof::trace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One key=value annotation on a span (chrome tracing "args").
+struct Arg {
+  std::string key;
+  double value = 0;
+};
+
+/// A completed span (chrome tracing "ph":"X").
+struct SpanEvent {
+  std::string name;
+  std::string category;
+  std::uint32_t tid = 0;   ///< session-assigned thread index
+  std::int64_t start_us = 0;  ///< microseconds since session epoch
+  std::int64_t dur_us = 0;
+  int depth = 0;           ///< nesting depth on the emitting thread (0 = top)
+  std::vector<Arg> args;
+};
+
+/// A timestamped counter sample (chrome tracing "ph":"C").
+struct CounterEvent {
+  std::string name;
+  std::int64_t t_us = 0;
+  double value = 0;
+};
+
+/// Thread-safe event sink. Events are appended under a mutex; snapshot
+/// accessors copy, so a live session can be exported at any point.
+class TraceSession {
+ public:
+  TraceSession();
+  TraceSession(const TraceSession&) = delete;
+  TraceSession& operator=(const TraceSession&) = delete;
+
+  /// Microseconds elapsed since the session was constructed.
+  std::int64_t now_us() const;
+
+  void emit_span(SpanEvent ev);
+  void emit_counter(std::string_view name, std::int64_t t_us, double value);
+
+  /// Named-counter registry: totals += delta. Deterministic given a
+  /// deterministic sequence of calls (doubles are summed in call order on
+  /// each name; instrument from serial code for bit-reproducibility).
+  void add_counter_total(std::string_view name, double delta);
+
+  std::vector<SpanEvent> spans() const;
+  std::vector<CounterEvent> counter_samples() const;
+  /// Sorted by name, so exports and comparisons are order-independent.
+  std::map<std::string, double> counter_totals() const;
+
+ private:
+  Clock::time_point epoch_;
+  mutable std::mutex mu_;
+  std::vector<SpanEvent> spans_;
+  std::vector<CounterEvent> counters_;
+  std::map<std::string, double> totals_;
+};
+
+/// Installs `session` as the process-wide sink (nullptr disables tracing).
+/// Not owning; the caller keeps the session alive while installed.
+void install(TraceSession* session);
+
+/// The installed session, or nullptr when tracing is disabled. One relaxed
+/// atomic load; branch on it before doing any per-event work.
+TraceSession* session();
+
+/// RAII: installs a session for the guard's lifetime.
+class SessionGuard {
+ public:
+  explicit SessionGuard(TraceSession& s) { install(&s); }
+  ~SessionGuard() { install(nullptr); }
+  SessionGuard(const SessionGuard&) = delete;
+  SessionGuard& operator=(const SessionGuard&) = delete;
+};
+
+/// RAII span: captures the installed session at construction, times its own
+/// scope, and emits one SpanEvent at destruction. No-op when tracing is off.
+class ScopedSpan {
+ public:
+  explicit ScopedSpan(std::string_view name,
+                      std::string_view category = "default");
+  ~ScopedSpan();
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+  /// Attaches a key=value annotation (no-op when tracing is off).
+  void arg(std::string_view key, double value);
+
+  bool active() const { return session_ != nullptr; }
+
+ private:
+  TraceSession* session_;  ///< nullptr => disabled, every member is a no-op
+  SpanEvent event_;
+  Clock::time_point start_;
+};
+
+/// Bumps a registry total on the installed session; no-op when disabled.
+void counter_add(std::string_view name, double delta);
+
+}  // namespace eroof::trace

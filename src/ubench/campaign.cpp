@@ -1,5 +1,7 @@
 #include "ubench/campaign.hpp"
 
+#include "trace/trace.hpp"
+
 namespace eroof::ub {
 
 std::vector<Sample> run_campaign(const hw::Soc& soc,
@@ -7,17 +9,34 @@ std::vector<Sample> run_campaign(const hw::Soc& soc,
                                  const std::vector<hw::LabeledSetting>& settings,
                                  const hw::PowerMon& monitor,
                                  util::Rng& rng) {
+  trace::ScopedSpan campaign_span("run_campaign", "ubench");
   std::vector<Sample> samples;
   samples.reserve(points.size() * settings.size());
   for (const auto& [role, setting] : settings) {
     for (const auto& p : points) {
+      // One span per (kernel, f_proc, f_mem) campaign cell.
+      trace::ScopedSpan cell(p.workload.name, "ubench.sample");
       Sample s;
       s.cls = p.cls;
       s.intensity = p.intensity;
       s.role = role;
       s.meas = soc.run(p.workload, setting, monitor, rng);
+      if (cell.active()) {
+        cell.arg("f_proc_mhz", setting.core.freq_mhz);
+        cell.arg("f_mem_mhz", setting.mem.freq_mhz);
+        cell.arg("intensity", p.intensity);
+        cell.arg("time_s", s.meas.time_s);
+        cell.arg("energy_j", s.meas.energy_j);
+        trace::counter_add("ubench.samples", 1);
+        trace::counter_add("ubench.energy_j", s.meas.energy_j);
+        trace::counter_add("ubench.time_s", s.meas.time_s);
+      }
       samples.push_back(std::move(s));
     }
+  }
+  if (campaign_span.active()) {
+    campaign_span.arg("points", static_cast<double>(points.size()));
+    campaign_span.arg("settings", static_cast<double>(settings.size()));
   }
   return samples;
 }

@@ -1,0 +1,249 @@
+// Unit tests for the tracing & metrics subsystem: span nesting, the
+// named-counter registry, concurrent emission from OpenMP threads, and the
+// JSON / CSV exporters (including a bit-exact CSV round-trip).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <sstream>
+#include <string>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "trace/export.hpp"
+#include "trace/trace.hpp"
+
+namespace eroof::trace {
+namespace {
+
+bool bit_equal(double a, double b) {
+  return std::memcmp(&a, &b, sizeof(double)) == 0;
+}
+
+std::size_t count_occurrences(const std::string& hay, const std::string& pat) {
+  std::size_t n = 0;
+  for (std::size_t pos = hay.find(pat); pos != std::string::npos;
+       pos = hay.find(pat, pos + pat.size()))
+    ++n;
+  return n;
+}
+
+/// Structural JSON check: braces and brackets balance, ignoring string
+/// bodies (the exporter escapes quotes, so a simple state machine works).
+bool json_brackets_balanced(const std::string& s) {
+  int brace = 0;
+  int bracket = 0;
+  bool in_string = false;
+  bool escaped = false;
+  for (const char c : s) {
+    if (in_string) {
+      if (escaped)
+        escaped = false;
+      else if (c == '\\')
+        escaped = true;
+      else if (c == '"')
+        in_string = false;
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': ++brace; break;
+      case '}': --brace; break;
+      case '[': ++bracket; break;
+      case ']': --bracket; break;
+      default: break;
+    }
+    if (brace < 0 || bracket < 0) return false;
+  }
+  return brace == 0 && bracket == 0 && !in_string;
+}
+
+TEST(Trace, DisabledByDefaultAndAllOpsAreNoOps) {
+  ASSERT_EQ(session(), nullptr);
+  {
+    ScopedSpan span("orphan", "test");
+    EXPECT_FALSE(span.active());
+    span.arg("k", 1.0);  // must not crash
+  }
+  counter_add("orphan.counter", 1.0);  // must not crash
+  EXPECT_EQ(session(), nullptr);
+}
+
+TEST(Trace, SessionGuardInstallsAndUninstalls) {
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+    EXPECT_EQ(session(), &s);
+  }
+  EXPECT_EQ(session(), nullptr);
+}
+
+TEST(Trace, SpanNestingDepthsAndEmissionOrder) {
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+    ScopedSpan outer("outer", "test");
+    {
+      ScopedSpan inner("inner", "test");
+      { ScopedSpan leaf("leaf", "test"); }
+    }
+  }
+  const auto spans = s.spans();
+  ASSERT_EQ(spans.size(), 3u);
+  // Innermost scopes close first.
+  EXPECT_EQ(spans[0].name, "leaf");
+  EXPECT_EQ(spans[0].depth, 2);
+  EXPECT_EQ(spans[1].name, "inner");
+  EXPECT_EQ(spans[1].depth, 1);
+  EXPECT_EQ(spans[2].name, "outer");
+  EXPECT_EQ(spans[2].depth, 0);
+  // Containment: the outer span brackets the inner ones.
+  EXPECT_LE(spans[2].start_us, spans[1].start_us);
+  EXPECT_GE(spans[2].dur_us, spans[1].dur_us);
+  EXPECT_GE(spans[1].dur_us, spans[0].dur_us);
+}
+
+TEST(Trace, SpanArgsAndCategories) {
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+    ScopedSpan span("phase", "fmm.phase");
+    span.arg("kernel_evals", 123.5);
+    span.arg("pair_count", 7.0);
+  }
+  const auto spans = s.spans();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].category, "fmm.phase");
+  ASSERT_EQ(spans[0].args.size(), 2u);
+  EXPECT_EQ(spans[0].args[0].key, "kernel_evals");
+  EXPECT_EQ(spans[0].args[0].value, 123.5);
+  EXPECT_EQ(spans[0].args[1].key, "pair_count");
+  EXPECT_EQ(spans[0].args[1].value, 7.0);
+}
+
+TEST(Trace, CounterRegistryAccumulatesAndSortsByName) {
+  TraceSession s;
+  s.add_counter_total("zeta", 1.0);
+  s.add_counter_total("alpha", 2.0);
+  s.add_counter_total("zeta", 0.25);
+  const auto totals = s.counter_totals();
+  ASSERT_EQ(totals.size(), 2u);
+  EXPECT_EQ(totals.begin()->first, "alpha");  // std::map sorts keys
+  EXPECT_EQ(totals.at("alpha"), 2.0);
+  EXPECT_EQ(totals.at("zeta"), 1.25);
+}
+
+TEST(Trace, CounterSamplesKeepTimestampsAndValues) {
+  TraceSession s;
+  s.emit_counter("power_w", 10, 4.5);
+  s.emit_counter("power_w", 20, 5.5);
+  const auto samples = s.counter_samples();
+  ASSERT_EQ(samples.size(), 2u);
+  EXPECT_EQ(samples[0].t_us, 10);
+  EXPECT_EQ(samples[0].value, 4.5);
+  EXPECT_EQ(samples[1].t_us, 20);
+  EXPECT_EQ(samples[1].value, 5.5);
+}
+
+TEST(Trace, ConcurrentEmissionFromOpenMPThreads) {
+  constexpr int kIters = 256;
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+#pragma omp parallel for schedule(dynamic)
+    for (int i = 0; i < kIters; ++i) {
+      ScopedSpan span("work", "test.parallel");
+      span.arg("i", static_cast<double>(i));
+      counter_add("parallel.iters", 1.0);
+      counter_add("parallel.sum_i", static_cast<double>(i));
+    }
+  }
+  const auto spans = s.spans();
+  ASSERT_EQ(spans.size(), static_cast<std::size_t>(kIters));
+  double sum_i = 0;
+  for (const auto& sp : spans) {
+    EXPECT_EQ(sp.name, "work");
+    EXPECT_EQ(sp.depth, 0);  // no nesting inside the loop body
+    ASSERT_EQ(sp.args.size(), 1u);
+    sum_i += sp.args[0].value;
+  }
+  const double expect_sum = kIters * (kIters - 1) / 2.0;
+  EXPECT_EQ(sum_i, expect_sum);
+  const auto totals = s.counter_totals();
+  EXPECT_EQ(totals.at("parallel.iters"), static_cast<double>(kIters));
+  EXPECT_EQ(totals.at("parallel.sum_i"), expect_sum);
+}
+
+TEST(Trace, ChromeTraceJsonIsWellFormed) {
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+    ScopedSpan a("phase \"A\"\n", "cat\\weird");  // exporter must escape
+    a.arg("evals", 1.0 / 3.0);
+    { ScopedSpan b("B", "test"); }
+  }
+  s.emit_counter("power_w", 5, 4.25);
+  s.add_counter_total("total.one", 42.0);
+
+  std::ostringstream os;
+  write_chrome_trace(s, os);
+  const std::string json = os.str();
+
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\""), std::string::npos);
+  EXPECT_NE(json.find("total.one"), std::string::npos);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"X\""), 2u);
+  EXPECT_EQ(count_occurrences(json, "\"ph\":\"C\""), 1u);
+  EXPECT_TRUE(json_brackets_balanced(json)) << json;
+  // The raw quote and newline in the span name must have been escaped.
+  EXPECT_NE(json.find("phase \\\"A\\\"\\n"), std::string::npos);
+}
+
+TEST(Trace, CsvExportersRoundTripBitExactly) {
+  TraceSession s;
+  {
+    SessionGuard guard(s);
+    ScopedSpan a("span_a", "cat.x");
+    a.arg("third", 1.0 / 3.0);
+    a.arg("avogadro", 6.02214076e23);
+    a.arg("tiny", 1.0e-17);
+    { ScopedSpan b("span_b", "cat.y"); }
+  }
+  s.emit_counter("power_w", 123, 4.0 / 7.0);
+  s.add_counter_total("totals.pi_ish", 3.14159265358979312);
+
+  std::stringstream sp_csv;
+  write_spans_csv(s, sp_csv);
+  const auto spans = parse_spans_csv(sp_csv);
+  const auto orig = s.spans();
+  ASSERT_EQ(spans.size(), orig.size());
+  for (std::size_t i = 0; i < spans.size(); ++i) {
+    EXPECT_EQ(spans[i].name, orig[i].name);
+    EXPECT_EQ(spans[i].category, orig[i].category);
+    EXPECT_EQ(spans[i].tid, orig[i].tid);
+    EXPECT_EQ(spans[i].depth, orig[i].depth);
+    EXPECT_EQ(spans[i].start_us, orig[i].start_us);
+    EXPECT_EQ(spans[i].dur_us, orig[i].dur_us);
+    ASSERT_EQ(spans[i].args.size(), orig[i].args.size());
+    for (std::size_t j = 0; j < spans[i].args.size(); ++j) {
+      EXPECT_EQ(spans[i].args[j].key, orig[i].args[j].key);
+      EXPECT_TRUE(bit_equal(spans[i].args[j].value, orig[i].args[j].value))
+          << spans[i].args[j].key;
+    }
+  }
+
+  std::stringstream co_csv;
+  write_counters_csv(s, co_csv);
+  const auto counters = parse_counters_csv(co_csv);
+  ASSERT_EQ(counters.samples.size(), 1u);
+  EXPECT_EQ(counters.samples[0].name, "power_w");
+  EXPECT_EQ(counters.samples[0].t_us, 123);
+  EXPECT_TRUE(bit_equal(counters.samples[0].value, 4.0 / 7.0));
+  ASSERT_EQ(counters.totals.size(), 1u);
+  EXPECT_TRUE(bit_equal(counters.totals.at("totals.pi_ish"),
+                        3.14159265358979312));
+}
+
+}  // namespace
+}  // namespace eroof::trace
