@@ -1,10 +1,31 @@
 // Performance of the host FMM: setup, evaluation across N / Q / p, and
 // the O(N) vs O(N^2) crossover against the direct sum.
+//
+// Two modes:
+//   * default: the google-benchmark suite below.
+//   * --bench-json[=path]: a benchmark-trajectory harness that times
+//     repeated evaluate() calls (with a tracing session capturing per-phase
+//     span times), reduces them to median/p10/p90, and writes one
+//     machine-readable JSON file (default BENCH_fmm.json). CI runs this on
+//     every build so evaluate()-time regressions show up as a data point,
+//     not an anecdote.
 #include <benchmark/benchmark.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "fmm/direct.hpp"
 #include "fmm/evaluator.hpp"
 #include "fmm/pointgen.hpp"
+#include "trace/trace.hpp"
 #include "util/rng.hpp"
 
 namespace {
@@ -59,6 +80,168 @@ void BM_FmmSetup(benchmark::State& state) {
 }
 BENCHMARK(BM_FmmSetup)->Arg(16384)->Unit(benchmark::kMillisecond);
 
+// ---------------------------------------------------------------------------
+// --bench-json trajectory harness
+// ---------------------------------------------------------------------------
+
+constexpr const char* kPhases[] = {"UP", "V", "X", "DOWN", "U", "W"};
+
+/// Order statistics of one timing series (times in milliseconds).
+struct Summary {
+  double median = 0, p10 = 0, p90 = 0;
+};
+
+double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+Summary summarize(const std::vector<double>& xs) {
+  return {percentile(xs, 0.5), percentile(xs, 0.1), percentile(xs, 0.9)};
+}
+
+void write_summary(std::ofstream& out, const Summary& s) {
+  out << "{\"median_ms\": " << s.median << ", \"p10_ms\": " << s.p10
+      << ", \"p90_ms\": " << s.p90 << "}";
+}
+
+/// One measured configuration: repeated traced evaluations at a fixed
+/// thread count.
+struct Run {
+  int threads = 0;
+  Summary wall;
+  std::vector<std::pair<std::string, Summary>> phases;
+};
+
+Run measure(fmm::FmmEvaluator& ev, std::span<const double> dens, int threads,
+            int reps) {
+#ifdef _OPENMP
+  omp_set_num_threads(threads);
+#endif
+  std::vector<double> wall_ms;
+  std::vector<std::vector<double>> phase_ms(std::size(kPhases));
+  (void)ev.evaluate(dens);  // warm-up: sizes workspaces, faults arenas in
+  for (int r = 0; r < reps; ++r) {
+    trace::TraceSession session;
+    {
+      trace::SessionGuard guard(session);
+      auto phi = ev.evaluate(dens);
+      benchmark::DoNotOptimize(phi.data());
+    }
+    for (const auto& span : session.spans()) {
+      const double ms = static_cast<double>(span.dur_us) / 1000.0;
+      if (span.category == "fmm" && span.name == "evaluate")
+        wall_ms.push_back(ms);
+      if (span.category != "fmm.phase") continue;
+      for (std::size_t p = 0; p < std::size(kPhases); ++p)
+        if (span.name == kPhases[p]) phase_ms[p].push_back(ms);
+    }
+  }
+  Run run;
+  run.threads = threads;
+  run.wall = summarize(wall_ms);
+  for (std::size_t p = 0; p < std::size(kPhases); ++p)
+    run.phases.emplace_back(kPhases[p], summarize(phase_ms[p]));
+  return run;
+}
+
+int run_bench_json(const std::string& path, std::size_t n, std::uint32_t q,
+                   int p, int reps) {
+  util::Rng rng(1);
+  const auto pts = fmm::uniform_cube(n, rng);
+  const auto dens = fmm::random_densities(n, rng);
+  const fmm::LaplaceKernel kernel;
+  fmm::FmmEvaluator ev(kernel, pts, {.max_points_per_box = q},
+                       fmm::FmmConfig{.p = p});
+
+  std::vector<int> thread_counts{1};
+#ifdef _OPENMP
+  if (omp_get_max_threads() > 1) thread_counts.push_back(omp_get_max_threads());
+#endif
+
+  std::vector<Run> runs;
+  for (const int t : thread_counts) {
+    std::fprintf(stderr, "bench-json: n=%zu q=%u p=%d threads=%d reps=%d\n",
+                 n, q, p, t, reps);
+    runs.push_back(measure(ev, dens, t, reps));
+  }
+
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "bench-json: cannot open %s for writing\n",
+                 path.c_str());
+    return 1;
+  }
+  out << "{\n";
+  out << "  \"bench\": \"fmm_evaluate\",\n";
+  out << "  \"kernel\": \"" << kernel.name() << "\",\n";
+  out << "  \"n\": " << n << ",\n";
+  out << "  \"q\": " << q << ",\n";
+  out << "  \"p\": " << p << ",\n";
+  out << "  \"tree_depth\": " << ev.tree().max_depth() << ",\n";
+  out << "  \"reps\": " << reps << ",\n";
+  out << "  \"runs\": [\n";
+  for (std::size_t r = 0; r < runs.size(); ++r) {
+    const Run& run = runs[r];
+    out << "    {\n      \"threads\": " << run.threads
+        << ",\n      \"evaluate\": ";
+    write_summary(out, run.wall);
+    out << ",\n      \"phases\": {\n";
+    for (std::size_t ph = 0; ph < run.phases.size(); ++ph) {
+      out << "        \"" << run.phases[ph].first << "\": ";
+      write_summary(out, run.phases[ph].second);
+      out << (ph + 1 < run.phases.size() ? ",\n" : "\n");
+    }
+    out << "      }\n    }" << (r + 1 < runs.size() ? ",\n" : "\n");
+  }
+  out << "  ]\n}\n";
+  std::fprintf(stderr, "bench-json: wrote %s\n", path.c_str());
+  return 0;
+}
+
+/// Parses `--name` / `--name=value`; true on match, `value` set if present.
+bool flag_value(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') *value = arg + len + 1;
+  return arg[len] == '=' || arg[len] == '\0';
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path;
+  bool json_mode = false;
+  std::size_t n = 16384;
+  std::uint32_t q = 64;
+  int p = 4;
+  int reps = 9;
+  std::string v;
+  for (int i = 1; i < argc; ++i) {
+    if (flag_value(argv[i], "--bench-json", &v)) {
+      json_mode = true;
+      json_path = v.empty() ? "BENCH_fmm.json" : v;
+    } else if (flag_value(argv[i], "--bench-n", &v)) {
+      n = static_cast<std::size_t>(std::stoull(v));
+    } else if (flag_value(argv[i], "--bench-q", &v)) {
+      q = static_cast<std::uint32_t>(std::stoul(v));
+    } else if (flag_value(argv[i], "--bench-p", &v)) {
+      p = std::stoi(v);
+    } else if (flag_value(argv[i], "--bench-reps", &v)) {
+      reps = std::stoi(v);
+    }
+    v.clear();
+  }
+  if (json_mode) return run_bench_json(json_path, n, q, p, reps);
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

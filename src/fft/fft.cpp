@@ -1,6 +1,8 @@
 #include "fft/fft.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <map>
 #include <numbers>
 
@@ -30,6 +32,21 @@ std::vector<std::size_t> factorize(std::size_t n) {
   return fs;
 }
 
+// Per-thread transform scratch, grown on demand and reused across calls so
+// steady-state transforms never touch the heap (the FMM's V phase runs two
+// FFTs per node per evaluation). Distinct roles so the one nested case --
+// Bluestein driving its power-of-two convolution plan -- cannot alias:
+// the Bluestein path itself uses only tl_blu_work, and its inner plan is
+// always a butterfly plan using tl_ct_in / tl_ct_scratch.
+thread_local std::vector<cplx> tl_ct_in;       // input copy for ct_recurse
+thread_local std::vector<cplx> tl_ct_scratch;  // p butterfly temporaries
+thread_local std::vector<cplx> tl_blu_work;    // Bluestein convolution buffer
+
+std::vector<cplx>& grown(std::vector<cplx>& buf, std::size_t n) {
+  if (buf.size() < n) buf.resize(n);
+  return buf;
+}
+
 }  // namespace
 
 struct Plan::Impl {
@@ -37,6 +54,7 @@ struct Plan::Impl {
   std::vector<std::size_t> factors;   // prime factorization, ascending-ish
   std::vector<cplx> twiddle;          // twiddle[j] = exp(-2 pi i j / n)
   bool use_bluestein = false;
+  std::vector<std::uint32_t> bitrev;  // set iff n is a power of two
 
   // Bluestein machinery (set up only when needed).
   std::unique_ptr<Plan> conv_plan;    // power-of-two plan of length m
@@ -54,6 +72,21 @@ struct Plan::Impl {
       const double ang = -2.0 * std::numbers::pi *
                          static_cast<double>(j) / static_cast<double>(n);
       twiddle[j] = {std::cos(ang), std::sin(ang)};
+    }
+
+    if (n >= 2 && (n & (n - 1)) == 0) {
+      // Power of two: precompute the bit-reversal permutation driving the
+      // iterative in-place radix-2 path below (the hot case -- the KIFMM's
+      // FFT grids have edge 2p).
+      bitrev.resize(n);
+      std::uint32_t bits = 0;
+      while ((std::size_t{1} << bits) < n) ++bits;
+      for (std::size_t i = 0; i < n; ++i) {
+        std::uint32_t r = 0;
+        for (std::uint32_t b = 0; b < bits; ++b)
+          r |= ((i >> b) & 1u) << (bits - 1 - b);
+        bitrev[i] = r;
+      }
     }
 
     if (use_bluestein) {
@@ -119,6 +152,30 @@ struct Plan::Impl {
     }
   }
 
+  // Iterative in-place radix-2 (decimation in time). Same DFT as the
+  // generic recursion, but no input copy, no recursion, and no modulo in
+  // the butterfly: twiddles for sub-length `len` sit at stride n/len in the
+  // master table.
+  void radix2(std::span<cplx> data) const {
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t r = bitrev[i];
+      if (i < r) std::swap(data[i], data[r]);
+    }
+    for (std::size_t len = 2; len <= n; len <<= 1) {
+      const std::size_t half = len / 2;
+      const std::size_t step = n / len;
+      for (std::size_t base = 0; base < n; base += len) {
+        for (std::size_t k = 0; k < half; ++k) {
+          const cplx w = twiddle[k * step];
+          const cplx u = data[base + k];
+          const cplx v = data[base + k + half] * w;
+          data[base + k] = u + v;
+          data[base + k + half] = u - v;
+        }
+      }
+    }
+  }
+
   void forward(std::span<cplx> data) const {
     EROOF_REQUIRE(data.size() == n);
     if (n == 1) return;
@@ -126,20 +183,27 @@ struct Plan::Impl {
       bluestein(data);
       return;
     }
+    if (!bitrev.empty()) {
+      radix2(data);
+      return;
+    }
     std::size_t max_p = 0;
     for (std::size_t f : factors) max_p = std::max(max_p, f);
-    std::vector<cplx> scratch(max_p);
-    std::vector<cplx> in(data.begin(), data.end());
+    auto& scratch = grown(tl_ct_scratch, max_p);
+    auto& in = grown(tl_ct_in, n);
+    std::copy(data.begin(), data.end(), in.begin());
     ct_recurse(data.data(), in.data(), n, 1, 0, scratch);
   }
 
   void bluestein(std::span<cplx> data) const {
     const std::size_t m = conv_plan->size();
-    std::vector<cplx> a(m, cplx{0, 0});
+    auto& a = grown(tl_blu_work, m);
+    std::fill(a.begin(), a.begin() + static_cast<long>(m), cplx{0, 0});
     for (std::size_t j = 0; j < n; ++j) a[j] = data[j] * chirp[j];
-    conv_plan->forward(a);
+    const std::span<cplx> aspan(a.data(), m);  // buffer may be over-sized
+    conv_plan->forward(aspan);
     for (std::size_t j = 0; j < m; ++j) a[j] *= bfilter_fft[j];
-    conv_plan->inverse(a);
+    conv_plan->inverse(aspan);
     for (std::size_t k = 0; k < n; ++k) data[k] = a[k] * chirp[k];
   }
 };

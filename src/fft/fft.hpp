@@ -26,7 +26,9 @@ using cplx = std::complex<double>;
 /// A reusable transform plan for one length.
 ///
 /// Thread-compatible: concurrent calls on distinct plans are safe; a single
-/// plan's execute methods are const and re-entrant (scratch is per call).
+/// plan's execute methods are const and safe to call from many threads at
+/// once (scratch lives in per-thread buffers that grow on first use, so
+/// steady-state transforms perform no heap allocation).
 class Plan {
  public:
   explicit Plan(std::size_t n);

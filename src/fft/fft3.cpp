@@ -1,12 +1,50 @@
 #include "fft/fft3.hpp"
 
+#include <cmath>
+#include <numbers>
+
 #include "util/require.hpp"
 
 namespace eroof::fft {
+namespace {
+
+bool is_pow2(std::size_t n) { return n >= 2 && (n & (n - 1)) == 0; }
+
+std::vector<cplx> make_twiddle(std::size_t n) {
+  std::vector<cplx> tw(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = -2.0 * std::numbers::pi * static_cast<double>(j) /
+                       static_cast<double>(n);
+    tw[j] = {std::cos(ang), std::sin(ang)};
+  }
+  return tw;
+}
+
+std::vector<std::uint32_t> make_bitrev(std::size_t n) {
+  std::vector<std::uint32_t> rev(n);
+  std::uint32_t bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::uint32_t r = 0;
+    for (std::uint32_t b = 0; b < bits; ++b)
+      r |= ((i >> b) & 1u) << (bits - 1 - b);
+    rev[i] = r;
+  }
+  return rev;
+}
+
+}  // namespace
 
 Plan3::Plan3(std::size_t n0, std::size_t n1, std::size_t n2)
     : n0_(n0), n1_(n1), n2_(n2), p0_(n0), p1_(n1), p2_(n2) {
   EROOF_REQUIRE(n0 >= 1 && n1 >= 1 && n2 >= 1);
+  if (is_pow2(n0) && is_pow2(n1) && is_pow2(n2)) {
+    const std::size_t dims[3] = {n0, n1, n2};
+    for (int a = 0; a < 3; ++a) {
+      tw_[static_cast<std::size_t>(a)] = make_twiddle(dims[a]);
+      rev_[static_cast<std::size_t>(a)] = make_bitrev(dims[a]);
+    }
+  }
 }
 
 template <typename Fn>
@@ -19,7 +57,11 @@ void Plan3::apply_axes(std::span<cplx> data, Fn&& transform1d) const {
       transform1d(p2_, data.subspan((i0 * n1_ + i1) * n2_, n2_));
 
   // Axis 1: gather strided pencils into a temp, transform, scatter back.
-  std::vector<cplx> pencil(std::max(n0_, n1_));
+  // The temp is per-thread and reused across calls (the FMM V phase runs
+  // two 3-D transforms per node per evaluation; none of them may allocate).
+  thread_local std::vector<cplx> tl_pencil;
+  if (tl_pencil.size() < std::max(n0_, n1_)) tl_pencil.resize(std::max(n0_, n1_));
+  std::vector<cplx>& pencil = tl_pencil;
   for (std::size_t i0 = 0; i0 < n0_; ++i0) {
     for (std::size_t i2 = 0; i2 < n2_; ++i2) {
       for (std::size_t i1 = 0; i1 < n1_; ++i1)
@@ -42,11 +84,75 @@ void Plan3::apply_axes(std::span<cplx> data, Fn&& transform1d) const {
   }
 }
 
+/// One radix-2 decimation-in-time pass along one axis of the row-major grid,
+/// in place. `len` is the axis length, `stride` the element distance between
+/// consecutive axis indices, `block` the contiguous run transformed together
+/// (the trailing dims -- this is what vectorizes), and `repeat` x
+/// `repeat_step` walk the independent outer slabs.
+void Plan3::pow2_axis(cplx* data, std::size_t len, std::size_t stride,
+                      std::size_t block, std::size_t repeat,
+                      std::size_t repeat_step, const cplx* tw,
+                      const std::uint32_t* rev) const {
+  for (std::size_t r = 0; r < repeat; ++r) {
+    cplx* base = data + r * repeat_step;
+    for (std::size_t i = 0; i < len; ++i) {
+      const std::size_t j = rev[i];
+      if (i < j) {
+        cplx* a = base + i * stride;
+        cplx* b = base + j * stride;
+        for (std::size_t t = 0; t < block; ++t) std::swap(a[t], b[t]);
+      }
+    }
+    for (std::size_t sub = 2; sub <= len; sub <<= 1) {
+      const std::size_t half = sub / 2;
+      const std::size_t step = len / sub;
+      for (std::size_t seg = 0; seg < len; seg += sub) {
+        for (std::size_t k = 0; k < half; ++k) {
+          const cplx w = tw[k * step];
+          cplx* u = base + (seg + k) * stride;
+          cplx* v = base + (seg + k + half) * stride;
+          for (std::size_t t = 0; t < block; ++t) {
+            const cplx uu = u[t];
+            const cplx vv = v[t] * w;
+            u[t] = uu + vv;
+            v[t] = uu - vv;
+          }
+        }
+      }
+    }
+  }
+}
+
+void Plan3::pow2_forward(std::span<cplx> data) const {
+  cplx* d = data.data();
+  // Axis 2: contiguous rows, one slab per (i0, i1).
+  pow2_axis(d, n2_, 1, 1, n0_ * n1_, n2_, tw_[2].data(), rev_[2].data());
+  // Axis 1: stride n2, butterflies vectorize over the contiguous row.
+  pow2_axis(d, n1_, n2_, n2_, n0_, n1_ * n2_, tw_[1].data(), rev_[1].data());
+  // Axis 0: stride n1*n2, vectorized over whole (i1, i2) planes.
+  pow2_axis(d, n0_, n1_ * n2_, n1_ * n2_, 1, 0, tw_[0].data(),
+            rev_[0].data());
+}
+
 void Plan3::forward(std::span<cplx> data) const {
+  if (!tw_[0].empty()) {
+    EROOF_REQUIRE(data.size() == size());
+    pow2_forward(data);
+    return;
+  }
   apply_axes(data, [](const Plan& p, std::span<cplx> v) { p.forward(v); });
 }
 
 void Plan3::inverse(std::span<cplx> data) const {
+  if (!tw_[0].empty()) {
+    EROOF_REQUIRE(data.size() == size());
+    // IDFT(x) = conj(DFT(conj(x))) / N.
+    for (auto& v : data) v = std::conj(v);
+    pow2_forward(data);
+    const double inv = 1.0 / static_cast<double>(size());
+    for (auto& v : data) v = std::conj(v) * inv;
+    return;
+  }
   apply_axes(data, [](const Plan& p, std::span<cplx> v) { p.inverse(v); });
 }
 

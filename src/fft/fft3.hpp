@@ -3,6 +3,7 @@
 #pragma once
 
 #include <array>
+#include <cstdint>
 #include <span>
 #include <vector>
 
@@ -28,8 +29,19 @@ class Plan3 {
   template <typename Fn>
   void apply_axes(std::span<cplx> data, Fn&& transform1d) const;
 
+  void pow2_forward(std::span<cplx> data) const;
+  void pow2_axis(cplx* data, std::size_t len, std::size_t stride,
+                 std::size_t block, std::size_t repeat,
+                 std::size_t repeat_step, const cplx* tw,
+                 const std::uint32_t* rev) const;
+
   std::size_t n0_, n1_, n2_;
   Plan p0_, p1_, p2_;
+  // Power-of-two fast path: in-place radix-2 butterflies along each axis,
+  // vectorized over the contiguous trailing dimension instead of gathering
+  // strided pencils. Empty tables => generic path.
+  std::array<std::vector<cplx>, 3> tw_;
+  std::array<std::vector<std::uint32_t>, 3> rev_;
 };
 
 /// Circular 3-D convolution of two equal-shape grids via FFT.

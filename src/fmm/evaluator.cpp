@@ -4,6 +4,10 @@
 #include <cmath>
 #include <string>
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 #include "trace/trace.hpp"
 #include "util/require.hpp"
 
@@ -11,6 +15,22 @@ namespace eroof::fmm {
 namespace {
 
 constexpr int kMinLevel = 2;  // expansions exist from this level down
+
+int max_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+int thread_index() {
+#ifdef _OPENMP
+  return omp_get_thread_num();
+#else
+  return 0;
+#endif
+}
 
 /// Annotates a finished phase span with the phase's tallies and mirrors them
 /// into the session's counter registry as "fmm.<phase>.<tally>" so
@@ -31,18 +51,6 @@ void record_phase(trace::ScopedSpan& span, const char* phase,
   trace::counter_add(prefix + "solve_matvecs", p.solve_matvecs);
 }
 
-/// y += M x  (dense, row-major), tallying into `matvecs`.
-void add_matvec(const la::Matrix& m, std::span<const double> x,
-                std::span<double> y) {
-  EROOF_REQUIRE(x.size() == m.cols() && y.size() == m.rows());
-  for (std::size_t i = 0; i < m.rows(); ++i) {
-    const auto row = m.row(i);
-    double acc = 0;
-    for (std::size_t j = 0; j < row.size(); ++j) acc += row[j] * x[j];
-    y[i] += acc;
-  }
-}
-
 }  // namespace
 
 FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
@@ -50,28 +58,93 @@ FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
     : kernel_(kernel),
       tree_(points, tree_params),
       lists_(build_lists(tree_)),
-      ops_(kernel, tree_.domain().half, tree_.max_depth(), cfg) {}
+      ops_(kernel, tree_.domain().half, tree_.max_depth(), cfg) {
+  const auto pts = tree_.points();
+  px_.resize(pts.size());
+  py_.resize(pts.size());
+  pz_.resize(pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    px_[i] = pts[i].x;
+    py_[i] = pts[i].y;
+    pz_[i] = pts[i].z;
+  }
+
+  const auto& nodes = tree_.nodes();
+  slot_.assign(nodes.size(), -1);
+  for (std::size_t b = 0; b < nodes.size(); ++b)
+    if (nodes[b].level() >= kMinLevel)
+      slot_[b] = static_cast<int>(n_slots_++);
+
+  const std::size_t ns = ops_.n_surf();
+  up_equiv_.resize(n_slots_ * ns);
+  down_check_.resize(n_slots_ * ns);
+  down_equiv_.resize(n_slots_ * ns);
+
+  // X targets: nodes with work to do. A node below kMinLevel can never be
+  // an X target (its W-dual would be adjacent to everything), so every
+  // target has an arena slot; the slot check is belt and braces.
+  for (std::size_t b = 0; b < nodes.size(); ++b)
+    if (!lists_.x[b].empty() && slot_[b] >= 0)
+      x_targets_.push_back(static_cast<int>(b));
+
+  // V-phase spectra sized for the widest level that runs it.
+  std::size_t widest = 0;
+  const auto& by_level = tree_.nodes_by_level();
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l)
+    widest = std::max(widest, by_level[static_cast<std::size_t>(l)].size());
+  pos_in_level_.assign(nodes.size(), 0);
+  if (ops_.config().use_fft_m2l) {
+    spec_re_.resize(widest * ops_.grid_size());
+    spec_im_.resize(widest * ops_.grid_size());
+  }
+}
+
+void FmmEvaluator::ensure_workspaces() {
+  const auto want = static_cast<std::size_t>(max_threads());
+  if (workspaces_.size() >= want && !workspaces_.empty()) return;
+  const std::size_t ns = ops_.n_surf();
+  const std::size_t g = ops_.config().use_fft_m2l ? ops_.grid_size() : 0;
+  workspaces_.resize(std::max<std::size_t>(want, 1));
+  for (auto& ws : workspaces_) {
+    ws.check.resize(ns);
+    ws.vals.resize(ns);
+    ws.tx.resize(ns);
+    ws.ty.resize(ns);
+    ws.tz.resize(ns);
+    ws.sx.resize(ns);
+    ws.sy.resize(ns);
+    ws.sz.resize(ns);
+    ws.grid.resize(g);
+    ws.acc_re.resize(g);
+    ws.acc_im.resize(g);
+  }
+}
+
+FmmEvaluator::Workspace& FmmEvaluator::workspace() {
+  return workspaces_[static_cast<std::size_t>(thread_index())];
+}
 
 std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
   EROOF_REQUIRE(densities.size() == tree_.points().size());
   stats_ = FmmStats{};
 
-  // Permute densities into tree order.
+  // Setup: permute densities into tree order, zero the arenas, and make
+  // sure per-thread scratch exists. Everything past this point -- the six
+  // phase loops -- performs no heap allocation.
   const auto orig = tree_.original_index();
   std::vector<double> dens(densities.size());
   for (std::size_t i = 0; i < dens.size(); ++i)
     dens[i] = densities[orig[i]];
 
-  const std::size_t n_nodes = tree_.nodes().size();
-  const std::size_t ns = ops_.n_surf();
-  up_equiv_.assign(n_nodes, {});
-  down_check_.assign(n_nodes, std::vector<double>(ns, 0.0));
-  down_equiv_.assign(n_nodes, {});
+  std::fill(up_equiv_.begin(), up_equiv_.end(), 0.0);
+  std::fill(down_check_.begin(), down_check_.end(), 0.0);
+  std::fill(down_equiv_.begin(), down_equiv_.end(), 0.0);
+  ensure_workspaces();
 
   trace::ScopedSpan eval_span("evaluate", "fmm");
   if (eval_span.active()) {
     eval_span.arg("n_points", static_cast<double>(dens.size()));
-    eval_span.arg("n_nodes", static_cast<double>(n_nodes));
+    eval_span.arg("n_nodes", static_cast<double>(tree_.nodes().size()));
   }
 
   std::vector<double> phi(dens.size(), 0.0);
@@ -136,7 +209,6 @@ std::vector<double> FmmEvaluator::evaluate_at(
 }
 
 void FmmEvaluator::upward_pass(std::span<const double> dens) {
-  const auto pts = tree_.points();
   const std::size_t ns = ops_.n_surf();
   const auto& by_level = tree_.nodes_by_level();
 
@@ -147,31 +219,27 @@ void FmmEvaluator::upward_pass(std::span<const double> dens) {
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
       const Node& node = tree_.node(b);
-      std::vector<double> check(ns, 0.0);
+      Workspace& ws = workspace();
+      std::fill(ws.check.begin(), ws.check.end(), 0.0);
 
       if (node.leaf) {
         // P2M: source points -> upward check potentials.
-        const auto check_pts =
-            surface_points(ops_.p(), node.box, kRadiusOuter);
-        for (std::size_t c = 0; c < ns; ++c) {
-          double acc = 0;
-          for (std::uint32_t i = node.point_begin; i < node.point_end; ++i)
-            acc += kernel_.eval(check_pts[c], pts[i]) * dens[i];
-          check[c] = acc;
-        }
+        ops.surf_outer.materialize(node.box.center, ws.tx.data(),
+                                   ws.ty.data(), ws.tz.data());
+        kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                           point_block(node.point_begin, node.point_end),
+                           dens.data() + node.point_begin, ws.check.data());
       } else {
         // M2M: children's equivalent densities -> this box's check surface.
         for (int c : node.children) {
           if (c < 0) continue;
-          add_matvec(ops.m2m[tree_.node(c).key.octant_in_parent()],
-                     up_equiv_[static_cast<std::size_t>(c)], check);
+          la::gemv_add(ops.m2m[tree_.node(c).key.octant_in_parent()],
+                       up_equiv(c), ws.check);
         }
       }
 
       // UC2E solve: check potentials -> equivalent density.
-      auto& equiv = up_equiv_[static_cast<std::size_t>(b)];
-      equiv.assign(ns, 0.0);
-      add_matvec(ops.uc2e, check, equiv);
+      la::gemv_add(ops.uc2e, ws.check, up_equiv(b));
     }
 
     // Tallies (outside the parallel region; counts are deterministic).
@@ -197,54 +265,71 @@ void FmmEvaluator::v_phase() {
     if (level_nodes.empty()) continue;
 
     if (!ops_.config().use_fft_m2l) {
-      // Dense fallback: per-pair kernel matrix application.
-      for (const int b : level_nodes) {
+      // Dense fallback: batched kernel application per pair.
+      const LevelOperators& lops = ops_.level(l);
+#pragma omp parallel for schedule(dynamic)
+      for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
+        const int b = level_nodes[ni];
         const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
         if (vlist.empty()) continue;
-        const auto check_pts =
-            surface_points(ops_.p(), tree_.node(b).box, kRadiusInner);
-        auto& check = down_check_[static_cast<std::size_t>(b)];
+        Workspace& ws = workspace();
+        lops.surf_inner.materialize(tree_.node(b).box.center, ws.tx.data(),
+                                    ws.ty.data(), ws.tz.data());
+        double* check = down_check(b).data();
         for (const int s : vlist) {
-          const auto src_pts =
-              surface_points(ops_.p(), tree_.node(s).box, kRadiusInner);
-          const auto& q = up_equiv_[static_cast<std::size_t>(s)];
-          for (std::size_t i = 0; i < ns; ++i) {
-            double acc = 0;
-            for (std::size_t j = 0; j < ns; ++j)
-              acc += kernel_.eval(check_pts[i], src_pts[j]) * q[j];
-            check[i] += acc;
-          }
-          stats_.v.kernel_evals += static_cast<double>(ns) * ns;
-          stats_.v.pair_count += 1;
+          lops.surf_inner.materialize(tree_.node(s).box.center, ws.sx.data(),
+                                      ws.sy.data(), ws.sz.data());
+          kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                             {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                             up_equiv(s).data(), check);
         }
+      }
+      for (const int b : level_nodes) {
+        const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+        stats_.v.kernel_evals +=
+            static_cast<double>(vlist.size()) * static_cast<double>(ns) * ns;
+        stats_.v.pair_count += static_cast<double>(vlist.size());
       }
       continue;
     }
 
-    // Forward FFT of every level-l node's equivalent-density grid.
-    std::vector<std::size_t> pos_in_level(tree_.nodes().size(), 0);
-    std::vector<fft::cplx> spectra(level_nodes.size() * g);
+    // Forward FFT of every level-l node's equivalent-density grid, split
+    // into real/imag planes so the Hadamard stage below vectorizes.
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
-      pos_in_level[static_cast<std::size_t>(level_nodes[ni])] = ni;
+      pos_in_level_[static_cast<std::size_t>(level_nodes[ni])] = ni;
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
-      std::span<fft::cplx> grid(spectra.data() + ni * g, g);
-      ops_.embed(up_equiv_[static_cast<std::size_t>(b)], grid);
-      ops_.plan().forward(grid);
+      Workspace& ws = workspace();
+      ops_.embed(up_equiv(b), ws.grid);
+      ops_.plan().forward(ws.grid);
+      double* qr = spec_re_.data() + ni * g;
+      double* qi = spec_im_.data() + ni * g;
+      for (std::size_t k = 0; k < g; ++k) {
+        qr[k] = ws.grid[k].real();
+        qi[k] = ws.grid[k].imag();
+      }
     }
     stats_.v.ffts += static_cast<double>(level_nodes.size());
 
-    // Per target: accumulate Hadamard products in Fourier space, one
-    // inverse FFT, then scatter onto the downward check surface.
+    // Per target: accumulate Hadamard products in Fourier space (split
+    // real/imag), one inverse FFT, then scatter onto the downward check
+    // surface.
     const LevelOperators& ops = ops_.level(l);
+    const double* bank_re = ops.m2l->re.data();
+    const double* bank_im = ops.m2l->im.data();
+    const double scale = ops.m2l_scale;
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
       const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
       if (vlist.empty()) continue;
       const auto bc = tree_.node(b).key.coords();
-      std::vector<fft::cplx> acc(g, fft::cplx{0, 0});
+      Workspace& ws = workspace();
+      std::fill(ws.acc_re.begin(), ws.acc_re.end(), 0.0);
+      std::fill(ws.acc_im.begin(), ws.acc_im.end(), 0.0);
+      double* acc_re = ws.acc_re.data();
+      double* acc_im = ws.acc_im.data();
       for (const int s : vlist) {
         const auto sc = tree_.node(s).key.coords();
         const auto rel = Operators::rel_index(
@@ -252,15 +337,27 @@ void FmmEvaluator::v_phase() {
             static_cast<int>(bc[1]) - static_cast<int>(sc[1]),
             static_cast<int>(bc[2]) - static_cast<int>(sc[2]));
         EROOF_REQUIRE_MSG(rel.has_value(), "V-list pair in the near field");
-        const auto& t_hat = ops.m2l_fft[*rel];
-        const fft::cplx* q_hat = spectra.data() + pos_in_level[static_cast<std::size_t>(s)] * g;
-        for (std::size_t k = 0; k < g; ++k) acc[k] += t_hat[k] * q_hat[k];
+        const double* t_re = bank_re + *rel * g;
+        const double* t_im = bank_im + *rel * g;
+        const std::size_t pos =
+            pos_in_level_[static_cast<std::size_t>(s)] * g;
+        const double* q_re = spec_re_.data() + pos;
+        const double* q_im = spec_im_.data() + pos;
+#pragma omp simd
+        for (std::size_t k = 0; k < g; ++k) {
+          acc_re[k] += t_re[k] * q_re[k] - t_im[k] * q_im[k];
+          acc_im[k] += t_re[k] * q_im[k] + t_im[k] * q_re[k];
+        }
       }
-      ops_.plan().inverse(acc);
-      std::vector<double> vals(ns);
-      ops_.extract(acc, vals);
-      auto& check = down_check_[static_cast<std::size_t>(b)];
-      for (std::size_t i = 0; i < ns; ++i) check[i] += vals[i];
+      for (std::size_t k = 0; k < g; ++k)
+        ws.grid[k] = fft::cplx{acc_re[k], acc_im[k]};
+      ops_.plan().inverse(ws.grid);
+      ops_.extract(ws.grid, ws.vals);
+      double* check = down_check(b).data();
+      // m2l_scale is a power of two for homogeneous kernels, so applying it
+      // here (instead of to the shared bank) is exact.
+#pragma omp simd
+      for (std::size_t i = 0; i < ns; ++i) check[i] += scale * ws.vals[i];
     }
     for (const int b : level_nodes) {
       const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
@@ -274,28 +371,25 @@ void FmmEvaluator::v_phase() {
 }
 
 void FmmEvaluator::x_phase(std::span<const double> dens) {
-  const auto pts = tree_.points();
   const std::size_t ns = ops_.n_surf();
-  const auto& nodes = tree_.nodes();
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t b = 0; b < nodes.size(); ++b) {
-    const auto& xlist = lists_.x[b];
-    if (xlist.empty()) continue;
+  for (std::size_t ti = 0; ti < x_targets_.size(); ++ti) {
+    const int b = x_targets_[ti];
+    const Node& node = tree_.node(b);
     // P2L: X-node source points -> this node's downward check surface.
-    const auto check_pts =
-        surface_points(ops_.p(), nodes[b].box, kRadiusInner);
-    auto& check = down_check_[b];
-    for (const int a : xlist) {
+    Workspace& ws = workspace();
+    ops_.level(node.level())
+        .surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
+                                ws.tz.data());
+    double* check = down_check(b).data();
+    for (const int a : lists_.x[static_cast<std::size_t>(b)]) {
       const Node& src = tree_.node(a);
-      for (std::size_t c = 0; c < ns; ++c) {
-        double acc = 0;
-        for (std::uint32_t i = src.point_begin; i < src.point_end; ++i)
-          acc += kernel_.eval(check_pts[c], pts[i]) * dens[i];
-        check[c] += acc;
-      }
+      kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                         point_block(src.point_begin, src.point_end),
+                         dens.data() + src.point_begin, check);
     }
   }
-  for (std::size_t b = 0; b < nodes.size(); ++b) {
+  for (std::size_t b = 0; b < tree_.nodes().size(); ++b) {
     for (const int a : lists_.x[b]) {
       stats_.x.kernel_evals +=
           static_cast<double>(ns) * tree_.node(a).num_points();
@@ -305,7 +399,6 @@ void FmmEvaluator::x_phase(std::span<const double> dens) {
 }
 
 void FmmEvaluator::downward_pass() {
-  const std::size_t ns = ops_.n_surf();
   const auto& by_level = tree_.nodes_by_level();
 
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
@@ -315,17 +408,16 @@ void FmmEvaluator::downward_pass() {
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
       // DC2E solve: accumulated check potentials -> equivalent density.
-      auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
-      equiv.assign(ns, 0.0);
-      add_matvec(ops.dc2e, down_check_[static_cast<std::size_t>(b)], equiv);
+      const auto equiv = down_equiv(b);
+      la::gemv_add(ops.dc2e, down_check(b), equiv);
 
       // L2L: push to children's check surfaces (children are untouched by
       // any other iteration of this loop, so this is race-free).
       const Node& node = tree_.node(b);
       for (int c : node.children) {
         if (c < 0) continue;
-        add_matvec(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
-                   down_check_[static_cast<std::size_t>(c)]);
+        la::gemv_add(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
+                     down_check(c));
       }
     }
     for (const int b : level_nodes) {
@@ -337,7 +429,6 @@ void FmmEvaluator::downward_pass() {
 }
 
 void FmmEvaluator::l2p_pass(std::span<double> phi) {
-  const auto pts = tree_.points();
   const std::size_t ns = ops_.n_surf();
   const auto& leaves = tree_.leaves();
 
@@ -347,14 +438,13 @@ void FmmEvaluator::l2p_pass(std::span<double> phi) {
     const int b = leaves[li];
     const Node& node = tree_.node(b);
     if (node.level() < kMinLevel) continue;
-    const auto equiv_pts = surface_points(ops_.p(), node.box, kRadiusOuter);
-    const auto& equiv = down_equiv_[static_cast<std::size_t>(b)];
-    for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
-      double acc = 0;
-      for (std::size_t j = 0; j < ns; ++j)
-        acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
-      phi[i] += acc;
-    }
+    Workspace& ws = workspace();
+    ops_.level(node.level())
+        .surf_outer.materialize(node.box.center, ws.sx.data(), ws.sy.data(),
+                                ws.sz.data());
+    kernel_.eval_batch(point_block(node.point_begin, node.point_end),
+                       {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                       down_equiv(b).data(), phi.data() + node.point_begin);
   }
 
   for (const int b : leaves) {
@@ -367,7 +457,6 @@ void FmmEvaluator::l2p_pass(std::span<double> phi) {
 
 void FmmEvaluator::u_pass(std::span<const double> dens,
                           std::span<double> phi) {
-  const auto pts = tree_.points();
   const auto& leaves = tree_.leaves();
 
   // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
@@ -375,14 +464,13 @@ void FmmEvaluator::u_pass(std::span<const double> dens,
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
     const Node& node = tree_.node(b);
+    const PointBlock targets = point_block(node.point_begin, node.point_end);
     for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
       const Node& src = tree_.node(a);
-      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
-        double acc = 0;
-        for (std::uint32_t j = src.point_begin; j < src.point_end; ++j)
-          acc += kernel_.eval(pts[i], pts[j]) * dens[j];
-        phi[i] += acc;
-      }
+      kernel_.eval_batch(targets,
+                         point_block(src.point_begin, src.point_end),
+                         dens.data() + src.point_begin,
+                         phi.data() + node.point_begin);
     }
   }
 
@@ -397,7 +485,6 @@ void FmmEvaluator::u_pass(std::span<const double> dens,
 }
 
 void FmmEvaluator::w_pass(std::span<double> phi) {
-  const auto pts = tree_.points();
   const std::size_t ns = ops_.n_surf();
   const auto& leaves = tree_.leaves();
 
@@ -406,16 +493,18 @@ void FmmEvaluator::w_pass(std::span<double> phi) {
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
     const Node& node = tree_.node(b);
-    for (const int a : lists_.w[static_cast<std::size_t>(b)]) {
-      const auto equiv_pts =
-          surface_points(ops_.p(), tree_.node(a).box, kRadiusInner);
-      const auto& equiv = up_equiv_[static_cast<std::size_t>(a)];
-      for (std::uint32_t i = node.point_begin; i < node.point_end; ++i) {
-        double acc = 0;
-        for (std::size_t j = 0; j < ns; ++j)
-          acc += kernel_.eval(pts[i], equiv_pts[j]) * equiv[j];
-        phi[i] += acc;
-      }
+    const auto& wlist = lists_.w[static_cast<std::size_t>(b)];
+    if (wlist.empty()) continue;
+    Workspace& ws = workspace();
+    const PointBlock targets = point_block(node.point_begin, node.point_end);
+    for (const int a : wlist) {
+      const Node& src = tree_.node(a);
+      ops_.level(src.level())
+          .surf_inner.materialize(src.box.center, ws.sx.data(), ws.sy.data(),
+                                  ws.sz.data());
+      kernel_.eval_batch(targets,
+                         {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                         up_equiv(a).data(), phi.data() + node.point_begin);
     }
   }
 

@@ -11,6 +11,13 @@
 //   DOWN  DC2E solves + L2L down the tree + L2P at leaves
 //
 // O(N) total work with accuracy controlled by the surface order p.
+//
+// Performance architecture: per-node expansion state lives in contiguous
+// per-phase arenas indexed by node slot; points are mirrored once into SoA
+// coordinate arrays; surface points come from per-level templates
+// (center + offset); and every phase loop runs allocation-free against
+// per-thread Workspace scratch, with kernel evaluation batched through
+// Kernel::eval_batch (one virtual call per tile, simd inner loops).
 #pragma once
 
 #include <memory>
@@ -39,7 +46,8 @@ struct FmmStats {
 
 /// The evaluator. Construction builds the tree, the interaction lists and
 /// the per-level operators; `evaluate` can then be called repeatedly with
-/// different source densities (e.g. inside a time-stepping loop).
+/// different source densities (e.g. inside a time-stepping loop) -- repeat
+/// calls reuse all arenas and scratch without reallocating.
 class FmmEvaluator {
  public:
   FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
@@ -76,6 +84,17 @@ class FmmEvaluator {
                                          FmmConfig cfg = {});
 
  private:
+  /// Per-thread scratch so phase loops never touch the heap: check/value
+  /// surface buffers, materialized SoA surface points, and the V-phase FFT
+  /// grid + split-complex accumulators.
+  struct Workspace {
+    std::vector<double> check, vals;
+    std::vector<double> tx, ty, tz;  // target-side surface points
+    std::vector<double> sx, sy, sz;  // source-side surface points
+    std::vector<fft::cplx> grid;
+    std::vector<double> acc_re, acc_im;
+  };
+
   void upward_pass(std::span<const double> dens);
   void v_phase();
   void x_phase(std::span<const double> dens);
@@ -84,16 +103,61 @@ class FmmEvaluator {
   void u_pass(std::span<const double> dens, std::span<double> phi);
   void w_pass(std::span<double> phi);
 
+  void ensure_workspaces();
+  Workspace& workspace();
+
+  /// Arena views; `b` must be a node at level >= 2 (slot_[b] >= 0).
+  std::span<double> up_equiv(int b) {
+    return {up_equiv_.data() +
+                static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
+                    ops_.n_surf(),
+            ops_.n_surf()};
+  }
+  std::span<double> down_check(int b) {
+    return {down_check_.data() +
+                static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
+                    ops_.n_surf(),
+            ops_.n_surf()};
+  }
+  std::span<double> down_equiv(int b) {
+    return {down_equiv_.data() +
+                static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
+                    ops_.n_surf(),
+            ops_.n_surf()};
+  }
+
+  /// SoA view of the tree-order point range [begin, end).
+  PointBlock point_block(std::uint32_t begin, std::uint32_t end) const {
+    return {px_.data() + begin, py_.data() + begin, pz_.data() + begin,
+            end - begin};
+  }
+
   const Kernel& kernel_;
   Octree tree_;
   InteractionLists lists_;
   Operators ops_;
   FmmStats stats_;
 
-  // Per-node state for the evaluation in flight.
-  std::vector<std::vector<double>> up_equiv_;
-  std::vector<std::vector<double>> down_check_;
-  std::vector<std::vector<double>> down_equiv_;
+  // SoA mirror of the tree-order points (built once; the tree is fixed).
+  std::vector<double> px_, py_, pz_;
+
+  // Contiguous per-phase arenas: one n_surf slot per node at level >= 2
+  // (shallower nodes carry no expansions). slot_[node] is the arena slot,
+  // -1 for nodes without one.
+  std::vector<int> slot_;
+  std::size_t n_slots_ = 0;
+  std::vector<double> up_equiv_, down_check_, down_equiv_;
+
+  // Nodes with non-empty X lists (most have none; the X phase iterates
+  // only these).
+  std::vector<int> x_targets_;
+
+  // V-phase scratch: per-level node positions and split-complex spectra of
+  // the widest level, reused across levels and calls.
+  std::vector<std::size_t> pos_in_level_;
+  std::vector<double> spec_re_, spec_im_;
+
+  std::vector<Workspace> workspaces_;
 };
 
 }  // namespace eroof::fmm

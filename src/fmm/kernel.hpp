@@ -15,6 +15,15 @@
 
 namespace eroof::fmm {
 
+/// SoA view of a block of points, the unit of batched kernel evaluation.
+/// Non-owning; the three coordinate arrays have `n` entries each.
+struct PointBlock {
+  const double* x = nullptr;
+  const double* y = nullptr;
+  const double* z = nullptr;
+  std::size_t n = 0;
+};
+
 /// Abstract interaction kernel.
 class Kernel {
  public:
@@ -23,6 +32,19 @@ class Kernel {
   /// K(x, y); must return 0 for x == y (self-interactions are excluded by
   /// convention, matching the direct-sum reference).
   virtual double eval(const Vec3& x, const Vec3& y) const = 0;
+
+  /// Batched accumulation out[i] += sum_j K(t_i, s_j) * density[j] over SoA
+  /// coordinate arrays. One virtual call covers a whole target-block x
+  /// source-block tile, so the FMM inner loops pay no per-pair dispatch.
+  ///
+  /// Contract: per-pair kernel values follow eval() exactly (including the
+  /// x == y -> 0 convention where the kernel has it), and for each target
+  /// the sources are accumulated in index order -- results are independent
+  /// of how callers partition targets across threads. The base-class
+  /// fallback loops over eval(); the bundled kernels override it with flat
+  /// `#pragma omp simd` implementations.
+  virtual void eval_batch(const PointBlock& targets, const PointBlock& sources,
+                          const double* density, double* out) const;
 
   /// Dense kernel matrix K[i][j] = K(targets[i], sources[j]).
   la::Matrix matrix(std::span<const Vec3> targets,
@@ -45,6 +67,8 @@ class Kernel {
 class LaplaceKernel final : public Kernel {
  public:
   double eval(const Vec3& x, const Vec3& y) const override;
+  void eval_batch(const PointBlock& targets, const PointBlock& sources,
+                  const double* density, double* out) const override;
   double flops_per_eval() const override { return 12; }
   std::string name() const override { return "laplace"; }
   bool homogeneous(double* degree) const override {
@@ -58,6 +82,8 @@ class YukawaKernel final : public Kernel {
  public:
   explicit YukawaKernel(double lambda) : lambda_(lambda) {}
   double eval(const Vec3& x, const Vec3& y) const override;
+  void eval_batch(const PointBlock& targets, const PointBlock& sources,
+                  const double* density, double* out) const override;
   double flops_per_eval() const override { return 20; }
   std::string name() const override { return "yukawa"; }
 
@@ -71,6 +97,8 @@ class GaussianKernel final : public Kernel {
  public:
   explicit GaussianKernel(double sigma) : sigma_(sigma) {}
   double eval(const Vec3& x, const Vec3& y) const override;
+  void eval_batch(const PointBlock& targets, const PointBlock& sources,
+                  const double* density, double* out) const override;
   double flops_per_eval() const override { return 14; }
   std::string name() const override { return "gaussian"; }
 

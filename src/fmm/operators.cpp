@@ -11,6 +11,12 @@ namespace {
 
 constexpr int kMinOperatorLevel = 2;  // no V lists / expansions above this
 
+la::Matrix scaled(const la::Matrix& m, double s) {
+  la::Matrix out = m;
+  out *= s;
+  return out;
+}
+
 }  // namespace
 
 Operators::Operators(const Kernel& kernel, double root_half, int max_level,
@@ -32,8 +38,21 @@ Operators::Operators(const Kernel& kernel, double root_half, int max_level,
                             static_cast<std::size_t>(k));
 
   levels_.resize(static_cast<std::size_t>(max_level) + 1);
-  for (int l = kMinOperatorLevel; l <= max_level; ++l)
-    build_level(kernel, l, root_half);
+  if (max_level < kMinOperatorLevel) return;
+
+  // Homogeneous kernels get one full build at the reference level; deeper
+  // levels are exact rescalings (all surface geometry scales linearly with
+  // the box half-width, so every kernel matrix picks up the same factor,
+  // and the FFT is linear, so the M2L bank is shared through a scalar).
+  double degree = 0;
+  const bool homogeneous = kernel.homogeneous(&degree);
+  build_level(kernel, kMinOperatorLevel, root_half);
+  for (int l = kMinOperatorLevel + 1; l <= max_level; ++l) {
+    if (homogeneous)
+      rescale_level(l, kMinOperatorLevel, degree);
+    else
+      build_level(kernel, l, root_half);
+  }
 }
 
 const LevelOperators& Operators::level(int l) const {
@@ -48,6 +67,23 @@ std::optional<std::size_t> Operators::rel_index(int dx, int dy, int dz) {
   if (std::abs(dx) <= 1 && std::abs(dy) <= 1 && std::abs(dz) <= 1)
     return std::nullopt;  // near field: handled by U, never in V
   return static_cast<std::size_t>((dx + 3) * 49 + (dy + 3) * 7 + (dz + 3));
+}
+
+std::vector<fft::cplx> Operators::m2l_spectrum(int l, std::size_t rel) const {
+  const LevelOperators& ops = level(l);
+  EROOF_REQUIRE(rel < 343);
+  if (!ops.m2l) return {};
+  const std::size_t g = grid_size();
+  const double* re = ops.m2l->re.data() + rel * g;
+  const double* im = ops.m2l->im.data() + rel * g;
+  bool nonzero = false;
+  for (std::size_t k = 0; k < g && !nonzero; ++k)
+    nonzero = re[k] != 0.0 || im[k] != 0.0;
+  if (!nonzero) return {};  // near-field slot, never built
+  std::vector<fft::cplx> out(g);
+  for (std::size_t k = 0; k < g; ++k)
+    out[k] = fft::cplx{ops.m2l_scale * re[k], ops.m2l_scale * im[k]};
+  return out;
 }
 
 void Operators::embed(std::span<const double> surf_values,
@@ -65,10 +101,64 @@ void Operators::extract(std::span<const fft::cplx> grid,
     surf_values[s] = grid[surf_to_grid_[s]].real();
 }
 
+std::shared_ptr<M2lBank> Operators::build_m2l_bank(const Kernel& kernel,
+                                                   double h) {
+  const std::size_t m = grid_m();
+  const std::size_t g = grid_size();
+  const Box box{{0, 0, 0}, h};
+  const double spacing = surface_spacing(cfg_.p, box, kRadiusInner);
+  auto bank = std::make_shared<M2lBank>();
+  bank->re.assign(343 * g, 0.0);
+  bank->im.assign(343 * g, 0.0);
+  const Vec3 origin{0, 0, 0};
+
+  // Each admissible offset builds its kernel tensor and FFTs it into its own
+  // bank plane: iterations are independent, and Plan3::forward is const and
+  // re-entrant, so the loop parallelizes cleanly (this is the dominant setup
+  // cost for non-homogeneous kernels, which rebuild per level).
+#pragma omp parallel for schedule(dynamic)
+  for (int flat = 0; flat < 343; ++flat) {
+    const int dx = flat / 49 - 3;
+    const int dy = (flat / 7) % 7 - 3;
+    const int dz = flat % 7 - 3;
+    const auto rel = rel_index(dx, dy, dz);
+    if (!rel) continue;
+    // T[d] = K(target - source) at displacement
+    // (box-center delta) + spacing * d, d in [-(p-1), p-1]^3, embedded
+    // circularly in the m^3 grid.
+    std::vector<fft::cplx> t(g, fft::cplx{0, 0});
+    const Vec3 center_delta{dx * 2.0 * h, dy * 2.0 * h, dz * 2.0 * h};
+    const auto wrap = [m](int d) {
+      return static_cast<std::size_t>(d < 0 ? d + static_cast<int>(m) : d);
+    };
+    const int pm1 = cfg_.p - 1;
+    for (int a = -pm1; a <= pm1; ++a)
+      for (int b = -pm1; b <= pm1; ++b)
+        for (int c = -pm1; c <= pm1; ++c) {
+          const Vec3 displacement = center_delta +
+                                    Vec3{spacing * a, spacing * b,
+                                         spacing * c};
+          t[(wrap(a) * m + wrap(b)) * m + wrap(c)] =
+              fft::cplx{kernel.eval(displacement, origin), 0};
+        }
+    plan_.forward(t);
+    double* re = bank->re.data() + *rel * g;
+    double* im = bank->im.data() + *rel * g;
+    for (std::size_t k = 0; k < g; ++k) {
+      re[k] = t[k].real();
+      im[k] = t[k].imag();
+    }
+  }
+  return bank;
+}
+
 void Operators::build_level(const Kernel& kernel, int l, double root_half) {
   LevelOperators& ops = levels_[static_cast<std::size_t>(l)];
   const double h = root_half / std::exp2(l);
   const Box box{{0, 0, 0}, h};
+
+  ops.surf_inner = surface_template(cfg_.p, h, kRadiusInner);
+  ops.surf_outer = surface_template(cfg_.p, h, kRadiusOuter);
 
   // Equivalent-density solves. The check-to-equivalent matrices are the
   // ill-conditioned heart of KIFMM; Tikhonov keeps the solve stable while
@@ -84,48 +174,47 @@ void Operators::build_level(const Kernel& kernel, int l, double root_half) {
                                cfg_.tikhonov_eps);
 
   // M2M / L2L per child octant (children of a level-l box live at l+1).
-  for (unsigned o = 0; o < 8; ++o) {
-    const Box child = box.child(o);
+#pragma omp parallel for schedule(static)
+  for (int o = 0; o < 8; ++o) {
+    const Box child = box.child(static_cast<unsigned>(o));
     const auto child_up_equiv = surface_points(cfg_.p, child, kRadiusInner);
-    ops.m2m[o] = kernel.matrix(up_check, child_up_equiv);
+    ops.m2m[static_cast<std::size_t>(o)] =
+        kernel.matrix(up_check, child_up_equiv);
     const auto child_down_check = surface_points(cfg_.p, child, kRadiusInner);
-    ops.l2l[o] = kernel.matrix(child_down_check, down_equiv);
+    ops.l2l[static_cast<std::size_t>(o)] =
+        kernel.matrix(child_down_check, down_equiv);
   }
 
-  // FFT'd M2L kernel tensors, one per admissible relative offset.
   if (!cfg_.use_fft_m2l) return;
-  const std::size_t m = grid_m();
-  const double spacing = surface_spacing(cfg_.p, box, kRadiusInner);
-  ops.m2l_fft.assign(343, {});
-  const Vec3 origin{0, 0, 0};
-  for (int dx = -3; dx <= 3; ++dx) {
-    for (int dy = -3; dy <= 3; ++dy) {
-      for (int dz = -3; dz <= 3; ++dz) {
-        const auto rel = rel_index(dx, dy, dz);
-        if (!rel) continue;
-        // T[d] = K(target - source) at displacement
-        // (box-center delta) + spacing * d, d in [-(p-1), p-1]^3, embedded
-        // circularly in the m^3 grid.
-        std::vector<fft::cplx> t(grid_size(), fft::cplx{0, 0});
-        const Vec3 center_delta{dx * 2.0 * h, dy * 2.0 * h, dz * 2.0 * h};
-        const auto wrap = [m](int d) {
-          return static_cast<std::size_t>(d < 0 ? d + static_cast<int>(m) : d);
-        };
-        const int pm1 = cfg_.p - 1;
-        for (int a = -pm1; a <= pm1; ++a)
-          for (int b = -pm1; b <= pm1; ++b)
-            for (int c = -pm1; c <= pm1; ++c) {
-              const Vec3 displacement = center_delta +
-                                        Vec3{spacing * a, spacing * b,
-                                             spacing * c};
-              t[(wrap(a) * m + wrap(b)) * m + wrap(c)] =
-                  fft::cplx{kernel.eval(displacement, origin), 0};
-            }
-        plan_.forward(t);
-        ops.m2l_fft[*rel] = std::move(t);
-      }
-    }
+  ops.m2l = build_m2l_bank(kernel, h);
+  ops.m2l_scale = 1.0;
+}
+
+void Operators::rescale_level(int l, int ref, double degree) {
+  const LevelOperators& src = levels_[static_cast<std::size_t>(ref)];
+  LevelOperators& ops = levels_[static_cast<std::size_t>(l)];
+  // Level-l boxes are s times the reference size, s = 2^(ref - l); every
+  // kernel matrix entry scales by s^degree and the equivalent solves by its
+  // inverse (pinv_tikhonov(c K, eps) == pinv_tikhonov(K, eps) / c since the
+  // filter cutoff is relative to s_max).
+  const double k_scale = std::exp2(static_cast<double>(ref - l) * degree);
+  const double inv_scale = 1.0 / k_scale;
+
+  const double h_ratio = std::exp2(static_cast<double>(ref - l));
+  ops.surf_inner = src.surf_inner;
+  ops.surf_outer = src.surf_outer;
+  for (auto* t : {&ops.surf_inner, &ops.surf_outer})
+    for (auto* axis : {&t->x, &t->y, &t->z})
+      for (double& v : *axis) v *= h_ratio;
+
+  ops.uc2e = scaled(src.uc2e, inv_scale);
+  ops.dc2e = scaled(src.dc2e, inv_scale);
+  for (std::size_t o = 0; o < 8; ++o) {
+    ops.m2m[o] = scaled(src.m2m[o], k_scale);
+    ops.l2l[o] = scaled(src.l2l[o], k_scale);
   }
+  ops.m2l = src.m2l;  // shared: the Hadamard path applies m2l_scale
+  ops.m2l_scale = src.m2l_scale * k_scale;
 }
 
 }  // namespace eroof::fmm

@@ -14,12 +14,21 @@
 //          grid convolution -- evaluated as a Hadamard product in Fourier
 //          space (the paper's "FFTs and vector additions" V-list phase).
 //
+// The M2L spectra are stored in split real/imag planes (M2lBank) so the
+// V-phase Hadamard accumulation vectorizes; for homogeneous kernels
+// (K(ax, ay) = a^deg K(x, y)) one bank built at the reference level is
+// shared by every level through a per-level scalar, and the dense operators
+// are rescaled instead of rebuilt -- exact, because all surface geometry
+// scales linearly with the box size and the Tikhonov filter is relative to
+// the largest singular value.
+//
 // Requires a translation-invariant kernel for the FFT path (all bundled
 // kernels are); V-list translations fall back to dense application per pair
-// through `m2l_dense` when FFT is disabled.
+// when FFT is disabled.
 #pragma once
 
 #include <complex>
+#include <memory>
 #include <optional>
 #include <vector>
 
@@ -38,15 +47,28 @@ struct FmmConfig {
   bool use_fft_m2l = true;
 };
 
+/// FFT'd M2L kernel tensors for all 343 relative offsets of one level, in
+/// split real/imag layout: plane `rel` occupies [rel*g, (rel+1)*g) of each
+/// array (g = grid_size()). Near-field offsets that never occur in V lists
+/// are zero-filled. Shared across levels for homogeneous kernels.
+struct M2lBank {
+  std::vector<double> re;
+  std::vector<double> im;
+};
+
 /// Operators for one tree level.
 struct LevelOperators {
   la::Matrix uc2e;                 ///< n_surf x n_surf
   la::Matrix dc2e;                 ///< n_surf x n_surf
   std::array<la::Matrix, 8> m2m;   ///< K(parent up-check, child-o up-equiv)
   std::array<la::Matrix, 8> l2l;   ///< K(child-o down-check, parent down-equiv)
-  /// m2l_fft[rel] = FFT of the M2L kernel tensor for relative offset `rel`
-  /// (empty vector for near-field offsets that never occur in V lists).
-  std::vector<std::vector<fft::cplx>> m2l_fft;
+  /// M2L spectra; apply as `m2l_scale * (bank plane rel)`. Null when the FFT
+  /// path is disabled.
+  std::shared_ptr<const M2lBank> m2l;
+  double m2l_scale = 1.0;
+  /// Surface-point offsets from a box center at this level's box size.
+  SurfaceTemplate surf_inner;      ///< kRadiusInner (equiv-up / check-down)
+  SurfaceTemplate surf_outer;      ///< kRadiusOuter (check-up / equiv-down)
 };
 
 /// Builder + owner of all per-level operators and the FFT grid layout.
@@ -79,6 +101,11 @@ class Operators {
   /// lists never contain.
   static std::optional<std::size_t> rel_index(int dx, int dy, int dz);
 
+  /// Materializes the (scaled) M2L spectrum of one relative offset as an
+  /// interleaved complex grid -- reference/test accessor, not a hot path.
+  /// Empty if `rel` is a near-field slot or the FFT path is disabled.
+  std::vector<fft::cplx> m2l_spectrum(int level, std::size_t rel) const;
+
   /// Embeds an equivalent density (surface order) into a zeroed m^3 grid.
   void embed(std::span<const double> surf_values,
              std::span<fft::cplx> grid) const;
@@ -89,6 +116,8 @@ class Operators {
 
  private:
   void build_level(const Kernel& kernel, int l, double root_half);
+  void rescale_level(int l, int ref, double degree);
+  std::shared_ptr<M2lBank> build_m2l_bank(const Kernel& kernel, double h);
 
   FmmConfig cfg_;
   fft::Plan3 plan_;

@@ -46,6 +46,39 @@ std::vector<Vec3> surface_points(int p, const Box& box, double radius) {
   return pts;
 }
 
+void SurfaceTemplate::materialize(const Vec3& center, double* ox, double* oy,
+                                  double* oz) const {
+  const std::size_t n = x.size();
+  const double cx = center.x;
+  const double cy = center.y;
+  const double cz = center.z;
+#pragma omp simd
+  for (std::size_t i = 0; i < n; ++i) {
+    ox[i] = cx + x[i];
+    oy[i] = cy + y[i];
+    oz[i] = cz + z[i];
+  }
+}
+
+SurfaceTemplate surface_template(int p, double half, double radius) {
+  EROOF_REQUIRE(radius > 0);
+  const auto& coords = surface_grid_coords(p);
+  const double r = radius * half;
+  SurfaceTemplate t;
+  t.x.reserve(coords.size());
+  t.y.reserve(coords.size());
+  t.z.reserve(coords.size());
+  for (const auto& [i, j, k] : coords) {
+    const auto off = [p, r](int c) {
+      return r * (-1.0 + 2.0 * c / (p - 1.0));
+    };
+    t.x.push_back(off(i));
+    t.y.push_back(off(j));
+    t.z.push_back(off(k));
+  }
+  return t;
+}
+
 double surface_spacing(int p, const Box& box, double radius) {
   return 2.0 * radius * box.half / (p - 1.0);
 }

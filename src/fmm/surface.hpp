@@ -33,6 +33,25 @@ const std::vector<std::array<int, 3>>& surface_grid_coords(int p);
 /// (i,j,k) maps to center + radius*half * (-1 + 2i/(p-1), ...).
 std::vector<Vec3> surface_points(int p, const Box& box, double radius);
 
+/// SoA template of surface-point *offsets* from a box center. All boxes of
+/// one level are congruent, so a node's surface points are center + offset:
+/// the template is built once per (level, radius) and shared by every node,
+/// keeping the evaluation hot paths free of per-node point construction.
+struct SurfaceTemplate {
+  std::vector<double> x, y, z;
+
+  std::size_t size() const { return x.size(); }
+
+  /// Materializes `center + offsets` into caller-owned SoA arrays (each of
+  /// length size()); no allocation.
+  void materialize(const Vec3& center, double* ox, double* oy,
+                   double* oz) const;
+};
+
+/// Offsets for a box of half-width `half` at `radius` half-widths, in the
+/// canonical surface order (same order as surface_points).
+SurfaceTemplate surface_template(int p, double half, double radius);
+
 /// Grid spacing of those surface points (distance between adjacent nodes).
 double surface_spacing(int p, const Box& box, double radius);
 

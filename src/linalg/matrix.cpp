@@ -113,6 +113,42 @@ std::vector<double> matvec(const Matrix& a, std::span<const double> x) {
   return y;
 }
 
+void gemv_add(const Matrix& a, std::span<const double> x,
+              std::span<double> y) {
+  EROOF_REQUIRE(x.size() == a.cols() && y.size() == a.rows());
+  const std::size_t m = a.rows();
+  const std::size_t n = a.cols();
+  const double* mat = a.data().data();
+  const double* xs = x.data();
+  std::size_t i = 0;
+  for (; i + 4 <= m; i += 4) {
+    const double* r0 = mat + i * n;
+    const double* r1 = r0 + n;
+    const double* r2 = r1 + n;
+    const double* r3 = r2 + n;
+    double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+#pragma omp simd reduction(+ : s0, s1, s2, s3)
+    for (std::size_t j = 0; j < n; ++j) {
+      const double xj = xs[j];
+      s0 += r0[j] * xj;
+      s1 += r1[j] * xj;
+      s2 += r2[j] * xj;
+      s3 += r3[j] * xj;
+    }
+    y[i] += s0;
+    y[i + 1] += s1;
+    y[i + 2] += s2;
+    y[i + 3] += s3;
+  }
+  for (; i < m; ++i) {
+    const double* row = mat + i * n;
+    double s = 0;
+#pragma omp simd reduction(+ : s)
+    for (std::size_t j = 0; j < n; ++j) s += row[j] * xs[j];
+    y[i] += s;
+  }
+}
+
 std::vector<double> matvec_t(const Matrix& a, std::span<const double> x) {
   EROOF_REQUIRE(x.size() == a.rows());
   std::vector<double> y(a.cols(), 0.0);

@@ -65,6 +65,13 @@ class Matrix {
 /// y = A x  (dims must agree).
 std::vector<double> matvec(const Matrix& a, std::span<const double> x);
 
+/// y += A x, allocation-free. The FMM's UC2E/DC2E/M2M/L2L translations are
+/// all applications of this form, so unlike the convenience matvec above it
+/// is built for throughput: four rows per pass (x is streamed once per
+/// block) with a simd-friendly inner loop.
+void gemv_add(const Matrix& a, std::span<const double> x,
+              std::span<double> y);
+
 /// y = A^T x.
 std::vector<double> matvec_t(const Matrix& a, std::span<const double> x);
 

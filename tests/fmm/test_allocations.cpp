@@ -1,0 +1,105 @@
+// Zero-allocation contract of the FMM phase loops.
+//
+// FmmEvaluator promises that after setup (construction + the first
+// evaluate() call, which sizes the per-thread workspaces), repeat
+// evaluations touch the heap only for the caller-facing vectors -- the
+// densities copy-in span adapter costs nothing and the returned potentials
+// are one allocation. The six phase loops themselves run entirely against
+// the preallocated arenas and Workspace scratch.
+//
+// Verified with a replacement global operator new/delete pair that counts
+// calls. The hook lives in this dedicated test binary so it cannot distort
+// the other suites; it forwards to malloc/free, which keeps ASan's
+// interception intact.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <vector>
+
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+std::atomic<long> g_new_calls{0};
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc{};
+}
+
+void* operator new[](std::size_t size) { return ::operator new(size); }
+
+// The nothrow variants must be replaced too: libstdc++'s temporary buffers
+// (std::stable_sort) allocate through them, and mixing a default nothrow-new
+// with our malloc-backed delete is an alloc/dealloc mismatch under ASan.
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  g_new_calls.fetch_add(1, std::memory_order_relaxed);
+  return std::malloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t& tag) noexcept {
+  return ::operator new(size, tag);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+namespace eroof::fmm {
+namespace {
+
+// One shared kernel so the counting windows see no kernel construction.
+const LaplaceKernel& kernel_instance() {
+  static const LaplaceKernel k;
+  return k;
+}
+
+long count_steady_state_allocations(std::size_t n, std::uint32_t q, int p) {
+  util::Rng rng(31);
+  const auto pts = uniform_cube(n, rng);
+  const auto dens = random_densities(n, rng);
+  FmmEvaluator ev(kernel_instance(), pts, {.max_points_per_box = q},
+                  FmmConfig{.p = p});
+  (void)ev.evaluate(dens);  // warm-up: sizes the per-thread workspaces
+  const long before = g_new_calls.load(std::memory_order_relaxed);
+  auto phi = ev.evaluate(dens);
+  const long after = g_new_calls.load(std::memory_order_relaxed);
+  EXPECT_EQ(phi.size(), n);
+  return after - before;
+}
+
+TEST(FmmAllocations, SteadyStateEvaluateIsAllocationFreePerPhase) {
+  // The only allowed allocations per steady-state evaluate() are the
+  // caller-facing ones: the returned potentials vector plus the densities
+  // working copy -- a small constant, emphatically not O(nodes) or O(N).
+  constexpr long kAllowed = 8;
+  const long small = count_steady_state_allocations(1500, 32, 4);
+  EXPECT_LE(small, kAllowed) << "phase loops are allocating";
+  EXPECT_GE(small, 1) << "counting hook is not engaged";
+}
+
+TEST(FmmAllocations, AllocationCountIndependentOfProblemSize) {
+  // Doubling N (and with it the node count and list sizes) must not change
+  // the steady-state allocation count: every per-node and per-pair buffer
+  // lives in the arenas or the workspaces.
+  const long small = count_steady_state_allocations(1000, 32, 4);
+  const long large = count_steady_state_allocations(4000, 32, 4);
+  EXPECT_EQ(small, large);
+}
+
+}  // namespace
+}  // namespace eroof::fmm

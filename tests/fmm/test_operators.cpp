@@ -4,6 +4,7 @@
 
 #include "util/require.hpp"
 
+#include <cmath>
 #include <set>
 
 #include "fmm/direct.hpp"
@@ -142,7 +143,7 @@ TEST(Operators, FftM2LMatchesDenseTranslation) {
   ops.plan().forward(grid);
   const auto rel = Operators::rel_index(dx, dy, dz);
   ASSERT_TRUE(rel.has_value());
-  const auto& t_hat = ops.level(level).m2l_fft[*rel];
+  const auto t_hat = ops.m2l_spectrum(level, *rel);
   ASSERT_EQ(t_hat.size(), ops.grid_size());
   for (std::size_t i = 0; i < grid.size(); ++i) grid[i] *= t_hat[i];
   ops.plan().inverse(grid);
@@ -157,7 +158,57 @@ TEST(Operators, FftM2LMatchesDenseTranslation) {
 TEST(Operators, DenseM2LDisabledSkipsTensors) {
   const LaplaceKernel kernel;
   const Operators ops(kernel, 0.5, 2, FmmConfig{.p = kP, .use_fft_m2l = false});
-  EXPECT_TRUE(ops.level(2).m2l_fft.empty());
+  EXPECT_EQ(ops.level(2).m2l, nullptr);
+  const auto rel = Operators::rel_index(2, 0, 0);
+  ASSERT_TRUE(rel.has_value());
+  EXPECT_TRUE(ops.m2l_spectrum(2, *rel).empty());
+}
+
+TEST(Operators, HomogeneousRescaledLevelsMatchDirectBuild) {
+  // Laplace operators at level 3/4 are produced by rescaling the level-2
+  // build; they must agree with kernel matrices computed directly from
+  // level-3/4 geometry (exactness of the scale-invariance shortcut).
+  const LaplaceKernel kernel;
+  const double root_half = 0.5;
+  const Operators ops(kernel, root_half, 4, FmmConfig{.p = kP});
+  for (int l : {3, 4}) {
+    const double h = root_half / std::exp2(l);
+    const Box box{{0, 0, 0}, h};
+    const auto up_check = surface_points(kP, box, kRadiusOuter);
+    const auto down_equiv = surface_points(kP, box, kRadiusOuter);
+    for (unsigned o = 0; o < 8; ++o) {
+      const Box child = box.child(o);
+      const auto child_up_equiv = surface_points(kP, child, kRadiusInner);
+      const auto m2m_direct = kernel.matrix(up_check, child_up_equiv);
+      EXPECT_LT(ops.level(l).m2m[o].max_abs_diff(m2m_direct),
+                1e-12 * m2m_direct.frobenius_norm())
+          << "level " << l << " octant " << o;
+      const auto child_down_check = surface_points(kP, child, kRadiusInner);
+      const auto l2l_direct = kernel.matrix(child_down_check, down_equiv);
+      EXPECT_LT(ops.level(l).l2l[o].max_abs_diff(l2l_direct),
+                1e-12 * l2l_direct.frobenius_norm())
+          << "level " << l << " octant " << o;
+    }
+    // The shared M2L bank: scaled spectrum at level l equals the level-2
+    // spectrum times 2^(l-2) for the degree -1 Laplace kernel.
+    const auto rel = Operators::rel_index(3, -2, 0);
+    ASSERT_TRUE(rel.has_value());
+    const auto ref = ops.m2l_spectrum(2, *rel);
+    const auto got = ops.m2l_spectrum(l, *rel);
+    ASSERT_EQ(ref.size(), got.size());
+    const double expect_scale = std::exp2(l - 2);
+    for (std::size_t k = 0; k < ref.size(); ++k)
+      EXPECT_EQ(got[k], ref[k] * expect_scale) << "k = " << k;
+    // And the rescaled surface templates match direct construction.
+    const auto tmpl = ops.level(l).surf_inner;
+    const auto direct = surface_points(kP, box, kRadiusInner);
+    ASSERT_EQ(tmpl.size(), direct.size());
+    for (std::size_t i = 0; i < direct.size(); ++i) {
+      EXPECT_DOUBLE_EQ(tmpl.x[i], direct[i].x);
+      EXPECT_DOUBLE_EQ(tmpl.y[i], direct[i].y);
+      EXPECT_DOUBLE_EQ(tmpl.z[i], direct[i].z);
+    }
+  }
 }
 
 TEST(Operators, LevelBelowTwoRejected) {
