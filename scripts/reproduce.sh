@@ -5,11 +5,22 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-cmake -B build -G Ninja
-cmake --build build
+JOBS=$( (command -v nproc >/dev/null && nproc) || sysctl -n hw.ncpu 2>/dev/null || echo 2)
+
+# Prefer Ninja when available, but fall back to CMake's default generator
+# (the ROADMAP tier-1 command) -- and never fight an already-configured
+# build tree that used a different generator.
+if [ ! -f build/CMakeCache.txt ]; then
+  if command -v ninja >/dev/null 2>&1; then
+    cmake -B build -G Ninja
+  else
+    cmake -B build
+  fi
+fi
+cmake --build build -j "${JOBS}"
 
 mkdir -p reproduction
-ctest --test-dir build 2>&1 | tee reproduction/test_output.txt
+ctest --test-dir build -j "${JOBS}" 2>&1 | tee reproduction/test_output.txt
 
 for b in build/bench/*; do
   [ -x "$b" ] || continue
@@ -21,5 +32,11 @@ done
 # CSV series are written to the current directory by the fig benches.
 mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
   2>/dev/null || true
+
+# Machine-readable perf baselines: the committed bench/results/*.json
+# references plus a fresh perf_pipeline run on this machine.
+cp -f bench/results/*.json reproduction/ 2>/dev/null || true
+./build/bench/perf_pipeline --bench-json=reproduction/BENCH_pipeline.local.json \
+  --bench-reps=5 || true
 
 echo "All outputs collected under ./reproduction/"

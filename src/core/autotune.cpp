@@ -11,15 +11,48 @@ std::vector<hw::Measurement> measure_grid(
     const hw::Soc& soc, const hw::Workload& w,
     std::span<const hw::DvfsSetting> grid, const hw::PowerMon& monitor,
     util::Rng& rng, int repeats) {
+  return measure_grid(soc, w, grid, monitor, util::RngStream(rng()), repeats);
+}
+
+std::vector<hw::Measurement> measure_grid(
+    const hw::Soc& soc, const hw::Workload& w,
+    std::span<const hw::DvfsSetting> grid, const hw::PowerMon& monitor,
+    const util::RngStream& root, int repeats) {
   EROOF_REQUIRE(repeats >= 1);
+  const std::size_t nruns = grid.size() * static_cast<std::size_t>(repeats);
+  std::vector<hw::Measurement> runs(nruns);
+  trace::TraceSession* ts = trace::session();
+  std::vector<hw::PowerTrace> traces(ts ? nruns : 0);
+
+  const util::RngStream wl_stream = root.fork(w.name);
+  std::vector<util::RngStream> setting_streams;
+  setting_streams.reserve(grid.size());
+  for (const auto& s : grid) setting_streams.push_back(wl_stream.fork(s.label()));
+
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t run = 0; run < static_cast<std::ptrdiff_t>(nruns);
+       ++run) {
+    const std::size_t i = static_cast<std::size_t>(run) /
+                          static_cast<std::size_t>(repeats);
+    const std::size_t r = static_cast<std::size_t>(run) %
+                          static_cast<std::size_t>(repeats);
+    const util::RngStream run_stream = setting_streams[i].fork(r);
+    runs[run] = soc.run(w, grid[i], monitor, run_stream,
+                        ts ? &traces[run] : nullptr);
+  }
+  if (ts)
+    for (const auto& t : traces) hw::PowerMon::mirror_to_session(t);
+
+  // Average repeated runs, as a careful measurement campaign would: the
+  // argmin over 105 settings is otherwise dominated by run-to-run noise.
+  // Accumulation is serial, in repeat order, so averages replay bit-for-bit.
   std::vector<hw::Measurement> ms;
   ms.reserve(grid.size());
-  for (const auto& s : grid) {
-    // Average repeated runs, as a careful measurement campaign would: the
-    // argmin over 105 settings is otherwise dominated by run-to-run noise.
-    hw::Measurement acc = soc.run(w, s, monitor, rng);
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    hw::Measurement acc = runs[i * static_cast<std::size_t>(repeats)];
     for (int r = 1; r < repeats; ++r) {
-      const auto m = soc.run(w, s, monitor, rng);
+      const auto& m = runs[i * static_cast<std::size_t>(repeats) +
+                           static_cast<std::size_t>(r)];
       acc.time_s += m.time_s;
       acc.energy_j += m.energy_j;
       acc.avg_power_w += m.avg_power_w;
@@ -81,6 +114,10 @@ TuneOutcome autotune(const EnergyModel& model,
   }
 
   const auto lost_pct = [&](std::size_t idx) {
+    // A single-candidate grid (or a degenerate zero-energy minimum, e.g. a
+    // grid of zeroed Measurements in a unit test) gives every strategy the
+    // same pick; report 0% lost rather than dividing by zero.
+    if (idx == out.best_idx || !(best_energy > 0)) return 0.0;
     return 100.0 * (grid[idx].energy_j - best_energy) / best_energy;
   };
   out.model_lost_pct = lost_pct(out.model_idx);

@@ -22,6 +22,16 @@ std::vector<hw::Measurement> measure_grid(
     std::span<const hw::DvfsSetting> grid, const hw::PowerMon& monitor,
     util::Rng& rng, int repeats = 3);
 
+/// Stream-based grid measurement: every (setting, repeat) run is measured in
+/// parallel from its own stream, forked off `root` by (workload name, setting
+/// label, repeat index); repeats are then averaged serially in repeat order.
+/// Results are bitwise-identical across thread counts and grid iteration
+/// order.
+std::vector<hw::Measurement> measure_grid(
+    const hw::Soc& soc, const hw::Workload& w,
+    std::span<const hw::DvfsSetting> grid, const hw::PowerMon& monitor,
+    const util::RngStream& root, int repeats = 3);
+
 /// Outcome of tuning one workload.
 struct TuneOutcome {
   std::size_t model_idx = 0;   ///< setting the model predicts is best

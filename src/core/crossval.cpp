@@ -1,12 +1,37 @@
 #include "core/crossval.hpp"
 
 #include <algorithm>
-#include <string>
+#include <cstddef>
 #include <numeric>
+#include <string>
+#include <unordered_map>
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::model {
+namespace {
+
+// One fold's private scratch and result: the index partition plus the pooled
+// per-sample errors, kept separate per fold so folds can run concurrently
+// and be concatenated in fold order afterwards.
+struct FoldErrors {
+  std::vector<double> errors_pct;
+};
+
+// Fits on `train` rows, predicts `test` rows. The trace-session residual
+// pass inside fit_energy_model is mutex-protected, so this is safe to call
+// from parallel fold loops; fold results depend only on the index partition.
+FoldErrors run_fold(std::span<const FitSample> samples,
+                    std::span<const std::size_t> train,
+                    std::span<const std::size_t> test) {
+  const FitResult fit = fit_energy_model(samples, train);
+  FoldErrors out;
+  out.errors_pct = validate(fit.model, samples, test).errors_pct;
+  return out;
+}
+
+}  // namespace
 
 ValidationReport validate(const EnergyModel& model,
                           std::span<const FitSample> test) {
@@ -14,6 +39,21 @@ ValidationReport validate(const EnergyModel& model,
   ValidationReport rep;
   rep.errors_pct.reserve(test.size());
   for (const FitSample& s : test) {
+    const double pred = model.predict_energy_j(s.ops, s.setting, s.time_s);
+    rep.errors_pct.push_back(util::relative_error_pct(pred, s.energy_j));
+  }
+  rep.summary = util::summarize(rep.errors_pct);
+  return rep;
+}
+
+ValidationReport validate(const EnergyModel& model,
+                          std::span<const FitSample> samples,
+                          std::span<const std::size_t> rows) {
+  EROOF_REQUIRE(!rows.empty());
+  ValidationReport rep;
+  rep.errors_pct.reserve(rows.size());
+  for (const std::size_t i : rows) {
+    const FitSample& s = samples[i];
     const double pred = model.predict_energy_j(s.ops, s.setting, s.time_s);
     rep.errors_pct.push_back(util::relative_error_pct(pred, s.energy_j));
   }
@@ -31,63 +71,87 @@ ValidationReport kfold_validation(std::span<const FitSample> samples, int k,
                                   util::Rng& rng) {
   EROOF_REQUIRE(k >= 2 && samples.size() >= static_cast<std::size_t>(k));
 
-  // Random permutation, then contiguous fold slices.
-  std::vector<std::size_t> perm(samples.size());
+  // Random permutation (drawn serially, so the fold assignment is a pure
+  // function of the incoming RNG state), then contiguous fold slices.
+  const std::size_t n = samples.size();
+  std::vector<std::size_t> perm(n);
   std::iota(perm.begin(), perm.end(), 0);
   for (std::size_t i = perm.size(); i > 1; --i)
     std::swap(perm[i - 1], perm[rng.below(i)]);
 
-  ValidationReport rep;
-  rep.errors_pct.reserve(samples.size());
-  const std::size_t n = samples.size();
+  // Each fold's train partition is the permutation with the test slice
+  // removed -- an index view, never a copy of the FitSamples themselves.
+  // Fold results depend only on the partition, so errors are identical at
+  // every thread count; an installed trace session forces serial folds so
+  // its order-summed counter totals stay bitwise-reproducible too.
+  const bool tracing = trace::session() != nullptr;
+  std::vector<FoldErrors> folds(static_cast<std::size_t>(k));
+#pragma omp parallel for schedule(dynamic) if (!tracing)
   for (int fold = 0; fold < k; ++fold) {
     const std::size_t lo = n * static_cast<std::size_t>(fold) /
                            static_cast<std::size_t>(k);
     const std::size_t hi = n * (static_cast<std::size_t>(fold) + 1) /
                            static_cast<std::size_t>(k);
-    std::vector<FitSample> train;
-    std::vector<FitSample> test;
+    std::vector<std::size_t> train;
     train.reserve(n - (hi - lo));
-    test.reserve(hi - lo);
-    for (std::size_t i = 0; i < n; ++i) {
-      if (i >= lo && i < hi)
-        test.push_back(samples[perm[i]]);
-      else
-        train.push_back(samples[perm[i]]);
-    }
-    const ValidationReport fold_rep = holdout_validation(train, test);
-    rep.errors_pct.insert(rep.errors_pct.end(), fold_rep.errors_pct.begin(),
-                          fold_rep.errors_pct.end());
+    train.insert(train.end(), perm.begin(), perm.begin() + lo);
+    train.insert(train.end(), perm.begin() + hi, perm.end());
+    const std::span<const std::size_t> test(perm.data() + lo, hi - lo);
+    folds[static_cast<std::size_t>(fold)] = run_fold(samples, train, test);
   }
+
+  ValidationReport rep;
+  rep.errors_pct.reserve(n);
+  for (const FoldErrors& f : folds)
+    rep.errors_pct.insert(rep.errors_pct.end(), f.errors_pct.begin(),
+                          f.errors_pct.end());
   rep.summary = util::summarize(rep.errors_pct);
   return rep;
 }
 
 ValidationReport leave_one_setting_out(std::span<const FitSample> samples) {
   EROOF_REQUIRE(!samples.empty());
-  std::vector<std::string> groups;
-  for (const FitSample& s : samples) {
-    const std::string key = s.setting.label();
-    if (std::find(groups.begin(), groups.end(), key) == groups.end())
-      groups.push_back(key);
+
+  // One pass assigns every sample a group id keyed by its setting label
+  // (first-appearance order, matching the paper's setting enumeration);
+  // label() -- an ostringstream format -- runs once per sample instead of
+  // once per (sample, fold) pair.
+  const std::size_t n = samples.size();
+  std::vector<std::size_t> gid(n);
+  std::vector<std::size_t> group_sizes;
+  std::unordered_map<std::string, std::size_t> group_of;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto [it, inserted] =
+        group_of.try_emplace(samples[i].setting.label(), group_sizes.size());
+    if (inserted) group_sizes.push_back(0);
+    gid[i] = it->second;
+    ++group_sizes[it->second];
   }
-  EROOF_REQUIRE_MSG(groups.size() >= 2, "need samples from >= 2 settings");
+  const std::size_t ngroups = group_sizes.size();
+  EROOF_REQUIRE_MSG(ngroups >= 2, "need samples from >= 2 settings");
+
+  const bool tracing = trace::session() != nullptr;
+  std::vector<FoldErrors> folds(ngroups);
+#pragma omp parallel for schedule(dynamic) if (!tracing)
+  for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(ngroups); ++g) {
+    std::vector<std::size_t> train;
+    std::vector<std::size_t> test;
+    train.reserve(n - group_sizes[static_cast<std::size_t>(g)]);
+    test.reserve(group_sizes[static_cast<std::size_t>(g)]);
+    for (std::size_t i = 0; i < n; ++i) {
+      if (gid[i] == static_cast<std::size_t>(g))
+        test.push_back(i);
+      else
+        train.push_back(i);
+    }
+    folds[static_cast<std::size_t>(g)] = run_fold(samples, train, test);
+  }
 
   ValidationReport rep;
-  rep.errors_pct.reserve(samples.size());
-  for (const std::string& held_out : groups) {
-    std::vector<FitSample> train;
-    std::vector<FitSample> test;
-    for (const FitSample& s : samples) {
-      if (s.setting.label() == held_out)
-        test.push_back(s);
-      else
-        train.push_back(s);
-    }
-    const ValidationReport fold_rep = holdout_validation(train, test);
-    rep.errors_pct.insert(rep.errors_pct.end(), fold_rep.errors_pct.begin(),
-                          fold_rep.errors_pct.end());
-  }
+  rep.errors_pct.reserve(n);
+  for (const FoldErrors& f : folds)
+    rep.errors_pct.insert(rep.errors_pct.end(), f.errors_pct.begin(),
+                          f.errors_pct.end());
   rep.summary = util::summarize(rep.errors_pct);
   return rep;
 }

@@ -22,6 +22,13 @@ struct ValidationReport {
 ValidationReport validate(const EnergyModel& model,
                           std::span<const FitSample> test);
 
+/// Subset variant: predicts samples[rows[0]], samples[rows[1]], ... in that
+/// order, without copying FitSamples. Used by the CV drivers, which carve
+/// train/test index partitions out of one scratch buffer per fold.
+ValidationReport validate(const EnergyModel& model,
+                          std::span<const FitSample> samples,
+                          std::span<const std::size_t> rows);
+
 /// 2-fold holdout: fit on `train`, validate on `test` (the paper trains on
 /// the 8 "T" settings and validates on the 8 "V" settings).
 ValidationReport holdout_validation(std::span<const FitSample> train,

@@ -36,29 +36,55 @@ std::array<double, kNumFitColumns> design_row(const FitSample& s) {
   return row;
 }
 
-FitResult fit_energy_model(std::span<const FitSample> samples) {
-  EROOF_REQUIRE_MSG(samples.size() >= kNumFitColumns,
+namespace {
+
+// Shared implementation: fits on samples[rows[i]] for every i. One pass per
+// sample computes its design row exactly once, accumulating the normal
+// equations (Gram matrix, A^T b, b^T b) row-major; when a trace session is
+// installed the rows are additionally stashed so the residual pass reuses
+// them instead of rebuilding each row a second time.
+FitResult fit_on_rows(std::span<const FitSample> samples,
+                      std::span<const std::size_t> rows) {
+  EROOF_REQUIRE_MSG(rows.size() >= kNumFitColumns,
                     "need at least as many samples as fit columns");
-  const std::size_t m = samples.size();
+  const std::size_t m = rows.size();
+  trace::TraceSession* ts = trace::session();
 
-  la::Matrix a(m, kNumFitColumns);
-  std::vector<double> b(m);
+  la::Matrix gram(kNumFitColumns, kNumFitColumns);
+  std::array<double, kNumFitColumns> atb{};
+  double btb = 0;
+  std::vector<std::array<double, kNumFitColumns>> stash;
+  if (ts) stash.reserve(m);
+
   for (std::size_t i = 0; i < m; ++i) {
-    const auto row = design_row(samples[i]);
-    for (std::size_t j = 0; j < kNumFitColumns; ++j) a(i, j) = row[j];
-    b[i] = samples[i].energy_j;
+    const FitSample& s = samples[rows[i]];
+    const auto row = design_row(s);
+    for (std::size_t j = 0; j < kNumFitColumns; ++j) {
+      for (std::size_t k = j; k < kNumFitColumns; ++k)
+        gram(j, k) += row[j] * row[k];
+      atb[j] += row[j] * s.energy_j;
+    }
+    btb += s.energy_j * s.energy_j;
+    if (ts) stash.push_back(row);
   }
+  for (std::size_t j = 0; j < kNumFitColumns; ++j)
+    for (std::size_t k = 0; k < j; ++k) gram(j, k) = gram(k, j);
 
-  // Column equilibration.
+  // Column equilibration, read straight off the Gram diagonal:
+  // ||col_j||_2 = sqrt(G[j][j]). Scaling maps G'ij = Gij/(si sj),
+  // (A^T b)'j = (A^T b)j / sj; b^T b is scale-free.
   std::array<double, kNumFitColumns> scale{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j)
+    scale[j] = gram(j, j) > 0 ? std::sqrt(gram(j, j)) : 1.0;
+  la::Matrix gram_scaled(kNumFitColumns, kNumFitColumns);
+  std::array<double, kNumFitColumns> atb_scaled{};
   for (std::size_t j = 0; j < kNumFitColumns; ++j) {
-    double ss = 0;
-    for (std::size_t i = 0; i < m; ++i) ss += a(i, j) * a(i, j);
-    scale[j] = ss > 0 ? std::sqrt(ss) : 1.0;
-    for (std::size_t i = 0; i < m; ++i) a(i, j) /= scale[j];
+    for (std::size_t k = 0; k < kNumFitColumns; ++k)
+      gram_scaled(j, k) = gram(j, k) / (scale[j] * scale[k]);
+    atb_scaled[j] = atb[j] / scale[j];
   }
 
-  const la::NnlsResult sol = la::nnls(a, b, 1e-10);
+  const la::NnlsResult sol = la::nnls_gram(gram_scaled, atb_scaled, btb, 1e-10);
 
   FitResult out;
   out.n_samples = m;
@@ -75,15 +101,16 @@ FitResult fit_energy_model(std::span<const FitSample> samples) {
 
   // Record the fitted model's per-sample residuals (predicted minus
   // measured energy, via the un-scaled coefficients) so a trace aligns fit
-  // quality with the campaign that produced the samples.
-  if (trace::TraceSession* ts = trace::session()) {
+  // quality with the campaign that produced the samples. Rows come from the
+  // assembly-pass stash; nothing is recomputed.
+  if (ts) {
     trace::ScopedSpan span("fit_energy_model", "model.fit");
     double max_abs = 0;
     for (std::size_t i = 0; i < m; ++i) {
-      const auto row = design_row(samples[i]);
+      const auto& row = stash[i];
       double pred = 0;
       for (std::size_t j = 0; j < kNumFitColumns; ++j) pred += row[j] * x[j];
-      const double resid = pred - samples[i].energy_j;
+      const double resid = pred - samples[rows[i]].energy_j;
       max_abs = std::max(max_abs, std::abs(resid));
       ts->emit_counter("fit.residual_j", ts->now_us(), resid);
     }
@@ -95,6 +122,19 @@ FitResult fit_energy_model(std::span<const FitSample> samples) {
     ts->add_counter_total("fit.max_abs_residual_j", max_abs);
   }
   return out;
+}
+
+}  // namespace
+
+FitResult fit_energy_model(std::span<const FitSample> samples) {
+  std::vector<std::size_t> all(samples.size());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  return fit_on_rows(samples, all);
+}
+
+FitResult fit_energy_model(std::span<const FitSample> samples,
+                           std::span<const std::size_t> rows) {
+  return fit_on_rows(samples, rows);
 }
 
 }  // namespace eroof::model

@@ -48,6 +48,19 @@ struct FitResult {
 /// to unit Euclidean length before the solve (counts are ~1e8 while T is
 /// ~1e-1; without scaling the active-set tolerance is meaningless) and the
 /// coefficients un-scaled afterwards.
+///
+/// The solve runs on the normal equations: one pass accumulates the 9x9
+/// Gram matrix (each design row computed exactly once per sample), then
+/// la::nnls_gram iterates with O(k^3) Cholesky passive-set solves -- far
+/// cheaper than per-iteration QR over all m samples when m is in the
+/// thousands.
 FitResult fit_energy_model(std::span<const FitSample> samples);
+
+/// Fits on the subset samples[rows[0]], samples[rows[1]], ... without
+/// materializing a per-fold copy of the samples. Cross-validation partitions
+/// index scratch instead of copying FitSamples; results for a given subset
+/// are identical to fitting the copied subset.
+FitResult fit_energy_model(std::span<const FitSample> samples,
+                           std::span<const std::size_t> rows);
 
 }  // namespace eroof::model

@@ -66,4 +66,42 @@ PowerTrace PowerMon::measure(double duration_s,
   return trace;
 }
 
+PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
+                                      util::Rng& rng) const {
+  EROOF_REQUIRE(duration_s > 0);
+  const double dt = 1.0 / cfg_.sample_hz;
+  const std::size_t nsamples =
+      std::max<std::size_t>(2, static_cast<std::size_t>(duration_s / dt) + 1);
+  const double step = duration_s / static_cast<double>(nsamples - 1);
+
+  PowerTrace trace;
+  trace.duration_s = duration_s;
+  trace.samples_w.resize(nsamples);
+  for (std::size_t i = 0; i < nsamples; ++i)
+    trace.samples_w[i] = quantize(power_w + rng.normal(0.0, cfg_.noise_w));
+
+  double energy = 0;
+  for (std::size_t i = 1; i < nsamples; ++i)
+    energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
+  trace.energy_j = energy;
+  trace.avg_power_w = energy / duration_s;
+  return trace;
+}
+
+void PowerMon::mirror_to_session(const PowerTrace& trace) {
+  trace::TraceSession* ts = trace::session();
+  if (!ts) return;
+  const std::size_t nsamples = trace.samples_w.size();
+  const double step =
+      nsamples > 1 ? trace.duration_s / static_cast<double>(nsamples - 1) : 0.0;
+  const std::int64_t base_us = ts->now_us();
+  for (std::size_t i = 0; i < nsamples; ++i) {
+    const double t = static_cast<double>(i) * step;
+    ts->emit_counter("power_w", base_us + static_cast<std::int64_t>(t * 1e6),
+                     trace.samples_w[i]);
+  }
+  ts->add_counter_total("powermon.samples", static_cast<double>(nsamples));
+  ts->add_counter_total("powermon.energy_j", trace.energy_j);
+}
+
 }  // namespace eroof::hw

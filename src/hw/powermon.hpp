@@ -45,6 +45,21 @@ class PowerMon {
                      const std::function<double(double)>& power_w,
                      util::Rng& rng) const;
 
+  /// Batched fast path for the (common) constant-power case: no per-sample
+  /// std::function dispatch and no trace-session interaction, so it is safe
+  /// to call from parallel regions. Callers that want the sample stream in
+  /// the trace mirror the returned PowerTrace later via mirror_to_session.
+  PowerTrace measure_constant(double duration_s, double power_w,
+                              util::Rng& rng) const;
+
+  /// Replays a completed trace into the installed trace session (no-op when
+  /// none is installed): the sample stream as a "power_w" counter track
+  /// anchored at the session's current wall-clock, plus the
+  /// powermon.samples / powermon.energy_j totals. Parallel campaigns buffer
+  /// PowerTraces and call this serially in cell order, which keeps counter
+  /// totals bitwise-identical to a sequential run.
+  static void mirror_to_session(const PowerTrace& trace);
+
  private:
   double quantize(double watts) const;
 

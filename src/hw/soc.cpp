@@ -4,6 +4,7 @@
 #include <cmath>
 #include <functional>
 #include <string>
+#include <utility>
 
 #include "util/require.hpp"
 
@@ -134,6 +135,16 @@ double Soc::true_energy_j(const Workload& w, const DvfsSetting& s,
 
 Measurement Soc::run(const Workload& w, const DvfsSetting& s,
                      const PowerMon& monitor, util::Rng& rng) const {
+  PowerTrace trace;
+  const Measurement m = run(w, s, monitor, util::RngStream(rng()), &trace);
+  PowerMon::mirror_to_session(trace);
+  return m;
+}
+
+Measurement Soc::run(const Workload& w, const DvfsSetting& s,
+                     const PowerMon& monitor, const util::RngStream& stream,
+                     PowerTrace* trace_out) const {
+  util::Rng rng = stream.rng();
   const double time_s = execution_time(w, s) *
                         std::max(0.5, 1.0 + truth_.timing_jitter * rng.normal());
   const double p_dyn = dynamic_power_w(w, s, time_s);
@@ -145,8 +156,7 @@ Measurement Soc::run(const Workload& w, const DvfsSetting& s,
       (1.0 + truth_.leak_power_coupling * (p_dyn - 3.0) +
        truth_.thermal_jitter * rng.normal());
 
-  const auto power_at = [&](double) { return p_dyn + p_const; };
-  const PowerTrace trace = monitor.measure(time_s, power_at, rng);
+  PowerTrace trace = monitor.measure_constant(time_s, p_dyn + p_const, rng);
 
   Measurement m;
   m.workload = w.name;
@@ -155,6 +165,7 @@ Measurement Soc::run(const Workload& w, const DvfsSetting& s,
   m.time_s = time_s;
   m.energy_j = trace.energy_j;
   m.avg_power_w = trace.avg_power_w;
+  if (trace_out) *trace_out = std::move(trace);
   return m;
 }
 

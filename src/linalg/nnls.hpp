@@ -29,4 +29,13 @@ struct NnlsResult {
 NnlsResult nnls(const Matrix& a, std::span<const double> b, double tol = 1e-10,
                 int max_iter = 0);
 
+/// Lawson-Hanson on the normal equations: solves min ||A x - b|| s.t. x >= 0
+/// given only the Gram matrix G = A^T A, the projection atb = A^T b, and
+/// btb = b^T b. Each passive-set solve is an O(k^3) Cholesky on a k x k
+/// submatrix of G instead of an O(m k^2) QR over all m samples, which is the
+/// right trade when m >> n (the energy-model fits have m ~ 10^3, n <= 6).
+/// The reported residual_norm is sqrt(btb - 2 x.atb + x.Gx), clamped at 0.
+NnlsResult nnls_gram(const Matrix& g, std::span<const double> atb, double btb,
+                     double tol = 1e-10, int max_iter = 0);
+
 }  // namespace eroof::la

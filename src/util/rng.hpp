@@ -9,8 +9,31 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <string_view>
 
 namespace eroof::util {
+
+/// SplitMix64 finalizer (Steele/Lea/Flood): a bijective 64-bit mix with full
+/// avalanche, used both for seeding Xoshiro state and for deriving
+/// independent per-cell stream keys.
+constexpr std::uint64_t splitmix64(std::uint64_t z) {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// FNV-1a 64-bit string hash. Unlike std::hash<std::string>, the value is
+/// specified, so stream keys derived from workload/setting labels are
+/// identical on every platform and standard library.
+constexpr std::uint64_t fnv1a64(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
 
 /// Xoshiro256** by Blackman & Vigna: small state, excellent statistical
 /// quality, and -- unlike std::mt19937 -- identical output on every platform
@@ -104,6 +127,44 @@ class Rng {
   std::array<std::uint64_t, 4> state_{};
   double spare_ = 0;
   bool have_spare_ = false;
+};
+
+/// Deterministic stream splitter: derives independent RNG streams from a root
+/// seed plus a path of fork components (integers or strings). Two streams are
+/// decorrelated whenever any component differs, and the derived key depends
+/// only on the fork *path*, never on the order in which sibling streams are
+/// created -- the property that makes parallel loops order-invariant.
+///
+/// Typical use, one stream per (workload, setting, repeat) cell:
+///
+///   RngStream root(seed);
+///   Rng rng = root.fork(setting.label()).fork(w.name).fork(rep).rng();
+class RngStream {
+ public:
+  explicit RngStream(std::uint64_t root_seed) : key_(splitmix64(root_seed)) {}
+
+  /// Child stream for an integer component (e.g. a repeat index).
+  [[nodiscard]] RngStream fork(std::uint64_t component) const {
+    return RngStream(splitmix64(key_ ^ splitmix64(component)), forked_tag{});
+  }
+
+  /// Child stream for a string component (e.g. a workload or setting label).
+  /// FNV-1a keeps the key platform-stable.
+  [[nodiscard]] RngStream fork(std::string_view component) const {
+    return fork(fnv1a64(component));
+  }
+
+  /// The derived 64-bit key; feed it to anything needing a scalar seed.
+  [[nodiscard]] std::uint64_t seed() const { return key_; }
+
+  /// Fresh generator seeded from this stream's key.
+  [[nodiscard]] Rng rng() const { return Rng(key_); }
+
+ private:
+  struct forked_tag {};
+  RngStream(std::uint64_t key, forked_tag) : key_(key) {}
+
+  std::uint64_t key_;
 };
 
 }  // namespace eroof::util

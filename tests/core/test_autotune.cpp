@@ -107,6 +107,29 @@ TEST(Autotune, EmptyGridThrows) {
   EXPECT_THROW(autotune(fitted_model(), empty), util::ContractError);
 }
 
+TEST(Autotune, SingleCandidateGridIsDegenerateButFinite) {
+  // With one candidate every strategy picks it; lost percentages must be
+  // exactly zero even when the lone measured energy is zero (the guard
+  // against a degenerate best_energy denominator).
+  hw::Measurement only;
+  only.setting = hw::setting(396, 528);
+  only.time_s = 1.0;
+  only.energy_j = 0.0;  // degenerate: division by best_energy would be 0/0
+  EnergyModel m;
+  m.c0 = {29e-12, 139e-12, 60e-12, 35e-12, 90e-12, 377e-12};
+  m.c1_proc = 2.7;
+  m.c1_mem = 3.8;
+  const std::vector<hw::Measurement> grid{only};
+  const TuneOutcome out = autotune(m, grid);
+  EXPECT_EQ(out.model_idx, 0u);
+  EXPECT_EQ(out.oracle_idx, 0u);
+  EXPECT_EQ(out.best_idx, 0u);
+  EXPECT_EQ(out.model_lost_pct, 0.0);
+  EXPECT_EQ(out.oracle_lost_pct, 0.0);
+  EXPECT_TRUE(out.model_correct);
+  EXPECT_TRUE(out.oracle_correct);
+}
+
 TEST(Autotune, OracleTieBreakPrefersHigherClocks) {
   // Two measurements with identical time: the oracle must take the higher
   // core frequency (race-to-halt convention).
