@@ -5,6 +5,17 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# --lint: run the static-analysis gate first, so the reproduction is
+# attested invariant-clean (determinism + hot-path allocation rules) before
+# any figure is regenerated.
+RUN_LINT=0
+for arg in "$@"; do
+  case "$arg" in
+    --lint) RUN_LINT=1 ;;
+    *) echo "usage: $0 [--lint]" >&2; exit 2 ;;
+  esac
+done
+
 JOBS=$( (command -v nproc >/dev/null && nproc) || sysctl -n hw.ncpu 2>/dev/null || echo 2)
 
 # Prefer Ninja when available, but fall back to CMake's default generator
@@ -20,6 +31,12 @@ fi
 cmake --build build -j "${JOBS}"
 
 mkdir -p reproduction
+
+if [ "${RUN_LINT}" = 1 ]; then
+  echo "== static analysis (eroof_lint) =="
+  ./scripts/lint.sh --no-tidy
+  cp -f lint-report.txt reproduction/ 2>/dev/null || true
+fi
 ctest --test-dir build -j "${JOBS}" 2>&1 | tee reproduction/test_output.txt
 
 for b in build/bench/*; do

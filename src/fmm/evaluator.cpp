@@ -215,6 +215,7 @@ void FmmEvaluator::upward_pass(std::span<const double> dens) {
   for (int l = tree_.max_depth(); l >= kMinLevel; --l) {
     const LevelOperators& ops = ops_.level(l);
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+    // eroof: hot-begin (UP: P2M/M2M/UC2E per level)
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
@@ -241,6 +242,7 @@ void FmmEvaluator::upward_pass(std::span<const double> dens) {
       // UC2E solve: check potentials -> equivalent density.
       la::gemv_add(ops.uc2e, ws.check, up_equiv(b));
     }
+    // eroof: hot-end
 
     // Tallies (outside the parallel region; counts are deterministic).
     for (const int b : level_nodes) {
@@ -267,6 +269,7 @@ void FmmEvaluator::v_phase() {
     if (!ops_.config().use_fft_m2l) {
       // Dense fallback: batched kernel application per pair.
       const LevelOperators& lops = ops_.level(l);
+      // eroof: hot-begin (V dense fallback: batched M2L kernel application)
 #pragma omp parallel for schedule(dynamic)
       for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
         const int b = level_nodes[ni];
@@ -284,6 +287,7 @@ void FmmEvaluator::v_phase() {
                              up_equiv(s).data(), check);
         }
       }
+      // eroof: hot-end
       for (const int b : level_nodes) {
         const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
         stats_.v.kernel_evals +=
@@ -297,6 +301,7 @@ void FmmEvaluator::v_phase() {
     // into real/imag planes so the Hadamard stage below vectorizes.
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
       pos_in_level_[static_cast<std::size_t>(level_nodes[ni])] = ni;
+    // eroof: hot-begin (V: forward FFTs into the level spectrum banks)
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
@@ -310,6 +315,7 @@ void FmmEvaluator::v_phase() {
         qi[k] = ws.grid[k].imag();
       }
     }
+    // eroof: hot-end
     stats_.v.ffts += static_cast<double>(level_nodes.size());
 
     // Per target: accumulate Hadamard products in Fourier space (split
@@ -319,6 +325,7 @@ void FmmEvaluator::v_phase() {
     const double* bank_re = ops.m2l->re.data();
     const double* bank_im = ops.m2l->im.data();
     const double scale = ops.m2l_scale;
+    // eroof: hot-begin (V: Hadamard accumulate + inverse FFT + scatter)
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
@@ -359,6 +366,7 @@ void FmmEvaluator::v_phase() {
 #pragma omp simd
       for (std::size_t i = 0; i < ns; ++i) check[i] += scale * ws.vals[i];
     }
+    // eroof: hot-end
     for (const int b : level_nodes) {
       const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
       if (vlist.empty()) continue;
@@ -372,6 +380,7 @@ void FmmEvaluator::v_phase() {
 
 void FmmEvaluator::x_phase(std::span<const double> dens) {
   const std::size_t ns = ops_.n_surf();
+  // eroof: hot-begin (X: batched P2L onto downward check surfaces)
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t ti = 0; ti < x_targets_.size(); ++ti) {
     const int b = x_targets_[ti];
@@ -389,6 +398,7 @@ void FmmEvaluator::x_phase(std::span<const double> dens) {
                          dens.data() + src.point_begin, check);
     }
   }
+  // eroof: hot-end
   for (std::size_t b = 0; b < tree_.nodes().size(); ++b) {
     for (const int a : lists_.x[b]) {
       stats_.x.kernel_evals +=
@@ -404,6 +414,7 @@ void FmmEvaluator::downward_pass() {
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
     const LevelOperators& ops = ops_.level(l);
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+    // eroof: hot-begin (DOWN: DC2E/L2L per level)
 #pragma omp parallel for schedule(dynamic)
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
       const int b = level_nodes[ni];
@@ -420,6 +431,7 @@ void FmmEvaluator::downward_pass() {
                      down_check(c));
       }
     }
+    // eroof: hot-end
     for (const int b : level_nodes) {
       stats_.down.solve_matvecs += 1;
       for (int c : tree_.node(b).children)
@@ -433,6 +445,7 @@ void FmmEvaluator::l2p_pass(std::span<double> phi) {
   const auto& leaves = tree_.leaves();
 
   // L2P: downward equivalent density -> target points.
+  // eroof: hot-begin (DOWN: batched L2P leaf outputs)
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
@@ -446,6 +459,7 @@ void FmmEvaluator::l2p_pass(std::span<double> phi) {
                        {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
                        down_equiv(b).data(), phi.data() + node.point_begin);
   }
+  // eroof: hot-end
 
   for (const int b : leaves) {
     const Node& node = tree_.node(b);
@@ -460,6 +474,7 @@ void FmmEvaluator::u_pass(std::span<const double> dens,
   const auto& leaves = tree_.leaves();
 
   // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
+  // eroof: hot-begin (U: batched near-field P2P)
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
@@ -473,6 +488,7 @@ void FmmEvaluator::u_pass(std::span<const double> dens,
                          phi.data() + node.point_begin);
     }
   }
+  // eroof: hot-end
 
   for (const int b : leaves) {
     const double npts = tree_.node(b).num_points();
@@ -489,6 +505,7 @@ void FmmEvaluator::w_pass(std::span<double> phi) {
   const auto& leaves = tree_.leaves();
 
   // W: M2P from W-node equivalent densities.
+  // eroof: hot-begin (W: batched M2P)
 #pragma omp parallel for schedule(dynamic)
   for (std::size_t li = 0; li < leaves.size(); ++li) {
     const int b = leaves[li];
@@ -507,6 +524,7 @@ void FmmEvaluator::w_pass(std::span<double> phi) {
                          up_equiv(a).data(), phi.data() + node.point_begin);
     }
   }
+  // eroof: hot-end
 
   for (const int b : leaves) {
     const double npts = tree_.node(b).num_points();

@@ -29,11 +29,15 @@ void LaplaceKernel::eval_batch(const PointBlock& targets,
   const double* sx = sources.x;
   const double* sy = sources.y;
   const double* sz = sources.z;
+  // eroof: hot-begin (Laplace batched P2M/P2P/P2L/L2P/M2P inner loops)
   for (std::size_t i = 0; i < nt; ++i) {
     const double tx = targets.x[i];
     const double ty = targets.y[i];
     const double tz = targets.z[i];
     double acc = 0;
+    // eroof-lint: allow(nondet-omp) simd-only reduction: lane count is fixed
+    // at compile time, so the accumulation order never varies across runs or
+    // thread counts (verified bitwise by tests/fmm/test_eval_batch.cpp).
 #pragma omp simd reduction(+ : acc)
     for (std::size_t j = 0; j < ns; ++j) {
       const double dx = tx - sx[j];
@@ -49,6 +53,7 @@ void LaplaceKernel::eval_batch(const PointBlock& targets,
     }
     out[i] += acc;
   }
+  // eroof: hot-end
 }
 
 void YukawaKernel::eval_batch(const PointBlock& targets,
@@ -60,11 +65,13 @@ void YukawaKernel::eval_batch(const PointBlock& targets,
   const double* sy = sources.y;
   const double* sz = sources.z;
   const double lambda = lambda_;
+  // eroof: hot-begin (Yukawa batched inner loops)
   for (std::size_t i = 0; i < nt; ++i) {
     const double tx = targets.x[i];
     const double ty = targets.y[i];
     const double tz = targets.z[i];
     double acc = 0;
+    // eroof-lint: allow(nondet-omp) simd-only reduction, fixed lane order
 #pragma omp simd reduction(+ : acc)
     for (std::size_t j = 0; j < ns; ++j) {
       const double dx = tx - sx[j];
@@ -79,6 +86,7 @@ void YukawaKernel::eval_batch(const PointBlock& targets,
     }
     out[i] += acc;
   }
+  // eroof: hot-end
 }
 
 void GaussianKernel::eval_batch(const PointBlock& targets,
@@ -90,11 +98,13 @@ void GaussianKernel::eval_batch(const PointBlock& targets,
   const double* sy = sources.y;
   const double* sz = sources.z;
   const double two_sigma2 = 2.0 * sigma_ * sigma_;
+  // eroof: hot-begin (Gaussian batched inner loops)
   for (std::size_t i = 0; i < nt; ++i) {
     const double tx = targets.x[i];
     const double ty = targets.y[i];
     const double tz = targets.z[i];
     double acc = 0;
+    // eroof-lint: allow(nondet-omp) simd-only reduction, fixed lane order
 #pragma omp simd reduction(+ : acc)
     for (std::size_t j = 0; j < ns; ++j) {
       const double dx = tx - sx[j];
@@ -105,6 +115,7 @@ void GaussianKernel::eval_batch(const PointBlock& targets,
     }
     out[i] += acc;
   }
+  // eroof: hot-end
 }
 
 la::Matrix Kernel::matrix(std::span<const Vec3> targets,

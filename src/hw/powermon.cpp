@@ -77,6 +77,9 @@ PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
   PowerTrace trace;
   trace.duration_s = duration_s;
   trace.samples_w.resize(nsamples);
+  // eroof: hot-begin (batched sample path: quantize + trapezoid, no
+  // per-sample std::function or allocation -- this runs once per campaign
+  // cell inside the parallel region)
   for (std::size_t i = 0; i < nsamples; ++i)
     trace.samples_w[i] = quantize(power_w + rng.normal(0.0, cfg_.noise_w));
 
@@ -85,6 +88,7 @@ PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
     energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
   trace.energy_j = energy;
   trace.avg_power_w = energy / duration_s;
+  // eroof: hot-end
   return trace;
 }
 

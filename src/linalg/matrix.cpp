@@ -127,6 +127,7 @@ void gemv_add(const Matrix& a, std::span<const double> x,
     const double* r2 = r1 + n;
     const double* r3 = r2 + n;
     double s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+    // eroof-lint: allow(nondet-omp) simd-only reduction, fixed lane order
 #pragma omp simd reduction(+ : s0, s1, s2, s3)
     for (std::size_t j = 0; j < n; ++j) {
       const double xj = xs[j];
@@ -143,6 +144,7 @@ void gemv_add(const Matrix& a, std::span<const double> x,
   for (; i < m; ++i) {
     const double* row = mat + i * n;
     double s = 0;
+    // eroof-lint: allow(nondet-omp) simd-only reduction, fixed lane order
 #pragma omp simd reduction(+ : s)
     for (std::size_t j = 0; j < n; ++j) s += row[j] * xs[j];
     y[i] += s;

@@ -41,6 +41,7 @@ std::vector<Sample> run_campaign(const hw::Soc& soc,
   // Cell index flattens settings-major so samples keep the legacy
   // (setting, point) order. Every cell draws from a stream derived from its
   // identity alone, so scheduling cannot perturb any measurement.
+  // eroof: hot-begin (campaign cell bodies: one simulated measurement each)
 #pragma omp parallel for schedule(static)
   for (std::ptrdiff_t cell = 0; cell < static_cast<std::ptrdiff_t>(ncells);
        ++cell) {
@@ -59,6 +60,7 @@ std::vector<Sample> run_campaign(const hw::Soc& soc,
                      ts ? &traces[cell] : nullptr);
     samples[cell] = std::move(s);
   }
+  // eroof: hot-end
 
   if (ts) {
     // Serial replay in cell order: one span per campaign cell plus the

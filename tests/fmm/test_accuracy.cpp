@@ -57,7 +57,7 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"sphere_p5", 4096, 32, 5, 8e-4, 1},
         Case{"clusters_p4", 4096, 32, 4, 3e-3, 2},
         Case{"clusters_p5", 4096, 32, 5, 1e-3, 2}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& pinfo) { return pinfo.param.name; });
 
 TEST(FmmAccuracyExtra, ErrorDecreasesWithSurfaceOrder) {
   util::Rng rng(77);

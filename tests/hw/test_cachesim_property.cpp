@@ -83,7 +83,7 @@ INSTANTIATE_TEST_SUITE_P(
         Geometry{"direct_mapped", {8 * 1024, 64, 1}},
         Geometry{"fully_assoc", {4096, 64, 64}},
         Geometry{"two_way_tiny", {256, 64, 2}}),
-    [](const auto& info) { return info.param.name; });
+    [](const auto& pinfo) { return pinfo.param.name; });
 
 }  // namespace
 }  // namespace eroof::hw

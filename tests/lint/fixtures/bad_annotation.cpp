@@ -1,0 +1,10 @@
+// Fixture: unbalanced hot-region annotations.
+void fixture_stray() {
+  // eroof: hot-end
+}
+
+void fixture_unclosed() {
+  // eroof: hot-begin (never closed)
+  int x = 0;
+  (void)x;
+}

@@ -1,0 +1,7 @@
+// Fixture header: missing pragma-once guard, using-directive at namespace
+// scope. Lint input only -- never included.
+#include <vector>
+
+using namespace std;
+
+inline int fixture_three() { return 3; }

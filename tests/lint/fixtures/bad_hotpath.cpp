@@ -1,0 +1,24 @@
+// Seeded hot-path allocation violations. Lint-input fixture -- never
+// compiled.
+#include <functional>
+#include <string>
+#include <vector>
+
+void fixture_hot(std::vector<double>& v) {
+  // eroof: hot-begin (fixture region)
+  double* p = new double[8];
+  std::function<double(double)> f = [](double x) { return x; };
+  std::string label("phase");
+  v.push_back(1.0);
+  v.resize(32);
+  v.reserve(64);
+  delete[] p;
+  (void)f;
+  (void)label;
+  // eroof: hot-end
+}
+
+void fixture_cold(std::vector<double>& v) {
+  v.push_back(2.0);
+  v.emplace_back(3.0);
+}

@@ -1,0 +1,16 @@
+// Fixture: invariant-clean file; the lint pass must exit 0 on it. Mentions
+// of std::rand() in comments and "std::rand()" in string literals are not
+// code and must not be flagged.
+#include <vector>
+
+const char* fixture_label() { return "std::rand() srand time()"; }
+
+double fixture_sum(const std::vector<double>& v) {
+  double acc = 0;
+  // eroof: hot-begin (steady-state accumulation loop)
+  // eroof-lint: allow(nondet-omp) simd-only reduction, fixed lane order
+#pragma omp simd reduction(+ : acc)
+  for (std::size_t i = 0; i < v.size(); ++i) acc += v[i];
+  // eroof: hot-end
+  return acc;
+}

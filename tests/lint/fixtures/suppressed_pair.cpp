@@ -1,0 +1,9 @@
+// Fixture: one suppressed and one live violation of the same rule, for the
+// suppression-semantics tests (exact exit code and file:line output).
+#include <cstdlib>
+
+// eroof-lint: allow(nondet-rand) fixture justification: stands in for a
+// documented legacy call site.
+int fixture_allowed() { return std::rand(); }
+
+int fixture_denied() { return std::rand(); }

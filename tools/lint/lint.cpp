@@ -1,0 +1,605 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+namespace eroof::lint {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Small lexical helpers
+// ---------------------------------------------------------------------------
+
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Finds `tok` in `code` as a whole word: the characters adjacent to the
+/// match must not extend the identifier. `tok` itself may contain `::`.
+bool has_token(std::string_view code, std::string_view tok) {
+  std::size_t pos = 0;
+  while ((pos = code.find(tok, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + tok.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Finds a *call* of the free function `name`: the identifier followed by
+/// `(` (spaces allowed), not preceded by an identifier character or by
+/// member access (`.` / `->`). Qualified calls (`std::time(`) still match.
+bool has_call(std::string_view code, std::string_view name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const std::size_t end = pos + name.size();
+    std::size_t p = end;
+    while (p < code.size() && code[p] == ' ') ++p;
+    const bool is_call = p < code.size() && code[p] == '(';
+    bool left_ok = pos == 0;
+    if (pos > 0) {
+      const char c = code[pos - 1];
+      left_ok = !ident_char(c) && c != '.' &&
+                !(c == '>' && pos >= 2 && code[pos - 2] == '-');
+    }
+    if (is_call && left_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// True if `code` contains `member(` called on something (preceded by an
+/// identifier char, `]`, or `)` then `.` or `->`). Used for the container
+/// grow checks, where we only care that *some* object grows.
+bool has_member_call(std::string_view code, std::string_view member) {
+  std::size_t pos = 0;
+  const std::string needle = std::string(".") + std::string(member);
+  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < code.size() && code[p] == ' ') ++p;
+    if (p < code.size() && code[p] == '(') return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Annotations
+// ---------------------------------------------------------------------------
+
+struct Annotations {
+  bool hot_begin = false;
+  bool hot_end = false;
+  std::vector<std::string> allows;  // rule ids from allow(...)
+};
+
+Annotations parse_annotations(std::string_view comment) {
+  Annotations a;
+  // Region markers: "eroof: hot-begin" / "eroof: hot-end" (an optional
+  // "(label)" after hot-begin is tolerated and ignored).
+  std::size_t pos = 0;
+  while ((pos = comment.find("eroof:", pos)) != std::string_view::npos) {
+    std::size_t p = pos + 6;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (comment.compare(p, 9, "hot-begin") == 0)
+      a.hot_begin = true;
+    else if (comment.compare(p, 7, "hot-end") == 0)
+      a.hot_end = true;
+    pos = p;
+  }
+  // Suppressions: "eroof-lint: allow(rule[, rule...])".
+  pos = 0;
+  while ((pos = comment.find("eroof-lint:", pos)) != std::string_view::npos) {
+    std::size_t p = pos + 11;
+    while (p < comment.size() && comment[p] == ' ') ++p;
+    if (comment.compare(p, 6, "allow(") == 0) {
+      const std::size_t open = p + 6;
+      const std::size_t close = comment.find(')', open);
+      if (close != std::string_view::npos) {
+        std::string list(comment.substr(open, close - open));
+        std::stringstream ss(list);
+        std::string id;
+        while (std::getline(ss, id, ',')) {
+          const auto b = id.find_first_not_of(" \t");
+          const auto e = id.find_last_not_of(" \t");
+          if (b != std::string::npos)
+            a.allows.push_back(id.substr(b, e - b + 1));
+        }
+      }
+    }
+    pos += 11;
+  }
+  return a;
+}
+
+// ---------------------------------------------------------------------------
+// Unordered-container declaration collection (for the iteration rule)
+// ---------------------------------------------------------------------------
+
+/// Skips a balanced template argument list starting at the `<` at `pos`.
+/// Returns the index one past the matching `>`, or npos if unbalanced.
+std::size_t skip_template_args(std::string_view code, std::size_t pos) {
+  int depth = 0;
+  for (std::size_t i = pos; i < code.size(); ++i) {
+    if (code[i] == '<') ++depth;
+    if (code[i] == '>') {
+      --depth;
+      if (depth == 0) return i + 1;
+    }
+  }
+  return std::string_view::npos;
+}
+
+/// Names of variables/members declared as std::unordered_{map,set} anywhere
+/// in the (comment-stripped, newline-joined) file.
+std::vector<std::string> unordered_decls(std::string_view code) {
+  std::vector<std::string> names;
+  for (const std::string_view kw : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    while ((pos = code.find(kw, pos)) != std::string_view::npos) {
+      std::size_t p = pos + kw.size();
+      pos += 1;
+      while (p < code.size() && code[p] == ' ') ++p;
+      if (p >= code.size() || code[p] != '<') continue;
+      p = skip_template_args(code, p);
+      if (p == std::string_view::npos) continue;
+      while (p < code.size() &&
+             (code[p] == ' ' || code[p] == '&' || code[p] == '\n'))
+        ++p;
+      std::size_t b = p;
+      while (p < code.size() && ident_char(code[p])) ++p;
+      if (p > b) names.emplace_back(code.substr(b, p - b));
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+/// Does this line iterate one of the declared unordered containers? Matches
+/// range-for (`for (... : name)`) and explicit `name.begin()` / `name.end()`
+/// / c-variants.
+bool iterates_name(std::string_view code, const std::string& name) {
+  std::size_t pos = 0;
+  while ((pos = code.find(name, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + name.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (!left_ok || !right_ok) {
+      pos += 1;
+      continue;
+    }
+    // name.begin() etc.
+    for (const std::string_view m : {"begin", "end", "cbegin", "cend"}) {
+      std::string_view rest = code.substr(end);
+      if (rest.size() > m.size() + 1 && rest[0] == '.' &&
+          rest.compare(1, m.size(), m) == 0 && rest[m.size() + 1] == '(')
+        return true;
+    }
+    // Range-for: "... : name)". Look left for ':' that is not '::'.
+    std::size_t q = pos;
+    while (q > 0 && code[q - 1] == ' ') --q;
+    if (q > 0 && code[q - 1] == ':' && (q < 2 || code[q - 2] != ':'))
+      return true;
+    pos += 1;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// The rule table
+// ---------------------------------------------------------------------------
+
+const std::vector<std::string> kRuleIds = {
+    "nondet-rand",        "nondet-unordered-iter", "nondet-omp",
+    "hot-alloc",          "header-pragma-once",    "header-using-namespace",
+    "annotation-mismatch"};
+
+struct BannedCall {
+  const char* pattern;
+  bool call_only;  // must be followed by '(' and not be a member access
+  const char* what;
+};
+
+// Determinism: seeded util::Rng / util::RngStream are the only sanctioned
+// entropy sources; wall-clock reads belong to src/trace/ alone.
+const BannedCall kNondetCalls[] = {
+    {"std::rand", false, "std::rand() (unseeded C RNG)"},
+    {"rand", true, "rand() (unseeded C RNG)"},
+    {"srand", true, "srand() (global RNG seeding)"},
+    {"random_device", false, "std::random_device (nondeterministic entropy)"},
+    {"time", true, "time() (wall-clock read)"},
+    {"high_resolution_clock", false,
+     "std::chrono::high_resolution_clock (unspecified, possibly non-steady "
+     "clock)"},
+};
+
+struct HotAlloc {
+  const char* pattern;
+  bool member_call;  // match as ".pattern(" on some object
+  const char* what;
+};
+
+const HotAlloc kHotAllocs[] = {
+    {"new", false, "operator new"},
+    {"std::make_unique", false, "std::make_unique (operator new)"},
+    {"std::make_shared", false, "std::make_shared (operator new)"},
+    {"std::function", false, "std::function (type-erased callable may "
+                             "heap-allocate)"},
+    {"std::string", false, "std::string construction"},
+    {"push_back", true, "container grow (push_back)"},
+    {"emplace_back", true, "container grow (emplace_back)"},
+    {"resize", true, "container grow (resize)"},
+    {"reserve", true, "container grow (reserve)"},
+    {"insert", true, "container grow (insert)"},
+    {"emplace", true, "container grow (emplace)"},
+    {"append", true, "container grow (append)"},
+};
+
+}  // namespace
+
+const std::vector<std::string>& rule_ids() { return kRuleIds; }
+
+bool determinism_exempt(std::string_view path) {
+  const std::string p = [&] {
+    std::string s(path);
+    std::replace(s.begin(), s.end(), '\\', '/');
+    return s;
+  }();
+  if (p.find("src/trace/") != std::string::npos) return true;
+  const std::string_view rng = "util/rng.hpp";
+  return p.size() >= rng.size() &&
+         p.compare(p.size() - rng.size(), rng.size(), rng) == 0;
+}
+
+bool is_header(std::string_view path) {
+  for (const std::string_view ext : {".hpp", ".h", ".hh"}) {
+    if (path.size() > ext.size() &&
+        path.compare(path.size() - ext.size(), ext.size(), ext) == 0)
+      return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Line scanner
+// ---------------------------------------------------------------------------
+
+std::vector<ScannedLine> scan_lines(std::string_view content) {
+  enum class State { Normal, LineComment, BlockComment, Str, Chr, RawStr };
+  std::vector<ScannedLine> lines;
+  ScannedLine cur;
+  State st = State::Normal;
+  std::string raw_delim;  // for RawStr: the ")delim\"" terminator
+
+  const auto newline = [&] {
+    lines.push_back(cur);
+    cur = ScannedLine{};
+    if (st == State::LineComment) st = State::Normal;
+  };
+
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    const char c = content[i];
+    if (c == '\n') {
+      newline();
+      continue;
+    }
+    switch (st) {
+      case State::Normal: {
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '/' && next == '/') {
+          st = State::LineComment;
+          ++i;
+        } else if (c == '/' && next == '*') {
+          st = State::BlockComment;
+          ++i;
+        } else if (c == '"') {
+          // Raw string? Look back for R (optionally preceded by u8/u/L/U)
+          // with no identifier char before the prefix.
+          bool raw = false;
+          if (i > 0 && content[i - 1] == 'R') {
+            std::size_t b = i - 1;
+            if (b > 0 && (content[b - 1] == 'u' || content[b - 1] == 'U' ||
+                          content[b - 1] == 'L'))
+              --b;
+            if (b > 1 && content[b - 1] == '8' && content[b - 2] == 'u')
+              b -= 2;
+            raw = b == 0 || !ident_char(content[b - 1]);
+          }
+          if (raw) {
+            std::size_t p = i + 1;
+            std::string d;
+            while (p < content.size() && content[p] != '(' &&
+                   content[p] != '\n')
+              d += content[p++];
+            raw_delim = ")" + d + "\"";
+            st = State::RawStr;
+            cur.code += '"';
+            i = p;  // at the '('; loop ++i moves past it
+          } else {
+            st = State::Str;
+            cur.code += '"';
+          }
+        } else if (c == '\'') {
+          st = State::Chr;
+          cur.code += '\'';
+        } else {
+          cur.code += c;
+        }
+        break;
+      }
+      case State::LineComment:
+        cur.comment += c;
+        break;
+      case State::BlockComment: {
+        const char next = i + 1 < content.size() ? content[i + 1] : '\0';
+        if (c == '*' && next == '/') {
+          st = State::Normal;
+          cur.code += ' ';  // separate tokens the comment was between
+          ++i;
+        } else {
+          cur.comment += c;
+        }
+        break;
+      }
+      case State::Str:
+        if (c == '\\') {
+          ++i;  // skip escaped char (an escaped newline in a string is UB-ish
+                // in source anyway; keep it simple)
+        } else if (c == '"') {
+          st = State::Normal;
+          cur.code += '"';
+        }
+        break;
+      case State::Chr:
+        if (c == '\\') {
+          ++i;
+        } else if (c == '\'') {
+          st = State::Normal;
+          cur.code += '\'';
+        }
+        break;
+      case State::RawStr:
+        if (c == ')' &&
+            content.compare(i, raw_delim.size(), raw_delim) == 0) {
+          i += raw_delim.size() - 1;
+          st = State::Normal;
+          cur.code += '"';
+        }
+        break;
+    }
+  }
+  if (!cur.code.empty() || !cur.comment.empty()) lines.push_back(cur);
+  return lines;
+}
+
+// ---------------------------------------------------------------------------
+// The lint pass
+// ---------------------------------------------------------------------------
+
+FileReport lint_content(const std::string& display_path,
+                        std::string_view content, const Options& opt) {
+  FileReport rep;
+  const std::vector<ScannedLine> lines = scan_lines(content);
+  const bool header = is_header(display_path);
+  const bool det_exempt = determinism_exempt(display_path);
+
+  // Joined code (newline-separated) for declarations that span lines.
+  std::string joined;
+  joined.reserve(content.size());
+  for (const auto& l : lines) {
+    joined += l.code;
+    joined += '\n';
+  }
+  const std::vector<std::string> unordered = unordered_decls(joined);
+
+  // Pre-parse every line's annotations. A suppression applies to findings on
+  // its own line, or -- when the allow() sits on a comment-only line -- to
+  // the line directly below it (the NOLINTNEXTLINE pattern, needed for
+  // `#pragma` lines where a long trailing comment would be unreadable).
+  std::vector<Annotations> anns(lines.size());
+  std::vector<bool> comment_only(lines.size(), false);
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    anns[li] = parse_annotations(lines[li].comment);
+    comment_only[li] =
+        lines[li].code.find_first_not_of(" \t") == std::string::npos;
+  }
+
+  // Per-line allow() bookkeeping so unused suppressions can be audited.
+  struct PendingAllow {
+    int line;
+    std::string rule;
+    bool used = false;
+  };
+  std::vector<PendingAllow> allows;
+  for (std::size_t li = 0; li < lines.size(); ++li)
+    for (const auto& id : anns[li].allows)
+      allows.push_back(PendingAllow{static_cast<int>(li) + 1, id, false});
+  const auto mark_used = [&](int line, const std::string& rule) {
+    for (auto& pa : allows)
+      if (pa.line == line && pa.rule == rule) pa.used = true;
+  };
+
+  bool in_hot = false;
+  int hot_begin_line = 0;
+  bool saw_pragma_once = false;
+
+  const auto emit = [&](int line, const std::string& rule,
+                        const std::string& message) {
+    // One finding per (line, rule): `srand(time(0))` is one nondet-rand
+    // violation, not two, which keeps counts stable for tests and humans.
+    for (const auto& prev : rep.findings)
+      if (prev.line == line && prev.rule == rule) return;
+    Finding f{display_path, line, rule, message, false};
+    const std::size_t li = static_cast<std::size_t>(line) - 1;
+    for (const auto& id : anns[li].allows) {
+      if (id == rule) {
+        f.suppressed = true;
+        mark_used(line, rule);
+        break;
+      }
+    }
+    // Walk up through the contiguous comment-only block above the line:
+    // a multi-line justification can carry its allow() on any of its lines.
+    for (std::size_t j = li; !f.suppressed && j > 0 && comment_only[j - 1];
+         --j) {
+      for (const auto& id : anns[j - 1].allows) {
+        if (id == rule) {
+          f.suppressed = true;
+          mark_used(static_cast<int>(j), rule);
+          break;
+        }
+      }
+    }
+    rep.findings.push_back(std::move(f));
+  };
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const int ln = static_cast<int>(li) + 1;
+    const std::string& code = lines[li].code;
+    const Annotations& ann = anns[li];
+
+    // -- annotation bookkeeping ------------------------------------------
+    if (ann.hot_begin) {
+      if (in_hot)
+        emit(ln, "annotation-mismatch",
+             "hot-begin inside a hot region opened at line " +
+                 std::to_string(hot_begin_line));
+      in_hot = true;
+      hot_begin_line = ln;
+    }
+
+    // Merge pragma continuation lines (backslash splices) so clauses on the
+    // continuation are seen as part of the directive.
+    std::string pragma_code = code;
+    {
+      std::size_t look = li;
+      while (!pragma_code.empty() && pragma_code.back() == '\\' &&
+             look + 1 < lines.size()) {
+        pragma_code.pop_back();
+        ++look;
+        pragma_code += lines[look].code;
+      }
+    }
+    const bool is_omp_pragma =
+        pragma_code.find("#pragma") != std::string::npos &&
+        has_token(pragma_code, "omp");
+
+    // -- determinism ------------------------------------------------------
+    if (!det_exempt) {
+      for (const auto& b : kNondetCalls) {
+        const bool hit = b.call_only ? has_call(code, b.pattern)
+                                     : has_token(code, b.pattern);
+        if (hit)
+          emit(ln, "nondet-rand",
+               std::string(b.what) +
+                   " -- draw from util::Rng / util::RngStream instead");
+      }
+      for (const auto& name : unordered) {
+        if (iterates_name(code, name))
+          emit(ln, "nondet-unordered-iter",
+               "iteration over std::unordered container '" + name +
+                   "' -- order is hash/library dependent; iterate a sorted "
+                   "or insertion-ordered view instead");
+      }
+      if (is_omp_pragma &&
+          (has_token(pragma_code, "critical") ||
+           has_token(pragma_code, "atomic") ||
+           pragma_code.find("reduction") != std::string::npos)) {
+        emit(ln, "nondet-omp",
+             "OpenMP critical/atomic/reduction can reorder floating-point "
+             "accumulation across threads -- justify with "
+             "// eroof-lint: allow(nondet-omp) if the ordering is provably "
+             "fixed (e.g. simd-only reduction)");
+      }
+    }
+
+    // -- hot-path allocation ---------------------------------------------
+    // The hot-begin line itself is inside the region; the hot-end line is
+    // checked too (an allocation cannot share a line with hot-end in
+    // practice, and including it keeps the region definition simple).
+    if (in_hot) {
+      for (const auto& h : kHotAllocs) {
+        const bool hit = h.member_call ? has_member_call(code, h.pattern)
+                                       : has_token(code, h.pattern);
+        if (hit)
+          emit(ln, "hot-alloc",
+               std::string(h.what) + " inside // eroof: hot region opened "
+                                     "at line " +
+                   std::to_string(hot_begin_line));
+      }
+    }
+
+    // -- header hygiene ---------------------------------------------------
+    if (header) {
+      if (code.find("#pragma") != std::string::npos &&
+          has_token(code, "once"))
+        saw_pragma_once = true;
+      if (code.find("using namespace") != std::string::npos)
+        emit(ln, "header-using-namespace",
+             "using-directive in a header leaks into every includer");
+    }
+
+    // -- --fix-annotations ------------------------------------------------
+    if (opt.fix_annotations && is_omp_pragma && !in_hot &&
+        has_token(pragma_code, "parallel")) {
+      rep.notes.push_back(
+          Note{display_path, ln,
+               "unannotated OpenMP parallel region -- wrap the phase loop "
+               "in // eroof: hot-begin / // eroof: hot-end if it must not "
+               "allocate"});
+    }
+
+    if (ann.hot_end) {
+      if (!in_hot)
+        emit(ln, "annotation-mismatch",
+             "hot-end without a matching hot-begin");
+      in_hot = false;
+    }
+  }
+
+  if (in_hot) {
+    emit(hot_begin_line, "annotation-mismatch",
+         "hot-begin never closed (missing // eroof: hot-end)");
+  }
+  if (header && !saw_pragma_once && !lines.empty()) {
+    // Attach to line 1; a first-line allow() can suppress for generated
+    // headers.
+    emit(1, "header-pragma-once", "header is missing #pragma once");
+  }
+
+  // Audit: allow() annotations that suppressed nothing are stale and erode
+  // trust in the ones that matter.
+  for (const auto& pa : allows) {
+    if (!pa.used)
+      rep.notes.push_back(Note{display_path, pa.line,
+                               "unused suppression: allow(" + pa.rule +
+                                   ") matched no finding"});
+    bool known = false;
+    for (const auto& id : kRuleIds) known = known || id == pa.rule;
+    if (!known)
+      rep.notes.push_back(Note{display_path, pa.line,
+                               "unknown rule id in allow(" + pa.rule + ")"});
+  }
+  return rep;
+}
+
+FileReport lint_file(const std::string& path, const Options& opt) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    FileReport rep;
+    rep.findings.push_back(
+        Finding{path, 0, "io-error", "cannot read file", false});
+    return rep;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  const std::string content = ss.str();
+  return lint_content(path, content, opt);
+}
+
+}  // namespace eroof::lint

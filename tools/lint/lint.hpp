@@ -1,0 +1,100 @@
+// eroof-lint: in-tree static analysis for the project's correctness
+// contracts.
+//
+// The repo guarantees two properties that ordinary compilers cannot check:
+//
+//   1. *Determinism* -- every measurement, fit, and cross-validation result
+//      is bitwise-reproducible from a single seed, across thread counts and
+//      iteration orders (DESIGN.md section 8). A stray std::rand(), an
+//      iteration over an unordered container in result-producing code, or an
+//      unannotated OpenMP reduction silently breaks that.
+//   2. *Zero-allocation hot paths* -- the steady-state FMM phase loops, the
+//      batched kernel evaluators, the campaign cell bodies, and PowerMon's
+//      batched sample path never touch the heap (DESIGN.md section 7).
+//
+// This library enforces both as named, suppressible lint rules over the
+// project's own sources. It is deliberately a *lexical* analyzer: a small
+// comment/string-aware line scanner plus token matchers, no AST, no external
+// dependencies, so it builds in milliseconds everywhere the project builds
+// (C++17 is enough) and runs as a gating CI job.
+//
+// Annotation grammar (all inside ordinary comments):
+//
+//   // eroof: hot-begin            opens a hot region (no-allocation zone)
+//   // eroof: hot-end              closes it
+//   // eroof-lint: allow(rule-id)  suppresses `rule-id` on this line, with
+//                                  an audit trail; allow(a, b) suppresses
+//                                  several rules at once
+//
+// Rule ids are listed in lint.cpp (kRuleIds) and documented in DESIGN.md
+// section 9.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace eroof::lint {
+
+/// One diagnostic. `suppressed` findings matched an `allow(rule)` annotation
+/// on their line: they are reported in the audit trail but do not fail the
+/// run.
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+  bool suppressed = false;
+};
+
+/// Informational output (not a failure): unannotated OpenMP parallel regions
+/// from --fix-annotations, and allow() annotations that suppressed nothing.
+struct Note {
+  std::string file;
+  int line = 0;
+  std::string text;
+};
+
+struct Options {
+  /// Collect notes for `#pragma omp parallel` regions that are not inside a
+  /// hot region (candidates for hot-begin/hot-end annotation).
+  bool fix_annotations = false;
+};
+
+struct FileReport {
+  std::vector<Finding> findings;  // violations + suppressed, in line order
+  std::vector<Note> notes;
+};
+
+/// The result of a line scanner pass: per source line, the code with
+/// comments, string literals, and char literals blanked out, plus the
+/// concatenated comment text of that line (where annotations live).
+struct ScannedLine {
+  std::string code;
+  std::string comment;
+};
+
+/// Comment/string-aware splitter. Handles //, /*...*/ (multi-line), string
+/// and char literals with escapes, and raw strings R"delim(...)delim".
+std::vector<ScannedLine> scan_lines(std::string_view content);
+
+/// Lint a buffer as if it were the file `display_path` (the path decides
+/// header rules and the rng.hpp / src/trace/ determinism exemptions).
+FileReport lint_content(const std::string& display_path,
+                        std::string_view content, const Options& opt);
+
+/// Lint a file on disk. Returns a report with a single "io-error" finding if
+/// the file cannot be read.
+FileReport lint_file(const std::string& path, const Options& opt);
+
+/// True if `path` names a file the determinism rules exempt (the seeded RNG
+/// implementation itself and the wall-clock-based tracing subsystem).
+bool determinism_exempt(std::string_view path);
+
+/// True for .hpp/.h/.hh files (header-hygiene rules apply).
+bool is_header(std::string_view path);
+
+/// All known rule ids, for validating allow(...) annotations.
+const std::vector<std::string>& rule_ids();
+
+}  // namespace eroof::lint

@@ -1,0 +1,170 @@
+// eroof_lint CLI: scans the project tree (default: src/ bench/ examples/
+// tests/ under --root) and prints `file:line: rule-id: message` for every
+// violation. Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+//
+//   eroof_lint [--root DIR] [--fix-annotations] [--audit] [paths...]
+//
+// See tools/lint/lint.hpp for the rule set and annotation grammar.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace fs = std::filesystem;
+using eroof::lint::FileReport;
+using eroof::lint::Finding;
+using eroof::lint::Note;
+using eroof::lint::Options;
+
+namespace {
+
+bool has_source_ext(const fs::path& p) {
+  const std::string ext = p.extension().string();
+  return ext == ".cpp" || ext == ".cc" || ext == ".cxx" || ext == ".hpp" ||
+         ext == ".h" || ext == ".hh";
+}
+
+/// Directories never scanned: build trees, VCS metadata, and the lint test
+/// fixtures (which contain seeded violations on purpose).
+bool skipped_dir(const fs::path& p) {
+  const std::string name = p.filename().string();
+  if (name == ".git" || name == ".cache") return true;
+  if (name.rfind("build", 0) == 0 || name.rfind("cmake-build", 0) == 0)
+    return true;
+  return false;
+}
+
+bool is_fixture(const std::string& generic_path) {
+  return generic_path.find("tests/lint/fixtures") != std::string::npos;
+}
+
+/// `filter_fixtures` is true for the default tree scan (the fixtures hold
+/// seeded violations); explicitly named paths are scanned as given, so the
+/// lint tests can point the binary straight at the fixtures.
+void collect(const fs::path& root, bool filter_fixtures,
+             std::vector<std::string>& out) {
+  std::error_code ec;
+  if (fs::is_regular_file(root, ec)) {
+    out.push_back(root.generic_string());
+    return;
+  }
+  fs::recursive_directory_iterator it(root, ec), end;
+  if (ec) return;
+  for (; it != end; it.increment(ec)) {
+    if (ec) break;
+    const fs::path& p = it->path();
+    if (it->is_directory() && skipped_dir(p)) {
+      it.disable_recursion_pending();
+      continue;
+    }
+    if (it->is_regular_file() && has_source_ext(p)) {
+      const std::string g = p.generic_string();
+      if (!filter_fixtures || !is_fixture(g)) out.push_back(g);
+    }
+  }
+}
+
+int usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0
+      << " [--root DIR] [--fix-annotations] [--audit] [paths...]\n"
+         "  --root DIR         scan src/ bench/ examples/ tests/ under DIR\n"
+         "                     (default: current directory) when no paths\n"
+         "                     are given\n"
+         "  --fix-annotations  list unannotated OpenMP parallel regions and\n"
+         "                     exit 0 (informational)\n"
+         "  --audit            also print the suppression audit trail\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  bool audit = false;
+  std::string root = ".";
+  std::vector<std::string> paths;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--fix-annotations") {
+      opt.fix_annotations = true;
+    } else if (arg == "--audit") {
+      audit = true;
+    } else if (arg == "--root") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      root = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      return usage(argv[0]);
+    } else {
+      paths.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> files;
+  if (paths.empty()) {
+    // Canonicalize so the fixture filter sees real path components (a root
+    // like "some/dir/../.." would otherwise defeat the substring check).
+    std::error_code root_ec;
+    const fs::path canon = fs::weakly_canonical(fs::path(root), root_ec);
+    if (!root_ec) root = canon.string();
+    for (const char* sub : {"src", "bench", "examples", "tests"}) {
+      const fs::path dir = fs::path(root) / sub;
+      std::error_code ec;
+      if (fs::exists(dir, ec)) collect(dir, /*filter_fixtures=*/true, files);
+    }
+    if (files.empty()) {
+      std::cerr << "eroof_lint: no sources found under '" << root
+                << "' (expected src/ bench/ examples/ tests/)\n";
+      return 2;
+    }
+  } else {
+    for (const auto& p : paths) {
+      std::error_code ec;
+      if (!fs::exists(p, ec)) {
+        std::cerr << "eroof_lint: no such path: " << p << "\n";
+        return 2;
+      }
+      collect(p, /*filter_fixtures=*/false, files);
+    }
+  }
+  std::sort(files.begin(), files.end());
+  files.erase(std::unique(files.begin(), files.end()), files.end());
+
+  std::size_t violations = 0;
+  std::size_t suppressed = 0;
+  std::vector<Finding> audit_trail;
+  for (const auto& f : files) {
+    const FileReport rep = eroof::lint::lint_file(f, opt);
+    for (const auto& fi : rep.findings) {
+      if (fi.suppressed) {
+        ++suppressed;
+        audit_trail.push_back(fi);
+      } else {
+        ++violations;
+        std::cout << fi.file << ":" << fi.line << ": " << fi.rule << ": "
+                  << fi.message << "\n";
+      }
+    }
+    for (const auto& n : rep.notes)
+      std::cout << n.file << ":" << n.line << ": note: " << n.text << "\n";
+  }
+
+  if (audit) {
+    for (const auto& fi : audit_trail)
+      std::cout << fi.file << ":" << fi.line << ": suppressed: " << fi.rule
+                << ": " << fi.message << "\n";
+  }
+  std::cerr << "eroof_lint: " << files.size() << " files, " << violations
+            << " violation(s), " << suppressed << " suppression(s)\n";
+
+  if (opt.fix_annotations) return 0;
+  return violations == 0 ? 0 : 1;
+}
