@@ -5,6 +5,7 @@
 // the fitted model picks vs what race-to-halt picks -- and what each costs
 // relative to the measured optimum.
 #include <iostream>
+#include <sstream>
 
 #include "core/autotune.hpp"
 #include "core/fit.hpp"
@@ -17,8 +18,11 @@ int main() {
 
   const auto soc = hw::Soc::tegra_k1();
   const hw::PowerMon meter;
-  util::Rng rng(42);
-  const auto campaign = ub::paper_campaign(soc, meter, rng);
+  // Stream-split RNG roots: every measurement draws from a stream keyed by
+  // its identity, so the printed table is bitwise-identical across
+  // OMP_NUM_THREADS and grid iteration order.
+  const util::RngStream root(42);
+  const auto campaign = ub::paper_campaign(soc, meter, root);
   std::vector<model::FitSample> train;
   for (const auto& s : campaign)
     if (s.role == hw::SettingRole::kTrain)
@@ -36,14 +40,18 @@ int main() {
 
   for (const double intensity : {0.25, 1.0, 4.0, 16.0, 64.0, 256.0}) {
     hw::Workload w;
-    w.name = "tune_I" + std::to_string(intensity);
+    // Default ostream formatting ("tune_I0.25"), matching the suite's
+    // point_name convention -- std::to_string would emit "tune_I0.250000".
+    std::ostringstream name;
+    name << "tune_I" << intensity;
+    w.name = name.str();
     w.ops[hw::OpClass::kDramAccess] = 64e6;
     w.ops[hw::OpClass::kSpFlop] = intensity * 64e6;
     w.ops[hw::OpClass::kIntOp] = 0.05 * 64e6;
     w.compute_utilization = 0.95;
     w.memory_utilization = 0.9;
 
-    const auto ms = model::measure_grid(soc, w, grid, meter, rng);
+    const auto ms = model::measure_grid(soc, w, grid, meter, root);
     const auto out = model::autotune(m, ms);
     t.add_row({util::Table::num(intensity, 2),
                ms[out.model_idx].setting.label(),

@@ -16,10 +16,12 @@ int main() {
   using namespace eroof;
 
   // 1. Measurement campaign: 116 microbenchmark points x 16 DVFS settings.
+  // The RngStream root keys every measurement's noise to its identity, so
+  // the output is bitwise-identical across thread counts.
   const auto soc = hw::Soc::tegra_k1();
   const hw::PowerMon meter;
-  util::Rng rng(42);
-  const auto campaign = ub::paper_campaign(soc, meter, rng);
+  const util::RngStream root(42);
+  const auto campaign = ub::paper_campaign(soc, meter, root);
   std::cout << "campaign: " << campaign.size() << " measurements\n";
 
   // 2. Fit the model on the training half.
@@ -48,7 +50,7 @@ int main() {
 
   const auto grid = hw::full_grid();
   const auto measurements =
-      model::measure_grid(soc, work, grid, meter, rng);
+      model::measure_grid(soc, work, grid, meter, root);
   const auto tuned = model::autotune(fit.model, measurements);
 
   std::cout << "model's pick:  "

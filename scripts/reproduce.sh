@@ -46,6 +46,11 @@ for b in build/bench/*; do
   "$b" 2>&1 | tee "reproduction/${name}.txt"
 done
 
+# Per-phase DVFS autotuning of the KIFMM proxy (fig_fmm_autotune.csv is
+# picked up by the fig*.csv move below).
+echo "== fmm_autotune =="
+./build/examples/fmm_autotune 2>&1 | tee reproduction/fmm_autotune.txt
+
 # CSV series are written to the current directory by the fig benches.
 mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
   2>/dev/null || true

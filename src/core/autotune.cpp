@@ -46,6 +46,10 @@ std::vector<hw::Measurement> measure_grid(
   // Average repeated runs, as a careful measurement campaign would: the
   // argmin over 105 settings is otherwise dominated by run-to-run noise.
   // Accumulation is serial, in repeat order, so averages replay bit-for-bit.
+  // Average power is summed energy over summed time -- NOT the mean of the
+  // per-run power ratios, which under heteroscedastic repeat noise drifts
+  // from energy/time and breaks energy_j ~= avg_power_w * time_s for the
+  // averaged Measurement.
   std::vector<hw::Measurement> ms;
   ms.reserve(grid.size());
   for (std::size_t i = 0; i < grid.size(); ++i) {
@@ -55,11 +59,10 @@ std::vector<hw::Measurement> measure_grid(
                            static_cast<std::size_t>(r)];
       acc.time_s += m.time_s;
       acc.energy_j += m.energy_j;
-      acc.avg_power_w += m.avg_power_w;
     }
+    acc.avg_power_w = acc.time_s > 0 ? acc.energy_j / acc.time_s : 0.0;
     acc.time_s /= repeats;
     acc.energy_j /= repeats;
-    acc.avg_power_w /= repeats;
     ms.push_back(std::move(acc));
   }
   return ms;
@@ -93,24 +96,30 @@ TuneOutcome autotune(const EnergyModel& model,
       out.model_idx = i;
     }
 
-    // Time oracle with race-to-halt tie-breaking: exact time ties go to the
-    // higher clocks ("run as fast as possible, then turn everything off").
-    const bool faster = m.time_s < best_time;
-    const bool tied_but_hotter =
-        m.time_s == best_time &&
-        (m.setting.core.freq_mhz > grid[out.oracle_idx].setting.core.freq_mhz ||
-         (m.setting.core.freq_mhz ==
-              grid[out.oracle_idx].setting.core.freq_mhz &&
-          m.setting.mem.freq_mhz > grid[out.oracle_idx].setting.mem.freq_mhz));
-    if (faster || tied_but_hotter) {
-      best_time = m.time_s;
-      out.oracle_idx = i;
-    }
+    if (m.time_s < best_time) best_time = m.time_s;
 
     if (m.energy_j < best_energy) {
       best_energy = m.energy_j;
       out.best_idx = i;
     }
+  }
+
+  // Time oracle with race-to-halt tie-breaking: among candidates whose time
+  // is within `tie_tol` (relative) of the fastest, take the highest clocks
+  // ("run as fast as possible, then turn everything off"). The tolerance
+  // mirrors the energy tie rule below: under simulated measurement noise two
+  // settings never tie *exactly*, so an exact comparison would make the
+  // documented preference dead code and leave the pick to noise order.
+  for (std::size_t i = 0; i < grid.size(); ++i) {
+    const hw::Measurement& m = grid[i];
+    if (m.time_s > best_time * (1.0 + tie_tol)) continue;
+    const hw::Measurement& cur = grid[out.oracle_idx];
+    const bool in_tie = cur.time_s <= best_time * (1.0 + tie_tol);
+    const bool hotter =
+        m.setting.core.freq_mhz > cur.setting.core.freq_mhz ||
+        (m.setting.core.freq_mhz == cur.setting.core.freq_mhz &&
+         m.setting.mem.freq_mhz > cur.setting.mem.freq_mhz);
+    if (!in_tie || hotter) out.oracle_idx = i;
   }
 
   const auto lost_pct = [&](std::size_t idx) {

@@ -48,8 +48,11 @@ struct TuneOutcome {
 ///
 /// The model choice minimizes predict_energy_j using each setting's
 /// *measured* execution time (the model prices energy given time, per
-/// eq. 9). The oracle choice minimizes measured time, breaking exact ties
-/// by preferring higher frequencies (race-to-halt). A choice is "correct"
+/// eq. 9). The oracle choice minimizes measured time; candidates within
+/// `tie_tol` (relative) of the fastest time count as tied, and the tie goes
+/// to the higher frequencies (race-to-halt) -- under measurement noise
+/// exact time ties never occur, so an exact comparison would leave the pick
+/// dependent on noise order. A choice is "correct"
 /// when its measured energy is within `tie_tol` (relative) of the minimum;
 /// the default treats settings within 0.5% as indistinguishable -- several
 /// ladder points share a voltage (e.g. 68 and 204 MHz memory at 800 mV),

@@ -1,0 +1,268 @@
+#include "core/schedule.hpp"
+
+#include <algorithm>
+#include <limits>
+
+#include "trace/trace.hpp"
+#include "util/require.hpp"
+
+namespace eroof::model {
+namespace {
+
+/// Transition cost (in objective units: joules, with stalls converted via
+/// `time_weight`) of entering grid index `to` from grid index `from`.
+double transition_cost(const PhaseGridPrediction& pred,
+                       const hw::DvfsTransitionModel& tm, std::size_t from,
+                       std::size_t to, double time_weight) {
+  const int nd = tm.changed_domains(pred.grid[from], pred.grid[to]);
+  if (nd == 0) return 0.0;
+  return tm.energy_j * nd +
+         tm.latency_s * (pred.const_power_w[to] + time_weight);
+}
+
+/// Fills a schedule's predicted totals and switch count from its picks.
+void fill_totals(const PhaseGridPrediction& pred,
+                 const hw::DvfsTransitionModel& tm, PhaseSchedule* s) {
+  s->pred_time_s = 0;
+  s->pred_energy_j = 0;
+  s->switches = 0;
+  for (std::size_t p = 0; p < s->pick.size(); ++p) {
+    s->pred_time_s += pred.time_at(p, s->pick[p]);
+    s->pred_energy_j += pred.energy_at(p, s->pick[p]);
+    if (p > 0) {
+      const int nd =
+          tm.changed_domains(pred.grid[s->pick[p - 1]], pred.grid[s->pick[p]]);
+      if (nd > 0) {
+        s->switches += nd;
+        s->pred_time_s += tm.latency_s;
+        s->pred_energy_j +=
+            tm.energy_j * nd + tm.latency_s * pred.const_power_w[s->pick[p]];
+      }
+    }
+  }
+}
+
+/// True when schedule `a` is dominated by `b` (no better on either axis,
+/// strictly worse on at least one).
+bool dominated(const PhaseSchedule& a, const PhaseSchedule& b) {
+  return b.pred_time_s <= a.pred_time_s && b.pred_energy_j <= a.pred_energy_j &&
+         (b.pred_time_s < a.pred_time_s || b.pred_energy_j < a.pred_energy_j);
+}
+
+}  // namespace
+
+PhaseGridPrediction predict_phase_grid(const EnergyModel& model,
+                                       const hw::Soc& soc,
+                                       std::span<const hw::Workload> phases,
+                                       std::span<const hw::DvfsSetting> grid) {
+  EROOF_REQUIRE(!phases.empty());
+  EROOF_REQUIRE(!grid.empty());
+  trace::ScopedSpan span("predict_phase_grid", "model.schedule");
+
+  PhaseGridPrediction pred;
+  pred.phase_names.reserve(phases.size());
+  for (const auto& w : phases) pred.phase_names.push_back(w.name);
+  pred.grid.assign(grid.begin(), grid.end());
+  const std::size_t np = phases.size();
+  const std::size_t ns = grid.size();
+  pred.time_s.resize(np * ns);
+  pred.energy_j.resize(np * ns);
+  pred.const_power_w.resize(ns);
+
+  for (std::size_t s = 0; s < ns; ++s)
+    pred.const_power_w[s] = model.constant_power_w(grid[s]);
+
+  // eroof: hot-begin (per-(phase, setting) prediction grid: disjoint writes)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t cell = 0; cell < static_cast<std::ptrdiff_t>(np * ns);
+       ++cell) {
+    const std::size_t p = static_cast<std::size_t>(cell) / ns;
+    const std::size_t s = static_cast<std::size_t>(cell) % ns;
+    const double t = soc.execution_time(phases[p], grid[s]);
+    pred.time_s[cell] = t;
+    pred.energy_j[cell] = model.predict_energy_j(phases[p].ops, grid[s], t);
+  }
+  // eroof: hot-end
+
+  if (span.active()) {
+    span.arg("phases", static_cast<double>(np));
+    span.arg("settings", static_cast<double>(ns));
+  }
+  return pred;
+}
+
+PhaseSchedule schedule_phases(const PhaseGridPrediction& pred,
+                              const hw::DvfsTransitionModel& transitions,
+                              double time_weight) {
+  const std::size_t np = pred.n_phases();
+  const std::size_t ns = pred.n_settings();
+  EROOF_REQUIRE(np >= 1 && ns >= 1);
+  EROOF_REQUIRE(time_weight >= 0);
+  trace::ScopedSpan span("schedule_phases", "model.schedule");
+
+  // dp[s] = minimal objective of phases 0..p with phase p at setting s;
+  // back[p * ns + s] = the argmin predecessor setting of that state.
+  std::vector<double> dp(ns);
+  std::vector<double> next(ns);
+  std::vector<std::size_t> back(np * ns, 0);
+
+  // eroof: hot-begin (chain DP over phases x settings^2)
+  for (std::size_t s = 0; s < ns; ++s)
+    dp[s] = pred.energy_at(0, s) + time_weight * pred.time_at(0, s);
+
+  for (std::size_t p = 1; p < np; ++p) {
+    for (std::size_t s = 0; s < ns; ++s) {
+      double best = std::numeric_limits<double>::infinity();
+      std::size_t best_prev = 0;
+      for (std::size_t q = 0; q < ns; ++q) {
+        const double c =
+            dp[q] + transition_cost(pred, transitions, q, s, time_weight);
+        if (c < best) {
+          best = c;
+          best_prev = q;
+        }
+      }
+      next[s] = best + pred.energy_at(p, s) + time_weight * pred.time_at(p, s);
+      back[p * ns + s] = best_prev;
+    }
+    std::swap(dp, next);
+  }
+
+  std::size_t last = 0;
+  for (std::size_t s = 1; s < ns; ++s)
+    if (dp[s] < dp[last]) last = s;
+  // eroof: hot-end
+
+  PhaseSchedule out;
+  out.pick.resize(np);
+  out.pick[np - 1] = last;
+  for (std::size_t p = np - 1; p > 0; --p)
+    out.pick[p - 1] = back[p * ns + out.pick[p]];
+  fill_totals(pred, transitions, &out);
+
+  if (span.active()) {
+    span.arg("pred_energy_j", out.pred_energy_j);
+    span.arg("pred_time_s", out.pred_time_s);
+    span.arg("switches", static_cast<double>(out.switches));
+  }
+  return out;
+}
+
+PhaseSchedule best_uniform_schedule(const PhaseGridPrediction& pred,
+                                    double time_weight) {
+  const std::size_t np = pred.n_phases();
+  const std::size_t ns = pred.n_settings();
+  EROOF_REQUIRE(np >= 1 && ns >= 1);
+
+  std::size_t best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  // eroof: hot-begin (uniform-setting scan)
+  for (std::size_t s = 0; s < ns; ++s) {
+    double c = 0;
+    for (std::size_t p = 0; p < np; ++p)
+      c += pred.energy_at(p, s) + time_weight * pred.time_at(p, s);
+    if (c < best_cost) {
+      best_cost = c;
+      best = s;
+    }
+  }
+  // eroof: hot-end
+
+  PhaseSchedule out;
+  out.pick.assign(np, best);
+  fill_totals(pred, {}, &out);
+  return out;
+}
+
+PhaseSchedule race_to_halt_schedule(const PhaseGridPrediction& pred) {
+  EROOF_REQUIRE(pred.n_phases() >= 1 && pred.n_settings() >= 1);
+  std::size_t race = 0;
+  for (std::size_t s = 1; s < pred.n_settings(); ++s) {
+    const auto& a = pred.grid[race];
+    const auto& b = pred.grid[s];
+    if (b.core.freq_mhz > a.core.freq_mhz ||
+        (b.core.freq_mhz == a.core.freq_mhz &&
+         b.mem.freq_mhz > a.mem.freq_mhz))
+      race = s;
+  }
+  PhaseSchedule out;
+  out.pick.assign(pred.n_phases(), race);
+  fill_totals(pred, {}, &out);
+  return out;
+}
+
+std::vector<ParetoPoint> pareto_frontier(
+    const PhaseGridPrediction& pred, const hw::DvfsTransitionModel& transitions,
+    std::span<const double> time_weights) {
+  std::vector<ParetoPoint> points;
+  points.reserve(time_weights.size());
+  for (const double w : time_weights) {
+    PhaseSchedule s = schedule_phases(pred, transitions, w);
+    const bool duplicate =
+        std::any_of(points.begin(), points.end(), [&](const ParetoPoint& p) {
+          return p.schedule.pick == s.pick;
+        });
+    if (!duplicate) points.push_back({w, std::move(s)});
+  }
+
+  std::vector<ParetoPoint> frontier;
+  frontier.reserve(points.size());
+  for (const auto& cand : points) {
+    const bool dom =
+        std::any_of(points.begin(), points.end(), [&](const ParetoPoint& o) {
+          return dominated(cand.schedule, o.schedule);
+        });
+    if (!dom) frontier.push_back(cand);
+  }
+  std::sort(frontier.begin(), frontier.end(),
+            [](const ParetoPoint& a, const ParetoPoint& b) {
+              return a.schedule.pred_time_s < b.schedule.pred_time_s;
+            });
+  return frontier;
+}
+
+ScheduleGroundTruth true_schedule_cost(
+    const hw::Soc& soc, std::span<const hw::Workload> phases,
+    const PhaseGridPrediction& pred, const PhaseSchedule& sched,
+    const hw::DvfsTransitionModel& transitions) {
+  EROOF_REQUIRE(phases.size() == sched.pick.size());
+  ScheduleGroundTruth out;
+  for (std::size_t p = 0; p < phases.size(); ++p) {
+    const hw::DvfsSetting& s = pred.grid[sched.pick[p]];
+    const double t = soc.execution_time(phases[p], s);
+    out.time_s += t;
+    out.energy_j += soc.true_energy_j(phases[p], s, t);
+    if (p > 0) {
+      const hw::DvfsSetting& prev = pred.grid[sched.pick[p - 1]];
+      const int nd = transitions.changed_domains(prev, s);
+      if (nd > 0) {
+        out.time_s += transitions.latency_s;
+        out.energy_j += transitions.energy_j * nd +
+                        transitions.latency_s * soc.true_constant_power_w(s);
+      }
+    }
+  }
+  return out;
+}
+
+ScheduleComparison compare_strategies(const EnergyModel& model,
+                                      const hw::Soc& soc,
+                                      std::span<const hw::Workload> phases,
+                                      std::span<const hw::DvfsSetting> grid,
+                                      const hw::DvfsTransitionModel& transitions,
+                                      double time_weight) {
+  const PhaseGridPrediction pred =
+      predict_phase_grid(model, soc, phases, grid);
+  ScheduleComparison cmp;
+  cmp.per_phase = schedule_phases(pred, transitions, time_weight);
+  cmp.uniform = best_uniform_schedule(pred, time_weight);
+  cmp.race = race_to_halt_schedule(pred);
+  cmp.per_phase_true =
+      true_schedule_cost(soc, phases, pred, cmp.per_phase, transitions);
+  cmp.uniform_true =
+      true_schedule_cost(soc, phases, pred, cmp.uniform, transitions);
+  cmp.race_true = true_schedule_cost(soc, phases, pred, cmp.race, transitions);
+  return cmp;
+}
+
+}  // namespace eroof::model

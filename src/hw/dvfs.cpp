@@ -80,4 +80,20 @@ const std::vector<DvfsSetting>& table4_settings() {
   return rows;
 }
 
+int DvfsTransitionModel::changed_domains(const DvfsSetting& from,
+                                         const DvfsSetting& to) const {
+  return static_cast<int>(from.core.freq_mhz != to.core.freq_mhz) +
+         static_cast<int>(from.mem.freq_mhz != to.mem.freq_mhz);
+}
+
+double DvfsTransitionModel::stall_s(const DvfsSetting& from,
+                                    const DvfsSetting& to) const {
+  return changed_domains(from, to) > 0 ? latency_s : 0.0;
+}
+
+double DvfsTransitionModel::switch_energy_j(const DvfsSetting& from,
+                                            const DvfsSetting& to) const {
+  return energy_j * changed_domains(from, to);
+}
+
 }  // namespace eroof::hw

@@ -64,4 +64,28 @@ const std::vector<LabeledSetting>& table1_settings();
 /// The 8 system settings S1..S8 of Table IV used for FMM validation.
 const std::vector<DvfsSetting>& table4_settings();
 
+/// Cost model of a DVFS transition. Changing a domain's operating point
+/// stalls execution while the PLL relocks and the regulator ramps
+/// (`latency_s`; the Tegra K1's gbus/EMC reclock is of order 100 us) and
+/// dissipates a fixed switch energy per changed domain (`energy_j`,
+/// regulator/refresh-retraining overhead). Core and memory relock in
+/// parallel, so a transition that changes both domains pays one stall but
+/// two switch energies. The stall itself additionally costs constant power
+/// at the entered setting; consumers (Soc::run_sequence, the per-phase
+/// scheduler) price that part, since only they know whose pi_0 to use.
+struct DvfsTransitionModel {
+  double latency_s = 0;  ///< stall per transition that changes >= 1 domain
+  double energy_j = 0;   ///< fixed switch energy per changed domain
+
+  /// How many domains (0..2) change operating point between two settings.
+  int changed_domains(const DvfsSetting& from, const DvfsSetting& to) const;
+
+  /// Stall time of the transition: `latency_s` if any domain changes.
+  double stall_s(const DvfsSetting& from, const DvfsSetting& to) const;
+
+  /// Fixed switch energy of the transition (excludes the stall's
+  /// constant-power cost): `energy_j` per changed domain.
+  double switch_energy_j(const DvfsSetting& from, const DvfsSetting& to) const;
+};
+
 }  // namespace eroof::hw

@@ -141,6 +141,35 @@ Measurement Soc::run(const Workload& w, const DvfsSetting& s,
   return m;
 }
 
+SequenceMeasurement Soc::run_sequence(std::span<const Workload> phases,
+                                      std::span<const DvfsSetting> settings,
+                                      const DvfsTransitionModel& transitions,
+                                      const PowerMon& monitor,
+                                      const util::RngStream& stream) const {
+  EROOF_REQUIRE(phases.size() == settings.size());
+  SequenceMeasurement out;
+  out.phases.reserve(phases.size());
+  for (std::size_t i = 0; i < phases.size(); ++i) {
+    Measurement m = run(phases[i], settings[i], monitor, stream.fork(i));
+    if (i > 0) {
+      const int nd = transitions.changed_domains(settings[i - 1], settings[i]);
+      if (nd > 0) {
+        out.switches += nd;
+        out.transition_time_s += transitions.latency_s;
+        out.transition_energy_j +=
+            transitions.energy_j * nd +
+            transitions.latency_s * true_constant_power_w(settings[i]);
+      }
+    }
+    out.time_s += m.time_s;
+    out.energy_j += m.energy_j;
+    out.phases.push_back(std::move(m));
+  }
+  out.time_s += out.transition_time_s;
+  out.energy_j += out.transition_energy_j;
+  return out;
+}
+
 Measurement Soc::run(const Workload& w, const DvfsSetting& s,
                      const PowerMon& monitor, const util::RngStream& stream,
                      PowerTrace* trace_out) const {

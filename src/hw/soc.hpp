@@ -11,6 +11,8 @@
 // prediction errors in the paper's observed few-percent band.
 #pragma once
 
+#include <span>
+
 #include "hw/dvfs.hpp"
 #include "hw/powermon.hpp"
 #include "hw/workload.hpp"
@@ -97,6 +99,17 @@ struct Measurement {
   double avg_power_w = 0;
 };
 
+/// A measured multi-phase run under a per-phase DVFS schedule: the per-phase
+/// measurements plus the transition overheads the schedule paid.
+struct SequenceMeasurement {
+  std::vector<Measurement> phases;   ///< one Measurement per executed phase
+  int switches = 0;                  ///< domain switches paid
+  double transition_time_s = 0;      ///< summed relock stalls
+  double transition_energy_j = 0;    ///< switch energy + stalls' pi_0 cost
+  double time_s = 0;                 ///< phases + transitions
+  double energy_j = 0;               ///< phases + transitions
+};
+
 /// The simulated SoC.
 class Soc {
  public:
@@ -142,6 +155,20 @@ class Soc {
   Measurement run(const Workload& w, const DvfsSetting& s,
                   const PowerMon& monitor, const util::RngStream& stream,
                   PowerTrace* trace_out = nullptr) const;
+
+  /// One measured execution of a *scheduled* run: phase i executes at
+  /// settings[i], and every transition between consecutive differing
+  /// settings pays the transition model's stall (priced at the entered
+  /// setting's ground-truth constant power) plus its fixed switch energy.
+  /// Phase i draws its measurement noise from
+  /// stream.fork(i), so the result is bitwise-identical regardless of what
+  /// else ran before -- the ground-truth validation path for the per-phase
+  /// DVFS scheduler (core/schedule).
+  SequenceMeasurement run_sequence(std::span<const Workload> phases,
+                                   std::span<const DvfsSetting> settings,
+                                   const DvfsTransitionModel& transitions,
+                                   const PowerMon& monitor,
+                                   const util::RngStream& stream) const;
 
  private:
   double dynamic_power_w(const Workload& w, const DvfsSetting& s,
