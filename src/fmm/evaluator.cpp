@@ -1,6 +1,7 @@
 #include "fmm/evaluator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <string>
 
@@ -32,9 +33,45 @@ int thread_index() {
 #endif
 }
 
+const char* phase_name(int tag) {
+  switch (tag) {
+    case kDagTagUp:
+      return "UP";
+    case kDagTagV:
+      return "V";
+    case kDagTagX:
+      return "X";
+    case kDagTagDown:
+      return "DOWN";
+    case kDagTagU:
+      return "U";
+    default:
+      return "W";
+  }
+}
+
+/// Mirrors one phase's tallies into the session's counter registry as
+/// "fmm.<phase>.<tally>" so regression tests can compare runs bit-for-bit.
+/// Both executors call this in canonical phase order (UP,V,X,DOWN,U,W).
+void add_phase_counters(const char* phase, const FmmStats::Phase& p) {
+  const std::string prefix = std::string("fmm.") + phase + ".";
+  trace::counter_add(prefix + "kernel_evals", p.kernel_evals);
+  trace::counter_add(prefix + "pair_count", p.pair_count);
+  trace::counter_add(prefix + "ffts", p.ffts);
+  trace::counter_add(prefix + "hadamard_cmuls", p.hadamard_cmuls);
+  trace::counter_add(prefix + "solve_matvecs", p.solve_matvecs);
+}
+
+void phase_args(trace::SpanEvent& ev, const FmmStats::Phase& p) {
+  ev.args.push_back({"kernel_evals", p.kernel_evals});
+  ev.args.push_back({"pair_count", p.pair_count});
+  ev.args.push_back({"ffts", p.ffts});
+  ev.args.push_back({"hadamard_cmuls", p.hadamard_cmuls});
+  ev.args.push_back({"solve_matvecs", p.solve_matvecs});
+}
+
 /// Annotates a finished phase span with the phase's tallies and mirrors them
-/// into the session's counter registry as "fmm.<phase>.<tally>" so
-/// regression tests can compare runs bit-for-bit.
+/// into the counter registry.
 void record_phase(trace::ScopedSpan& span, const char* phase,
                   const FmmStats::Phase& p) {
   if (!span.active()) return;
@@ -43,12 +80,7 @@ void record_phase(trace::ScopedSpan& span, const char* phase,
   span.arg("ffts", p.ffts);
   span.arg("hadamard_cmuls", p.hadamard_cmuls);
   span.arg("solve_matvecs", p.solve_matvecs);
-  const std::string prefix = std::string("fmm.") + phase + ".";
-  trace::counter_add(prefix + "kernel_evals", p.kernel_evals);
-  trace::counter_add(prefix + "pair_count", p.pair_count);
-  trace::counter_add(prefix + "ffts", p.ffts);
-  trace::counter_add(prefix + "hadamard_cmuls", p.hadamard_cmuls);
-  trace::counter_add(prefix + "solve_matvecs", p.solve_matvecs);
+  add_phase_counters(phase, p);
 }
 
 }  // namespace
@@ -97,6 +129,101 @@ FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
     spec_re_.resize(widest * ops_.grid_size());
     spec_im_.resize(widest * ops_.grid_size());
   }
+
+  structural_stats_ = compute_structural_stats();
+  stats_ = structural_stats_;
+}
+
+FmmStats FmmEvaluator::compute_structural_stats() const {
+  // One serial pass replicating the legacy per-phase tally loops verbatim --
+  // same phase order (UP,V,X,DOWN,U,W), same level order, same node order --
+  // so the summation order (and therefore every double) is bitwise identical
+  // to what the bulk-synchronous path historically produced.
+  FmmStats s;
+  const std::size_t ns = ops_.n_surf();
+  const std::size_t g = ops_.grid_size();
+  const auto& by_level = tree_.nodes_by_level();
+  const auto& leaves = tree_.leaves();
+
+  // UP: deepest level first, as the upward sweep runs.
+  for (int l = tree_.max_depth(); l >= kMinLevel; --l) {
+    for (const int b : by_level[static_cast<std::size_t>(l)]) {
+      const Node& node = tree_.node(b);
+      if (node.leaf)
+        s.up.kernel_evals += static_cast<double>(ns) * node.num_points();
+      else
+        for (int c : node.children)
+          if (c >= 0) s.up.solve_matvecs += 1;
+      s.up.solve_matvecs += 1;  // the UC2E solve
+    }
+  }
+
+  // V: top level first, as the translation sweep runs.
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
+    const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
+    if (level_nodes.empty()) continue;
+    if (!ops_.config().use_fft_m2l) {
+      for (const int b : level_nodes) {
+        const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+        s.v.kernel_evals +=
+            static_cast<double>(vlist.size()) * static_cast<double>(ns) * ns;
+        s.v.pair_count += static_cast<double>(vlist.size());
+      }
+      continue;
+    }
+    s.v.ffts += static_cast<double>(level_nodes.size());
+    for (const int b : level_nodes) {
+      const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+      if (vlist.empty()) continue;
+      s.v.pair_count += static_cast<double>(vlist.size());
+      s.v.hadamard_cmuls +=
+          static_cast<double>(vlist.size()) * static_cast<double>(g);
+      s.v.ffts += 1;  // the inverse transform
+    }
+  }
+
+  // X.
+  for (std::size_t b = 0; b < tree_.nodes().size(); ++b) {
+    for (const int a : lists_.x[b]) {
+      s.x.kernel_evals += static_cast<double>(ns) * tree_.node(a).num_points();
+      s.x.pair_count += 1;
+    }
+  }
+
+  // DOWN: DC2E/L2L sweep, then the L2P leaf outputs.
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
+    for (const int b : by_level[static_cast<std::size_t>(l)]) {
+      s.down.solve_matvecs += 1;
+      for (int c : tree_.node(b).children)
+        if (c >= 0) s.down.solve_matvecs += 1;
+    }
+  }
+  for (const int b : leaves) {
+    const Node& node = tree_.node(b);
+    if (node.level() >= kMinLevel)
+      s.down.kernel_evals += node.num_points() * static_cast<double>(ns);
+  }
+
+  // U.
+  for (const int b : leaves) {
+    const double npts = tree_.node(b).num_points();
+    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
+      s.u.kernel_evals +=
+          npts * static_cast<double>(tree_.node(a).num_points());
+      s.u.pair_count += 1;
+    }
+  }
+
+  // W.
+  for (const int b : leaves) {
+    const double npts = tree_.node(b).num_points();
+    for ([[maybe_unused]] const int a :
+         lists_.w[static_cast<std::size_t>(b)]) {
+      s.w.kernel_evals += npts * static_cast<double>(ns);
+      s.w.pair_count += 1;
+    }
+  }
+  return s;
 }
 
 void FmmEvaluator::ensure_workspaces() {
@@ -126,11 +253,13 @@ FmmEvaluator::Workspace& FmmEvaluator::workspace() {
 
 std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
   EROOF_REQUIRE(densities.size() == tree_.points().size());
-  stats_ = FmmStats{};
+  // Tallies are structural: one wholesale commit of the precomputed pass,
+  // identical under both executors (and trivially thread-count invariant).
+  stats_ = structural_stats_;
 
   // Setup: permute densities into tree order, zero the arenas, and make
   // sure per-thread scratch exists. Everything past this point -- the six
-  // phase loops -- performs no heap allocation.
+  // phases under either executor -- performs no heap allocation.
   const auto orig = tree_.original_index();
   std::vector<double> dens(densities.size());
   for (std::size_t i = 0; i < dens.size(); ++i)
@@ -148,6 +277,247 @@ std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
   }
 
   std::vector<double> phi(dens.size(), 0.0);
+  if (executor_ == FmmExecutor::kDag)
+    evaluate_dag(dens, phi);
+  else
+    evaluate_phases(dens, phi);
+
+  // Un-permute the potentials to the caller's order.
+  std::vector<double> out(phi.size());
+  for (std::size_t i = 0; i < phi.size(); ++i) out[orig[i]] = phi[i];
+  return out;
+}
+
+std::vector<double> FmmEvaluator::evaluate_at(
+    const Kernel& kernel, std::span<const Vec3> targets,
+    std::span<const Vec3> sources, std::span<const double> densities,
+    Octree::Params tree_params, FmmConfig cfg) {
+  EROOF_REQUIRE(!targets.empty());
+  EROOF_REQUIRE(sources.size() == densities.size());
+
+  std::vector<Vec3> all;
+  all.reserve(sources.size() + targets.size());
+  all.insert(all.end(), sources.begin(), sources.end());
+  all.insert(all.end(), targets.begin(), targets.end());
+  std::vector<double> dens(all.size(), 0.0);
+  std::copy(densities.begin(), densities.end(), dens.begin());
+
+  FmmEvaluator ev(kernel, all, tree_params, cfg);
+  const auto phi = ev.evaluate(dens);
+  return std::vector<double>(phi.begin() + static_cast<long>(sources.size()),
+                             phi.end());
+}
+
+// ---------------------------------------------------------------------------
+// Per-node phase bodies. Both executors funnel through these, so the
+// floating-point operation sequence applied to any given arena cell or
+// output element is executor-independent by construction; only the
+// *scheduling* of independent nodes differs.
+// ---------------------------------------------------------------------------
+
+void FmmEvaluator::node_up(int b, const double* dens) {
+  // eroof: hot-begin (UP body: P2M or M2M, then the UC2E solve, for one node)
+  const std::size_t ns = ops_.n_surf();
+  const Node& node = tree_.node(b);
+  const LevelOperators& ops = ops_.level(node.level());
+  Workspace& ws = workspace();
+  std::fill(ws.check.begin(), ws.check.end(), 0.0);
+
+  if (node.leaf) {
+    // P2M: source points -> upward check potentials.
+    ops.surf_outer.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
+                               ws.tz.data());
+    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                       point_block(node.point_begin, node.point_end),
+                       dens + node.point_begin, ws.check.data());
+  } else {
+    // M2M: children's equivalent densities -> this box's check surface.
+    for (int c : node.children) {
+      if (c < 0) continue;
+      la::gemv_add(ops.m2m[tree_.node(c).key.octant_in_parent()], up_equiv(c),
+                   ws.check);
+    }
+  }
+
+  // UC2E solve: check potentials -> equivalent density.
+  la::gemv_add(ops.uc2e, ws.check, up_equiv(b));
+  // eroof: hot-end
+}
+
+void FmmEvaluator::node_fft_forward(int b, double* qr, double* qi) {
+  // eroof: hot-begin (V body: forward FFT of one node's equivalent grid,
+  // split into real/imag planes so the Hadamard stage vectorizes)
+  const std::size_t g = ops_.grid_size();
+  Workspace& ws = workspace();
+  ops_.embed(up_equiv(b), ws.grid);
+  ops_.plan().forward(ws.grid);
+  for (std::size_t k = 0; k < g; ++k) {
+    qr[k] = ws.grid[k].real();
+    qi[k] = ws.grid[k].imag();
+  }
+  // eroof: hot-end
+}
+
+void FmmEvaluator::node_v_hadamard(int b, const double* spec_re,
+                                   const double* spec_im,
+                                   const std::size_t* spec_pos) {
+  // eroof: hot-begin (V body: Hadamard accumulate + inverse FFT + scatter
+  // onto one node's downward check surface)
+  const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+  if (vlist.empty()) return;
+  const std::size_t ns = ops_.n_surf();
+  const std::size_t g = ops_.grid_size();
+  const Node& node = tree_.node(b);
+  const LevelOperators& ops = ops_.level(node.level());
+  const double* bank_re = ops.m2l->re.data();
+  const double* bank_im = ops.m2l->im.data();
+  const double scale = ops.m2l_scale;
+  const auto bc = node.key.coords();
+  Workspace& ws = workspace();
+  std::fill(ws.acc_re.begin(), ws.acc_re.end(), 0.0);
+  std::fill(ws.acc_im.begin(), ws.acc_im.end(), 0.0);
+  double* acc_re = ws.acc_re.data();
+  double* acc_im = ws.acc_im.data();
+  for (const int s : vlist) {
+    const auto sc = tree_.node(s).key.coords();
+    const auto rel = Operators::rel_index(
+        static_cast<int>(bc[0]) - static_cast<int>(sc[0]),
+        static_cast<int>(bc[1]) - static_cast<int>(sc[1]),
+        static_cast<int>(bc[2]) - static_cast<int>(sc[2]));
+    EROOF_REQUIRE_MSG(rel.has_value(), "V-list pair in the near field");
+    const double* t_re = bank_re + *rel * g;
+    const double* t_im = bank_im + *rel * g;
+    const std::size_t pos = spec_pos[static_cast<std::size_t>(s)] * g;
+    const double* q_re = spec_re + pos;
+    const double* q_im = spec_im + pos;
+#pragma omp simd
+    for (std::size_t k = 0; k < g; ++k) {
+      acc_re[k] += t_re[k] * q_re[k] - t_im[k] * q_im[k];
+      acc_im[k] += t_re[k] * q_im[k] + t_im[k] * q_re[k];
+    }
+  }
+  for (std::size_t k = 0; k < g; ++k)
+    ws.grid[k] = fft::cplx{acc_re[k], acc_im[k]};
+  ops_.plan().inverse(ws.grid);
+  ops_.extract(ws.grid, ws.vals);
+  double* check = down_check(b).data();
+  // m2l_scale is a power of two for homogeneous kernels, so applying it
+  // here (instead of to the shared bank) is exact.
+#pragma omp simd
+  for (std::size_t i = 0; i < ns; ++i) check[i] += scale * ws.vals[i];
+  // eroof: hot-end
+}
+
+void FmmEvaluator::node_v_dense(int b) {
+  // eroof: hot-begin (V body, dense fallback: batched M2L kernel application)
+  const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
+  if (vlist.empty()) return;
+  const std::size_t ns = ops_.n_surf();
+  const Node& node = tree_.node(b);
+  const LevelOperators& lops = ops_.level(node.level());
+  Workspace& ws = workspace();
+  lops.surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
+                              ws.tz.data());
+  double* check = down_check(b).data();
+  for (const int s : vlist) {
+    lops.surf_inner.materialize(tree_.node(s).box.center, ws.sx.data(),
+                                ws.sy.data(), ws.sz.data());
+    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                       {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                       up_equiv(s).data(), check);
+  }
+  // eroof: hot-end
+}
+
+void FmmEvaluator::node_x(int b, const double* dens) {
+  // eroof: hot-begin (X body: batched P2L onto one downward check surface)
+  const std::size_t ns = ops_.n_surf();
+  const Node& node = tree_.node(b);
+  Workspace& ws = workspace();
+  ops_.level(node.level())
+      .surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
+                              ws.tz.data());
+  double* check = down_check(b).data();
+  for (const int a : lists_.x[static_cast<std::size_t>(b)]) {
+    const Node& src = tree_.node(a);
+    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+                       point_block(src.point_begin, src.point_end),
+                       dens + src.point_begin, check);
+  }
+  // eroof: hot-end
+}
+
+void FmmEvaluator::node_down(int b) {
+  // eroof: hot-begin (DOWN body: DC2E solve + L2L pushes for one node)
+  const Node& node = tree_.node(b);
+  const LevelOperators& ops = ops_.level(node.level());
+  // DC2E solve: accumulated check potentials -> equivalent density.
+  const auto equiv = down_equiv(b);
+  la::gemv_add(ops.dc2e, down_check(b), equiv);
+
+  // L2L: push to children's check surfaces (each child's check surface has
+  // exactly one L2L writer -- this node -- so this is race-free under both
+  // executors).
+  for (int c : node.children) {
+    if (c < 0) continue;
+    la::gemv_add(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
+                 down_check(c));
+  }
+  // eroof: hot-end
+}
+
+void FmmEvaluator::leaf_l2p(int b, double* phi) {
+  // eroof: hot-begin (DOWN body: batched L2P outputs of one leaf)
+  const Node& node = tree_.node(b);
+  if (node.level() < kMinLevel) return;  // no expansion this shallow
+  const std::size_t ns = ops_.n_surf();
+  Workspace& ws = workspace();
+  ops_.level(node.level())
+      .surf_outer.materialize(node.box.center, ws.sx.data(), ws.sy.data(),
+                              ws.sz.data());
+  kernel_.eval_batch(point_block(node.point_begin, node.point_end),
+                     {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                     down_equiv(b).data(), phi + node.point_begin);
+  // eroof: hot-end
+}
+
+void FmmEvaluator::leaf_u(int b, const double* dens, double* phi) {
+  // eroof: hot-begin (U body: batched near-field P2P of one leaf)
+  const Node& node = tree_.node(b);
+  const PointBlock targets = point_block(node.point_begin, node.point_end);
+  for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
+    const Node& src = tree_.node(a);
+    kernel_.eval_batch(targets, point_block(src.point_begin, src.point_end),
+                       dens + src.point_begin, phi + node.point_begin);
+  }
+  // eroof: hot-end
+}
+
+void FmmEvaluator::leaf_w(int b, double* phi) {
+  // eroof: hot-begin (W body: batched M2P of one leaf)
+  const Node& node = tree_.node(b);
+  const auto& wlist = lists_.w[static_cast<std::size_t>(b)];
+  if (wlist.empty()) return;
+  const std::size_t ns = ops_.n_surf();
+  Workspace& ws = workspace();
+  const PointBlock targets = point_block(node.point_begin, node.point_end);
+  for (const int a : wlist) {
+    const Node& src = tree_.node(a);
+    ops_.level(src.level())
+        .surf_inner.materialize(src.box.center, ws.sx.data(), ws.sy.data(),
+                                ws.sz.data());
+    kernel_.eval_batch(targets, {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+                       up_equiv(a).data(), phi + node.point_begin);
+  }
+  // eroof: hot-end
+}
+
+// ---------------------------------------------------------------------------
+// Bulk-synchronous executor: six phase sweeps with a barrier between phases.
+// ---------------------------------------------------------------------------
+
+void FmmEvaluator::evaluate_phases(std::span<const double> dens,
+                                   std::span<double> phi) {
   {
     trace::ScopedSpan span("UP", "fmm.phase");
     upward_pass(dens);
@@ -181,84 +551,21 @@ std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
     w_pass(phi);
     record_phase(span, "W", stats_.w);
   }
-
-  // Un-permute the potentials to the caller's order.
-  std::vector<double> out(phi.size());
-  for (std::size_t i = 0; i < phi.size(); ++i) out[orig[i]] = phi[i];
-  return out;
-}
-
-std::vector<double> FmmEvaluator::evaluate_at(
-    const Kernel& kernel, std::span<const Vec3> targets,
-    std::span<const Vec3> sources, std::span<const double> densities,
-    Octree::Params tree_params, FmmConfig cfg) {
-  EROOF_REQUIRE(!targets.empty());
-  EROOF_REQUIRE(sources.size() == densities.size());
-
-  std::vector<Vec3> all;
-  all.reserve(sources.size() + targets.size());
-  all.insert(all.end(), sources.begin(), sources.end());
-  all.insert(all.end(), targets.begin(), targets.end());
-  std::vector<double> dens(all.size(), 0.0);
-  std::copy(densities.begin(), densities.end(), dens.begin());
-
-  FmmEvaluator ev(kernel, all, tree_params, cfg);
-  const auto phi = ev.evaluate(dens);
-  return std::vector<double>(phi.begin() + static_cast<long>(sources.size()),
-                             phi.end());
 }
 
 void FmmEvaluator::upward_pass(std::span<const double> dens) {
-  const std::size_t ns = ops_.n_surf();
   const auto& by_level = tree_.nodes_by_level();
-
   for (int l = tree_.max_depth(); l >= kMinLevel; --l) {
-    const LevelOperators& ops = ops_.level(l);
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
     // eroof: hot-begin (UP: P2M/M2M/UC2E per level)
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
-      const int b = level_nodes[ni];
-      const Node& node = tree_.node(b);
-      Workspace& ws = workspace();
-      std::fill(ws.check.begin(), ws.check.end(), 0.0);
-
-      if (node.leaf) {
-        // P2M: source points -> upward check potentials.
-        ops.surf_outer.materialize(node.box.center, ws.tx.data(),
-                                   ws.ty.data(), ws.tz.data());
-        kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
-                           point_block(node.point_begin, node.point_end),
-                           dens.data() + node.point_begin, ws.check.data());
-      } else {
-        // M2M: children's equivalent densities -> this box's check surface.
-        for (int c : node.children) {
-          if (c < 0) continue;
-          la::gemv_add(ops.m2m[tree_.node(c).key.octant_in_parent()],
-                       up_equiv(c), ws.check);
-        }
-      }
-
-      // UC2E solve: check potentials -> equivalent density.
-      la::gemv_add(ops.uc2e, ws.check, up_equiv(b));
-    }
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+      node_up(level_nodes[ni], dens.data());
     // eroof: hot-end
-
-    // Tallies (outside the parallel region; counts are deterministic).
-    for (const int b : level_nodes) {
-      const Node& node = tree_.node(b);
-      if (node.leaf)
-        stats_.up.kernel_evals += static_cast<double>(ns) * node.num_points();
-      else
-        for (int c : node.children)
-          if (c >= 0) stats_.up.solve_matvecs += 1;
-      stats_.up.solve_matvecs += 1;  // the UC2E solve
-    }
   }
 }
 
 void FmmEvaluator::v_phase() {
-  const std::size_t ns = ops_.n_surf();
   const std::size_t g = ops_.grid_size();
   const auto& by_level = tree_.nodes_by_level();
 
@@ -267,272 +574,297 @@ void FmmEvaluator::v_phase() {
     if (level_nodes.empty()) continue;
 
     if (!ops_.config().use_fft_m2l) {
-      // Dense fallback: batched kernel application per pair.
-      const LevelOperators& lops = ops_.level(l);
       // eroof: hot-begin (V dense fallback: batched M2L kernel application)
 #pragma omp parallel for schedule(dynamic)
-      for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
-        const int b = level_nodes[ni];
-        const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
-        if (vlist.empty()) continue;
-        Workspace& ws = workspace();
-        lops.surf_inner.materialize(tree_.node(b).box.center, ws.tx.data(),
-                                    ws.ty.data(), ws.tz.data());
-        double* check = down_check(b).data();
-        for (const int s : vlist) {
-          lops.surf_inner.materialize(tree_.node(s).box.center, ws.sx.data(),
-                                      ws.sy.data(), ws.sz.data());
-          kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
-                             {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
-                             up_equiv(s).data(), check);
-        }
-      }
+      for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+        node_v_dense(level_nodes[ni]);
       // eroof: hot-end
-      for (const int b : level_nodes) {
-        const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
-        stats_.v.kernel_evals +=
-            static_cast<double>(vlist.size()) * static_cast<double>(ns) * ns;
-        stats_.v.pair_count += static_cast<double>(vlist.size());
-      }
       continue;
     }
 
-    // Forward FFT of every level-l node's equivalent-density grid, split
-    // into real/imag planes so the Hadamard stage below vectorizes.
+    // Forward FFT of every level-l node's equivalent-density grid into the
+    // per-level spectrum banks (reused across levels; safe because the
+    // bulk-synchronous sweep finishes a level before starting the next).
     for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
       pos_in_level_[static_cast<std::size_t>(level_nodes[ni])] = ni;
     // eroof: hot-begin (V: forward FFTs into the level spectrum banks)
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
-      const int b = level_nodes[ni];
-      Workspace& ws = workspace();
-      ops_.embed(up_equiv(b), ws.grid);
-      ops_.plan().forward(ws.grid);
-      double* qr = spec_re_.data() + ni * g;
-      double* qi = spec_im_.data() + ni * g;
-      for (std::size_t k = 0; k < g; ++k) {
-        qr[k] = ws.grid[k].real();
-        qi[k] = ws.grid[k].imag();
-      }
-    }
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+      node_fft_forward(level_nodes[ni], spec_re_.data() + ni * g,
+                       spec_im_.data() + ni * g);
     // eroof: hot-end
-    stats_.v.ffts += static_cast<double>(level_nodes.size());
 
-    // Per target: accumulate Hadamard products in Fourier space (split
-    // real/imag), one inverse FFT, then scatter onto the downward check
-    // surface.
-    const LevelOperators& ops = ops_.level(l);
-    const double* bank_re = ops.m2l->re.data();
-    const double* bank_im = ops.m2l->im.data();
-    const double scale = ops.m2l_scale;
+    // Per target: accumulate Hadamard products in Fourier space, one
+    // inverse FFT, then scatter onto the downward check surface.
     // eroof: hot-begin (V: Hadamard accumulate + inverse FFT + scatter)
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
-      const int b = level_nodes[ni];
-      const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
-      if (vlist.empty()) continue;
-      const auto bc = tree_.node(b).key.coords();
-      Workspace& ws = workspace();
-      std::fill(ws.acc_re.begin(), ws.acc_re.end(), 0.0);
-      std::fill(ws.acc_im.begin(), ws.acc_im.end(), 0.0);
-      double* acc_re = ws.acc_re.data();
-      double* acc_im = ws.acc_im.data();
-      for (const int s : vlist) {
-        const auto sc = tree_.node(s).key.coords();
-        const auto rel = Operators::rel_index(
-            static_cast<int>(bc[0]) - static_cast<int>(sc[0]),
-            static_cast<int>(bc[1]) - static_cast<int>(sc[1]),
-            static_cast<int>(bc[2]) - static_cast<int>(sc[2]));
-        EROOF_REQUIRE_MSG(rel.has_value(), "V-list pair in the near field");
-        const double* t_re = bank_re + *rel * g;
-        const double* t_im = bank_im + *rel * g;
-        const std::size_t pos =
-            pos_in_level_[static_cast<std::size_t>(s)] * g;
-        const double* q_re = spec_re_.data() + pos;
-        const double* q_im = spec_im_.data() + pos;
-#pragma omp simd
-        for (std::size_t k = 0; k < g; ++k) {
-          acc_re[k] += t_re[k] * q_re[k] - t_im[k] * q_im[k];
-          acc_im[k] += t_re[k] * q_im[k] + t_im[k] * q_re[k];
-        }
-      }
-      for (std::size_t k = 0; k < g; ++k)
-        ws.grid[k] = fft::cplx{acc_re[k], acc_im[k]};
-      ops_.plan().inverse(ws.grid);
-      ops_.extract(ws.grid, ws.vals);
-      double* check = down_check(b).data();
-      // m2l_scale is a power of two for homogeneous kernels, so applying it
-      // here (instead of to the shared bank) is exact.
-#pragma omp simd
-      for (std::size_t i = 0; i < ns; ++i) check[i] += scale * ws.vals[i];
-    }
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+      node_v_hadamard(level_nodes[ni], spec_re_.data(), spec_im_.data(),
+                      pos_in_level_.data());
     // eroof: hot-end
-    for (const int b : level_nodes) {
-      const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
-      if (vlist.empty()) continue;
-      stats_.v.pair_count += static_cast<double>(vlist.size());
-      stats_.v.hadamard_cmuls +=
-          static_cast<double>(vlist.size()) * static_cast<double>(g);
-      stats_.v.ffts += 1;  // the inverse transform
-    }
   }
 }
 
 void FmmEvaluator::x_phase(std::span<const double> dens) {
-  const std::size_t ns = ops_.n_surf();
   // eroof: hot-begin (X: batched P2L onto downward check surfaces)
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t ti = 0; ti < x_targets_.size(); ++ti) {
-    const int b = x_targets_[ti];
-    const Node& node = tree_.node(b);
-    // P2L: X-node source points -> this node's downward check surface.
-    Workspace& ws = workspace();
-    ops_.level(node.level())
-        .surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
-                                ws.tz.data());
-    double* check = down_check(b).data();
-    for (const int a : lists_.x[static_cast<std::size_t>(b)]) {
-      const Node& src = tree_.node(a);
-      kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
-                         point_block(src.point_begin, src.point_end),
-                         dens.data() + src.point_begin, check);
-    }
-  }
+  for (std::size_t ti = 0; ti < x_targets_.size(); ++ti)
+    node_x(x_targets_[ti], dens.data());
   // eroof: hot-end
-  for (std::size_t b = 0; b < tree_.nodes().size(); ++b) {
-    for (const int a : lists_.x[b]) {
-      stats_.x.kernel_evals +=
-          static_cast<double>(ns) * tree_.node(a).num_points();
-      stats_.x.pair_count += 1;
-    }
-  }
 }
 
 void FmmEvaluator::downward_pass() {
   const auto& by_level = tree_.nodes_by_level();
-
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
-    const LevelOperators& ops = ops_.level(l);
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
     // eroof: hot-begin (DOWN: DC2E/L2L per level)
 #pragma omp parallel for schedule(dynamic)
-    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni) {
-      const int b = level_nodes[ni];
-      // DC2E solve: accumulated check potentials -> equivalent density.
-      const auto equiv = down_equiv(b);
-      la::gemv_add(ops.dc2e, down_check(b), equiv);
-
-      // L2L: push to children's check surfaces (children are untouched by
-      // any other iteration of this loop, so this is race-free).
-      const Node& node = tree_.node(b);
-      for (int c : node.children) {
-        if (c < 0) continue;
-        la::gemv_add(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
-                     down_check(c));
-      }
-    }
+    for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
+      node_down(level_nodes[ni]);
     // eroof: hot-end
-    for (const int b : level_nodes) {
-      stats_.down.solve_matvecs += 1;
-      for (int c : tree_.node(b).children)
-        if (c >= 0) stats_.down.solve_matvecs += 1;
-    }
   }
 }
 
 void FmmEvaluator::l2p_pass(std::span<double> phi) {
-  const std::size_t ns = ops_.n_surf();
   const auto& leaves = tree_.leaves();
-
-  // L2P: downward equivalent density -> target points.
   // eroof: hot-begin (DOWN: batched L2P leaf outputs)
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t li = 0; li < leaves.size(); ++li) {
-    const int b = leaves[li];
-    const Node& node = tree_.node(b);
-    if (node.level() < kMinLevel) continue;
-    Workspace& ws = workspace();
-    ops_.level(node.level())
-        .surf_outer.materialize(node.box.center, ws.sx.data(), ws.sy.data(),
-                                ws.sz.data());
-    kernel_.eval_batch(point_block(node.point_begin, node.point_end),
-                       {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
-                       down_equiv(b).data(), phi.data() + node.point_begin);
-  }
+  for (std::size_t li = 0; li < leaves.size(); ++li)
+    leaf_l2p(leaves[li], phi.data());
   // eroof: hot-end
-
-  for (const int b : leaves) {
-    const Node& node = tree_.node(b);
-    if (node.level() >= kMinLevel)
-      stats_.down.kernel_evals +=
-          node.num_points() * static_cast<double>(ns);
-  }
 }
 
 void FmmEvaluator::u_pass(std::span<const double> dens,
                           std::span<double> phi) {
   const auto& leaves = tree_.leaves();
-
-  // U: direct P2P with adjacent leaves (self included; K(x,x) == 0).
   // eroof: hot-begin (U: batched near-field P2P)
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t li = 0; li < leaves.size(); ++li) {
-    const int b = leaves[li];
-    const Node& node = tree_.node(b);
-    const PointBlock targets = point_block(node.point_begin, node.point_end);
-    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
-      const Node& src = tree_.node(a);
-      kernel_.eval_batch(targets,
-                         point_block(src.point_begin, src.point_end),
-                         dens.data() + src.point_begin,
-                         phi.data() + node.point_begin);
-    }
-  }
+  for (std::size_t li = 0; li < leaves.size(); ++li)
+    leaf_u(leaves[li], dens.data(), phi.data());
   // eroof: hot-end
-
-  for (const int b : leaves) {
-    const double npts = tree_.node(b).num_points();
-    for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
-      stats_.u.kernel_evals +=
-          npts * static_cast<double>(tree_.node(a).num_points());
-      stats_.u.pair_count += 1;
-    }
-  }
 }
 
 void FmmEvaluator::w_pass(std::span<double> phi) {
-  const std::size_t ns = ops_.n_surf();
   const auto& leaves = tree_.leaves();
-
-  // W: M2P from W-node equivalent densities.
   // eroof: hot-begin (W: batched M2P)
 #pragma omp parallel for schedule(dynamic)
-  for (std::size_t li = 0; li < leaves.size(); ++li) {
-    const int b = leaves[li];
-    const Node& node = tree_.node(b);
-    const auto& wlist = lists_.w[static_cast<std::size_t>(b)];
-    if (wlist.empty()) continue;
-    Workspace& ws = workspace();
-    const PointBlock targets = point_block(node.point_begin, node.point_end);
-    for (const int a : wlist) {
-      const Node& src = tree_.node(a);
-      ops_.level(src.level())
-          .surf_inner.materialize(src.box.center, ws.sx.data(), ws.sy.data(),
-                                  ws.sz.data());
-      kernel_.eval_batch(targets,
-                         {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
-                         up_equiv(a).data(), phi.data() + node.point_begin);
+  for (std::size_t li = 0; li < leaves.size(); ++li)
+    leaf_w(leaves[li], phi.data());
+  // eroof: hot-end
+}
+
+// ---------------------------------------------------------------------------
+// DAG executor: the same per-node bodies as tasks of a dependency-counting
+// graph (util::TaskGraph), replayed allocation-free per evaluate.
+//
+// Determinism discipline (DESIGN.md section 11): every memory location's
+// writers are totally ordered by edges, in exactly the phase-path order --
+//   phi[leaf range]:   L2P, then U pairs (u-list order), then W pairs
+//                      (w-list order)          => chain l2p -> u -> w;
+//   down_check(b):     V commit, X adds, parent's L2L, then the DC2E read
+//                      => v -> x -> down(parent) -> down(b);
+//   up_equiv(b):       single writer (up task), readers ordered after it.
+// Hence results are bitwise identical to the phases path for any thread
+// count and any schedule.
+// ---------------------------------------------------------------------------
+
+const util::TaskGraph& FmmEvaluator::task_graph() {
+  if (!dag_built_) build_dag();
+  return dag_;
+}
+
+void FmmEvaluator::dag_fft(int b) {
+  const std::size_t pos =
+      dag_spec_pos_[static_cast<std::size_t>(b)] * ops_.grid_size();
+  node_fft_forward(b, dag_spec_re_.data() + pos, dag_spec_im_.data() + pos);
+}
+
+void FmmEvaluator::dag_vhad(int b) {
+  node_v_hadamard(b, dag_spec_re_.data(), dag_spec_im_.data(),
+                  dag_spec_pos_.data());
+}
+
+int FmmEvaluator::dag_add(int tag, int node,
+                          void (FmmEvaluator::*body)(int)) {
+  return dag_.add_task(tag, [this, tag, node, body] {
+    if (!dag_timing_) {
+      (this->*body)(node);
+      return;
+    }
+    const auto t0 = trace::Clock::now();
+    (this->*body)(node);
+    const auto t1 = trace::Clock::now();
+    dag_busy_us_[static_cast<std::size_t>(thread_index())]
+                [static_cast<std::size_t>(tag)] +=
+        std::chrono::duration<double, std::micro>(t1 - t0).count();
+  });
+}
+
+void FmmEvaluator::build_dag() {
+  const auto& nodes = tree_.nodes();
+  const auto& by_level = tree_.nodes_by_level();
+  const bool fft = ops_.config().use_fft_m2l;
+
+  if (fft) {
+    // Per-slot spectrum planes: the DAG overlaps levels, so the per-level
+    // banks of the phases path would be reused while still referenced.
+    dag_spec_re_.resize(n_slots_ * ops_.grid_size());
+    dag_spec_im_.resize(n_slots_ * ops_.grid_size());
+    dag_spec_pos_.assign(nodes.size(), 0);
+    for (std::size_t b = 0; b < nodes.size(); ++b)
+      if (slot_[b] >= 0)
+        dag_spec_pos_[b] = static_cast<std::size_t>(slot_[b]);
+  }
+
+  std::vector<int> up_t(nodes.size(), -1);
+  std::vector<int> fft_t(nodes.size(), -1);
+  std::vector<int> v_t(nodes.size(), -1);
+  std::vector<int> x_t(nodes.size(), -1);
+  std::vector<int> down_t(nodes.size(), -1);
+  std::vector<int> l2p_t(nodes.size(), -1);
+  std::vector<int> u_t(nodes.size(), -1);
+
+  // UP: one task per expansion-bearing node; a parent starts after all of
+  // its children (M2M reads their equivalent densities).
+  for (int l = tree_.max_depth(); l >= kMinLevel; --l)
+    for (const int b : by_level[static_cast<std::size_t>(l)])
+      up_t[static_cast<std::size_t>(b)] =
+          dag_add(kDagTagUp, b, &FmmEvaluator::dag_up);
+  for (std::size_t b = 0; b < nodes.size(); ++b) {
+    if (up_t[b] < 0 || nodes[b].leaf) continue;
+    for (int c : nodes[b].children)
+      if (c >= 0)
+        dag_.add_edge(up_t[static_cast<std::size_t>(c)], up_t[b]);
+  }
+
+  // V: with FFT M2L, a forward-FFT task per expansion-bearing node (the
+  // phases path also transforms every node of a level) and one Hadamard
+  // task per node with a non-empty v-list, after all its sources' spectra.
+  // The dense fallback needs the sources' equivalent densities directly.
+  if (fft) {
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (up_t[b] < 0) continue;
+      fft_t[b] = dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_fft);
+      dag_.add_edge(up_t[b], fft_t[b]);
+    }
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (up_t[b] < 0 || lists_.v[b].empty()) continue;
+      v_t[b] = dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_vhad);
+      for (const int s : lists_.v[b])
+        dag_.add_edge(fft_t[static_cast<std::size_t>(s)], v_t[b]);
+    }
+  } else {
+    for (std::size_t b = 0; b < nodes.size(); ++b) {
+      if (up_t[b] < 0 || lists_.v[b].empty()) continue;
+      v_t[b] =
+          dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_vdense);
+      for (const int s : lists_.v[b])
+        dag_.add_edge(up_t[static_cast<std::size_t>(s)], v_t[b]);
     }
   }
-  // eroof: hot-end
 
-  for (const int b : leaves) {
-    const double npts = tree_.node(b).num_points();
-    for ([[maybe_unused]] const int a :
-         lists_.w[static_cast<std::size_t>(b)]) {
-      stats_.w.kernel_evals += npts * static_cast<double>(ns);
-      stats_.w.pair_count += 1;
+  // X: P2L adds follow the V commit on the same check surface (phases-path
+  // write order). Sources are raw point ranges, so there is no other dep.
+  for (const int b : x_targets_) {
+    const auto bi = static_cast<std::size_t>(b);
+    x_t[bi] = dag_add(kDagTagX, b, &FmmEvaluator::dag_x);
+    if (v_t[bi] >= 0) dag_.add_edge(v_t[bi], x_t[bi]);
+  }
+
+  // Last far-field writer of a node's downward check surface (before L2L).
+  const auto vlast = [&](std::size_t b) {
+    return x_t[b] >= 0 ? x_t[b] : v_t[b];
+  };
+
+  // DOWN: one DC2E+L2L task per expansion-bearing node. A node's task runs
+  // after its parent's (which L2L-appends to its check surface); the parent
+  // in turn waits for every child's V/X commits so the append lands after
+  // them, as in the phases path. Top-level nodes (no expansion-bearing
+  // parent) wait directly on their own V/X.
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l)
+    for (const int b : by_level[static_cast<std::size_t>(l)])
+      down_t[static_cast<std::size_t>(b)] =
+          dag_add(kDagTagDown, b, &FmmEvaluator::dag_down);
+  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
+    for (const int b : by_level[static_cast<std::size_t>(l)]) {
+      const auto bi = static_cast<std::size_t>(b);
+      if (l == kMinLevel && vlast(bi) >= 0)
+        dag_.add_edge(vlast(bi), down_t[bi]);
+      if (nodes[bi].leaf) continue;
+      for (int c : nodes[bi].children) {
+        if (c < 0) continue;
+        const auto ci = static_cast<std::size_t>(c);
+        dag_.add_edge(down_t[bi], down_t[ci]);
+        if (vlast(ci) >= 0) dag_.add_edge(vlast(ci), down_t[bi]);
+      }
     }
+  }
+
+  // Leaf output tasks, chained per leaf so phi[leaf range] accumulates in
+  // the canonical order L2P -> U -> W regardless of schedule.
+  for (const int b : tree_.leaves()) {
+    const auto bi = static_cast<std::size_t>(b);
+    if (slot_[bi] >= 0) {
+      l2p_t[bi] = dag_add(kDagTagDown, b, &FmmEvaluator::dag_l2p);
+      dag_.add_edge(down_t[bi], l2p_t[bi]);
+    }
+    u_t[bi] = dag_add(kDagTagU, b, &FmmEvaluator::dag_u);
+    if (l2p_t[bi] >= 0) dag_.add_edge(l2p_t[bi], u_t[bi]);
+    if (!lists_.w[bi].empty()) {
+      const int wt = dag_add(kDagTagW, b, &FmmEvaluator::dag_w);
+      dag_.add_edge(u_t[bi], wt);
+      // M2P reads the w-nodes' upward equivalent densities.
+      for (const int a : lists_.w[bi])
+        dag_.add_edge(up_t[static_cast<std::size_t>(a)], wt);
+    }
+  }
+
+  dag_.seal();
+  dag_built_ = true;
+}
+
+void FmmEvaluator::evaluate_dag(std::span<const double> dens,
+                                std::span<double> phi) {
+  if (!dag_built_) build_dag();
+  dag_dens_ = dens.data();
+  dag_phi_ = phi.data();
+
+  trace::TraceSession* sess = trace::session();
+  dag_timing_ = sess != nullptr;
+  std::int64_t t0 = 0;
+  if (dag_timing_) {
+    dag_busy_us_.assign(static_cast<std::size_t>(max_threads()),
+                        std::array<double, kFmmDagTagCount>{});
+    t0 = sess->now_us();
+  }
+
+  dag_.run(dag_hooks_);
+
+  dag_dens_ = nullptr;
+  dag_phi_ = nullptr;
+  if (!dag_timing_) return;
+  dag_timing_ = false;
+
+  // Phases interleave under the DAG, so each phase span reports *busy* time
+  // (summed task durations across workers), all anchored at the run start.
+  // Emitted -- and the counter registry bumped -- in canonical phase order,
+  // matching the phases path event-for-event.
+  const FmmStats::Phase* tallies[kFmmDagTagCount] = {
+      &stats_.up, &stats_.v, &stats_.x, &stats_.down, &stats_.u, &stats_.w};
+  for (int tag = 0; tag < kFmmDagTagCount; ++tag) {
+    double busy = 0.0;
+    for (const auto& per : dag_busy_us_)
+      busy += per[static_cast<std::size_t>(tag)];
+    trace::SpanEvent ev;
+    ev.name = phase_name(tag);
+    ev.category = "fmm.phase";
+    ev.tid = 0;
+    ev.start_us = t0;
+    ev.dur_us = static_cast<std::int64_t>(busy);
+    ev.depth = 1;
+    phase_args(ev, *tallies[tag]);
+    sess->emit_span(std::move(ev));
+    add_phase_counters(phase_name(tag), *tallies[tag]);
   }
 }
 

@@ -18,16 +18,33 @@
 // (center + offset); and every phase loop runs allocation-free against
 // per-thread Workspace scratch, with kernel evaluation batched through
 // Kernel::eval_batch (one virtual call per tile, simd inner loops).
+//
+// Two executors share those per-node bodies (DESIGN.md section 11):
+//
+//   kPhases  six bulk-synchronous sweeps with a barrier between phases
+//            (the paper's execution model, and the reference semantics);
+//   kDag     a dependency-counting task DAG over the same per-node bodies
+//            (util::TaskGraph), with edges M2M-parent-after-children,
+//            M2L-after-sources'-upward and L2L/L2P-after-M2L+X, so
+//            independent subtrees overlap instead of idling at barriers.
+//
+// Both paths apply bitwise-identical floating-point operation sequences to
+// every output element -- the DAG's edges totally order all writers of each
+// arena cell in exactly the phase order -- so results, stats() and trace
+// counter totals are identical across executors and thread counts.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "fmm/kernel.hpp"
 #include "fmm/lists.hpp"
 #include "fmm/octree.hpp"
 #include "fmm/operators.hpp"
+#include "util/taskgraph.hpp"
 
 namespace eroof::fmm {
 
@@ -44,6 +61,24 @@ struct FmmStats {
   Phase up, u, v, w, x, down;
 };
 
+/// Which execution engine evaluate() drives the six phases with.
+enum class FmmExecutor {
+  kPhases,  ///< bulk-synchronous phase sweeps (reference semantics)
+  kDag,     ///< dependency-counting task DAG (util::TaskGraph)
+};
+
+/// Phase tags carried by the DAG's tasks (util::TaskGraph::tag), in the
+/// evaluator's canonical phase order.
+enum FmmDagTag : int {
+  kDagTagUp = 0,
+  kDagTagV = 1,
+  kDagTagX = 2,
+  kDagTagDown = 3,
+  kDagTagU = 4,
+  kDagTagW = 5,
+};
+inline constexpr int kFmmDagTagCount = 6;
+
 /// The evaluator. Construction builds the tree, the interaction lists and
 /// the per-level operators; `evaluate` can then be called repeatedly with
 /// different source densities (e.g. inside a time-stepping loop) -- repeat
@@ -59,15 +94,37 @@ class FmmEvaluator {
   /// When a trace::TraceSession is installed, each phase emits exactly one
   /// span (category "fmm.phase", names UP/U/V/W/X/DOWN) carrying its
   /// FmmStats tallies as args, plus registry totals "fmm.<phase>.<tally>",
-  /// all nested under one "evaluate" span (category "fmm").
+  /// all nested under one "evaluate" span (category "fmm"). Under the DAG
+  /// executor the phase spans report per-phase *busy* time (the summed task
+  /// durations of that phase) since phases interleave.
   std::vector<double> evaluate(std::span<const double> densities);
+
+  /// Selects the execution engine for subsequent evaluate() calls. The DAG
+  /// executor's prebuilt graph arena is constructed on first use (once) and
+  /// replayed allocation-free afterwards.
+  void set_executor(FmmExecutor e) { executor_ = e; }
+  FmmExecutor executor() const { return executor_; }
+
+  /// The DAG executor's task graph (built on first access). Exposed for
+  /// structural tests: tags, dependency counts, topology.
+  const util::TaskGraph& task_graph();
+
+  /// Test instrumentation: hooks forwarded to every DAG replay (e.g. seeded
+  /// delay injection that perturbs the schedule). Empty hooks cost nothing.
+  void set_dag_hooks(util::TaskGraph::RunHooks hooks) {
+    dag_hooks_ = std::move(hooks);
+  }
 
   const Octree& tree() const { return tree_; }
   const InteractionLists& lists() const { return lists_; }
   const Operators& operators() const { return ops_; }
   const Kernel& kernel() const { return kernel_; }
 
-  /// Tallies of the most recent evaluate() call.
+  /// Tallies of the most recent evaluate() call. The tallies are purely
+  /// structural (tree + lists + operators), so they are computed once at
+  /// construction by one serial pass in canonical phase order -- the
+  /// explicit commit order that keeps stats() bitwise identical across
+  /// executors and thread counts -- and committed wholesale per evaluate().
   const FmmStats& stats() const { return stats_; }
 
   /// One-shot evaluation with *distinct* target and source sets (the
@@ -95,6 +152,20 @@ class FmmEvaluator {
     std::vector<double> acc_re, acc_im;
   };
 
+  // -- per-node phase bodies, shared verbatim by both executors ----------
+  void node_up(int b, const double* dens);
+  void node_fft_forward(int b, double* qr, double* qi);
+  void node_v_hadamard(int b, const double* spec_re, const double* spec_im,
+                       const std::size_t* spec_pos);
+  void node_v_dense(int b);
+  void node_x(int b, const double* dens);
+  void node_down(int b);
+  void leaf_l2p(int b, double* phi);
+  void leaf_u(int b, const double* dens, double* phi);
+  void leaf_w(int b, double* phi);
+
+  // -- bulk-synchronous executor ----------------------------------------
+  void evaluate_phases(std::span<const double> dens, std::span<double> phi);
   void upward_pass(std::span<const double> dens);
   void v_phase();
   void x_phase(std::span<const double> dens);
@@ -102,6 +173,25 @@ class FmmEvaluator {
   void l2p_pass(std::span<double> phi);
   void u_pass(std::span<const double> dens, std::span<double> phi);
   void w_pass(std::span<double> phi);
+
+  // -- DAG executor -------------------------------------------------------
+  void evaluate_dag(std::span<const double> dens, std::span<double> phi);
+  void build_dag();
+  int dag_add(int tag, int node, void (FmmEvaluator::*body)(int));
+  // Task bodies bound to the densities/potentials of the current evaluate()
+  // via dag_dens_/dag_phi_ (spans are caller-owned for one call only).
+  void dag_up(int b) { node_up(b, dag_dens_); }
+  void dag_fft(int b);
+  void dag_vhad(int b);
+  void dag_vdense(int b) { node_v_dense(b); }
+  void dag_x(int b) { node_x(b, dag_dens_); }
+  void dag_down(int b) { node_down(b); }
+  void dag_l2p(int b) { leaf_l2p(b, dag_phi_); }
+  void dag_u(int b) { leaf_u(b, dag_dens_, dag_phi_); }
+  void dag_w(int b) { leaf_w(b, dag_phi_); }
+
+  /// The canonical serial tally pass (see stats()).
+  FmmStats compute_structural_stats() const;
 
   void ensure_workspaces();
   Workspace& workspace();
@@ -137,6 +227,7 @@ class FmmEvaluator {
   InteractionLists lists_;
   Operators ops_;
   FmmStats stats_;
+  FmmStats structural_stats_;
 
   // SoA mirror of the tree-order points (built once; the tree is fixed).
   std::vector<double> px_, py_, pz_;
@@ -152,12 +243,29 @@ class FmmEvaluator {
   // only these).
   std::vector<int> x_targets_;
 
-  // V-phase scratch: per-level node positions and split-complex spectra of
-  // the widest level, reused across levels and calls.
+  // V-phase scratch of the bulk-synchronous path: per-level node positions
+  // and split-complex spectra of the widest level, reused across levels and
+  // calls.
   std::vector<std::size_t> pos_in_level_;
   std::vector<double> spec_re_, spec_im_;
 
   std::vector<Workspace> workspaces_;
+
+  // -- DAG executor state --------------------------------------------------
+  FmmExecutor executor_ = FmmExecutor::kPhases;
+  util::TaskGraph dag_;
+  util::TaskGraph::RunHooks dag_hooks_;
+  bool dag_built_ = false;
+  const double* dag_dens_ = nullptr;  // valid only inside evaluate_dag()
+  double* dag_phi_ = nullptr;         // valid only inside evaluate_dag()
+  // Per-*slot* spectrum planes: unlike the per-level banks above, every
+  // node keeps its own plane because the DAG overlaps levels.
+  std::vector<double> dag_spec_re_, dag_spec_im_;
+  std::vector<std::size_t> dag_spec_pos_;  // node -> plane index (its slot)
+  // Per-thread, per-phase busy time (us) of the last DAG run; populated
+  // only while a trace session is installed.
+  bool dag_timing_ = false;
+  std::vector<std::array<double, kFmmDagTagCount>> dag_busy_us_;
 };
 
 }  // namespace eroof::fmm

@@ -1,0 +1,214 @@
+#include "util/taskgraph.hpp"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "util/require.hpp"
+
+namespace eroof::util {
+namespace {
+
+/// Polite spin: a pipeline pause on x86, a scheduler yield elsewhere and
+/// every so often (so an oversubscribed worker cannot starve the one
+/// holding its ticket's predecessor).
+inline void cpu_relax(int spins) {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#endif
+  if ((spins & 0x3ff) == 0x3ff) std::this_thread::yield();
+}
+
+int default_threads() {
+#ifdef _OPENMP
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+}  // namespace
+
+int TaskGraph::add_task(int tag, std::function<void()> body) {
+  EROOF_REQUIRE_MSG(!sealed_, "add_task after seal()");
+  EROOF_REQUIRE(body != nullptr);
+  bodies_.push_back(std::move(body));
+  tags_.push_back(tag);
+  return static_cast<int>(bodies_.size()) - 1;
+}
+
+void TaskGraph::add_edge(int before, int after) {
+  EROOF_REQUIRE_MSG(!sealed_, "add_edge after seal()");
+  check(before);
+  check(after);
+  EROOF_REQUIRE_MSG(before != after, "self-edge");
+  edges_.emplace_back(before, after);
+}
+
+std::size_t TaskGraph::check(int task) const {
+  EROOF_REQUIRE(task >= 0 && static_cast<std::size_t>(task) < tags_.size());
+  return static_cast<std::size_t>(task);
+}
+
+void TaskGraph::seal() {
+  EROOF_REQUIRE_MSG(!sealed_, "seal() twice");
+  const std::size_t n = bodies_.size();
+
+  // Duplicate edges would count (and decrement) symmetrically, so they are
+  // harmless to execution -- but predecessor lists are part of the public
+  // introspection API, and a duplicated entry misrepresents the graph, so
+  // they are rejected at the contract level.
+  {
+    auto sorted = edges_;
+    std::sort(sorted.begin(), sorted.end());
+    EROOF_REQUIRE_MSG(
+        std::adjacent_find(sorted.begin(), sorted.end()) == sorted.end(),
+        "duplicate edge");
+  }
+
+  succ_begin_.assign(n + 1, 0);
+  pred_begin_.assign(n + 1, 0);
+  for (const auto& [u, v] : edges_) {
+    ++succ_begin_[static_cast<std::size_t>(u) + 1];
+    ++pred_begin_[static_cast<std::size_t>(v) + 1];
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    succ_begin_[i + 1] += succ_begin_[i];
+    pred_begin_[i + 1] += pred_begin_[i];
+  }
+  succ_.resize(edges_.size());
+  pred_.resize(edges_.size());
+  {
+    auto scur = succ_begin_;
+    auto pcur = pred_begin_;
+    for (const auto& [u, v] : edges_) {
+      succ_[static_cast<std::size_t>(scur[static_cast<std::size_t>(u)]++)] = v;
+      pred_[static_cast<std::size_t>(pcur[static_cast<std::size_t>(v)]++)] = u;
+    }
+  }
+
+  initial_deps_.assign(n, 0);
+  for (std::size_t t = 0; t < n; ++t)
+    initial_deps_[t] = pred_begin_[t + 1] - pred_begin_[t];
+  for (std::size_t t = 0; t < n; ++t)
+    if (initial_deps_[t] == 0) roots_.push_back(static_cast<int>(t));
+
+  // A graph with tasks but no roots is cyclic; deeper cycles are caught at
+  // run time (run() would hang otherwise, so verify reachability once here
+  // with a Kahn pass over the initial counts).
+  {
+    std::vector<int> counts = initial_deps_;
+    std::vector<int> queue = roots_;
+    std::size_t done = 0;
+    while (done < queue.size()) {
+      const int u = queue[done++];
+      for (int e = succ_begin_[static_cast<std::size_t>(u)];
+           e < succ_begin_[static_cast<std::size_t>(u) + 1]; ++e) {
+        const int v = succ_[static_cast<std::size_t>(e)];
+        if (--counts[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
+      }
+    }
+    EROOF_REQUIRE_MSG(done == n, "task graph has a cycle");
+  }
+
+  deps_ = std::make_unique<std::atomic<int>[]>(n);
+  ready_ = std::make_unique<std::atomic<int>[]>(n);
+  stamps_ = std::make_unique<Stamps[]>(n);
+  edges_.clear();
+  edges_.shrink_to_fit();
+  sealed_ = true;
+}
+
+std::span<const int> TaskGraph::successors(int task) const {
+  EROOF_REQUIRE_MSG(sealed_, "successors() before seal()");
+  const std::size_t t = check(task);
+  return {succ_.data() + succ_begin_[t],
+          static_cast<std::size_t>(succ_begin_[t + 1] - succ_begin_[t])};
+}
+
+std::span<const int> TaskGraph::predecessors(int task) const {
+  EROOF_REQUIRE_MSG(sealed_, "predecessors() before seal()");
+  const std::size_t t = check(task);
+  return {pred_.data() + pred_begin_[t],
+          static_cast<std::size_t>(pred_begin_[t + 1] - pred_begin_[t])};
+}
+
+void TaskGraph::run(const RunHooks& hooks, int num_threads) {
+  EROOF_REQUIRE_MSG(sealed_, "run() before seal()");
+  const int n = static_cast<int>(tags_.size());
+  if (n == 0) {
+    ++runs_;
+    return;
+  }
+
+  // Replay reset: restore the counter image and empty the ring. Plain
+  // stores are enough -- the worker fork below publishes them.
+  for (int t = 0; t < n; ++t) {
+    deps_[t].store(initial_deps_[static_cast<std::size_t>(t)],
+                   std::memory_order_relaxed);
+    ready_[t].store(-1, std::memory_order_relaxed);
+    stamps_[t].start.store(0, std::memory_order_relaxed);
+    stamps_[t].finish.store(0, std::memory_order_relaxed);
+  }
+  epoch_.store(0, std::memory_order_relaxed);
+  pop_pos_.store(0, std::memory_order_relaxed);
+  int pushed = 0;
+  for (const int r : roots_)
+    ready_[pushed++].store(r, std::memory_order_relaxed);
+  push_pos_.store(pushed, std::memory_order_relaxed);
+
+  int nt = num_threads > 0 ? num_threads : default_threads();
+  nt = std::min(nt, n);
+#ifdef _OPENMP
+  if (nt > 1) {
+#pragma omp parallel num_threads(nt)
+    worker_loop(hooks, omp_get_thread_num());
+  } else {
+    worker_loop(hooks, 0);
+  }
+#else
+  worker_loop(hooks, 0);
+#endif
+  ++runs_;
+}
+
+void TaskGraph::worker_loop(const RunHooks& hooks, int worker) {
+  const int n = static_cast<int>(tags_.size());
+  // eroof: hot-begin (task-graph replay: claim ticket, run task, release
+  // successors -- the steady-state scheduling loop of every DAG evaluate)
+  for (;;) {
+    const int ticket = pop_pos_.fetch_add(1, std::memory_order_relaxed);
+    if (ticket >= n) break;
+    int t = ready_[ticket].load(std::memory_order_acquire);
+    for (int spins = 0; t < 0; ++spins) {
+      cpu_relax(spins);
+      t = ready_[ticket].load(std::memory_order_acquire);
+    }
+    if (hooks.before_task) hooks.before_task(t, worker);
+    stamps_[t].start.store(epoch_.fetch_add(1, std::memory_order_relaxed) + 1,
+                           std::memory_order_release);
+    bodies_[static_cast<std::size_t>(t)]();
+    stamps_[t].finish.store(
+        epoch_.fetch_add(1, std::memory_order_relaxed) + 1,
+        std::memory_order_release);
+    const int sb = succ_begin_[static_cast<std::size_t>(t)];
+    const int se = succ_begin_[static_cast<std::size_t>(t) + 1];
+    for (int e = sb; e < se; ++e) {
+      const int s = succ_[static_cast<std::size_t>(e)];
+      // The last predecessor to finish publishes the successor; acq_rel
+      // on the shared counter makes every predecessor's writes visible to
+      // whichever worker later claims the ring slot.
+      if (deps_[s].fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        const int slot = push_pos_.fetch_add(1, std::memory_order_relaxed);
+        ready_[slot].store(s, std::memory_order_release);
+      }
+    }
+  }
+  // eroof: hot-end
+}
+
+}  // namespace eroof::util

@@ -1,0 +1,136 @@
+// Dependency-counting task-graph executor (the FMM's barrier-free engine).
+//
+// A TaskGraph is built once -- tasks, edges, seal() -- and then *replayed*
+// any number of times: run() resets the prebuilt dependency counters and
+// ready ring from their sealed images and executes every task exactly once,
+// each task starting only after all of its predecessors have finished. All
+// arrays are arena-allocated at seal() time; a replay performs no heap
+// allocation, which is what lets FmmEvaluator::evaluate keep its
+// zero-steady-state-allocation contract in DAG mode.
+//
+// Scheduling model: a single shared ready ring with ticket counters. Every
+// task is pushed into the ring exactly once (when its dependency count hits
+// zero), and each worker claims strictly increasing ring tickets. A worker
+// whose ticket has not been published yet spins; progress is guaranteed
+// because a DAG always has a pushed-but-unfinished task while unpushed tasks
+// remain. This is deliberately simpler than per-worker stealing deques: the
+// FMM's tasks are microseconds-coarse, so one contended cache line per pop
+// is noise, and the single ring keeps the executor small enough to reason
+// about determinism and to sanitize under TSan.
+//
+// Determinism contract: the executor guarantees *ordering*, not schedule --
+// a task observes all writes of its transitive predecessors (release/acquire
+// through the dependency counters and ring slots). Clients that want bitwise
+// reproducibility across thread counts must therefore arrange that every
+// memory location's writers are totally ordered by graph edges; the FMM DAG
+// builder does exactly that (DESIGN.md section 11).
+//
+// Observability: every run stamps each task's start and finish with a value
+// drawn from one global monotone epoch counter. Tests use the stamps to
+// prove dependency safety (finish(pred) < start(task) for every edge) and
+// stress schedules via RunHooks::before_task delay injection.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <span>
+#include <vector>
+
+namespace eroof::util {
+
+class TaskGraph {
+ public:
+  /// Test instrumentation. `before_task(task, worker)` runs on the claiming
+  /// worker immediately before the task body; injecting seeded delays there
+  /// perturbs the schedule without touching the ordering guarantees.
+  struct RunHooks {
+    std::function<void(int task, int worker)> before_task;
+  };
+
+  TaskGraph() = default;
+  TaskGraph(const TaskGraph&) = delete;
+  TaskGraph& operator=(const TaskGraph&) = delete;
+
+  /// Adds a task and returns its id (dense, starting at 0). `tag` is an
+  /// arbitrary client label (the FMM tags tasks by paper phase so traces
+  /// can aggregate busy time per phase).
+  int add_task(int tag, std::function<void()> body);
+
+  /// Declares that `after` must not start until `before` has finished.
+  /// Both ids must exist; self-edges and duplicate edges are rejected by
+  /// contract (duplicates would double-count the dependency).
+  void add_edge(int before, int after);
+
+  /// Freezes the graph: builds the CSR successor/predecessor arrays, the
+  /// initial dependency-count image, the deterministic root order, and the
+  /// ready/stamp arenas. No tasks or edges can be added afterwards.
+  void seal();
+  bool sealed() const { return sealed_; }
+
+  /// Executes every task once, honoring all edges. `num_threads` <= 0 uses
+  /// the OpenMP default. Allocation-free; requires seal().
+  void run(int num_threads = 0) { run(RunHooks{}, num_threads); }
+  void run(const RunHooks& hooks, int num_threads = 0);
+
+  std::size_t task_count() const { return tags_.size(); }
+  std::size_t edge_count() const { return succ_.size(); }
+  int tag(int task) const { return tags_[check(task)]; }
+
+  /// Number of predecessors, i.e. the dependency count a replay starts from.
+  int initial_dep_count(int task) const {
+    return initial_deps_[check(task)];
+  }
+  std::span<const int> successors(int task) const;
+  std::span<const int> predecessors(int task) const;
+
+  /// Tasks with no predecessors, in ascending id order (the push order of
+  /// every replay's initial ready set).
+  std::span<const int> roots() const { return {roots_.data(), roots_.size()}; }
+
+  /// Completed replays since construction.
+  std::uint64_t runs_completed() const { return runs_; }
+
+  /// Epoch stamps of the most recent run, from one global monotone counter:
+  /// 0 = task never ran; otherwise start < finish, and for every edge
+  /// (u, v) the executor guarantees finish(u) < start(v).
+  std::int64_t start_stamp(int task) const {
+    return stamps_[check(task)].start.load(std::memory_order_acquire);
+  }
+  std::int64_t finish_stamp(int task) const {
+    return stamps_[check(task)].finish.load(std::memory_order_acquire);
+  }
+
+ private:
+  struct Stamps {
+    std::atomic<std::int64_t> start{0};
+    std::atomic<std::int64_t> finish{0};
+  };
+
+  std::size_t check(int task) const;
+  void worker_loop(const RunHooks& hooks, int worker);
+
+  // Build-time state (edge list order is irrelevant; seal() sorts by CSR).
+  std::vector<std::function<void()>> bodies_;
+  std::vector<int> tags_;
+  std::vector<std::pair<int, int>> edges_;
+
+  // Sealed arenas.
+  bool sealed_ = false;
+  std::vector<int> succ_, succ_begin_;  // CSR successors
+  std::vector<int> pred_, pred_begin_;  // CSR predecessors
+  std::vector<int> initial_deps_;
+  std::vector<int> roots_;
+  std::unique_ptr<std::atomic<int>[]> deps_;   // live counters of one run
+  std::unique_ptr<std::atomic<int>[]> ready_;  // the ready ring (task ids)
+  std::unique_ptr<Stamps[]> stamps_;
+
+  // Run-time tickets.
+  std::atomic<int> push_pos_{0};
+  std::atomic<int> pop_pos_{0};
+  std::atomic<std::int64_t> epoch_{0};
+  std::uint64_t runs_ = 0;
+};
+
+}  // namespace eroof::util

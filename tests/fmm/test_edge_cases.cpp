@@ -1,6 +1,8 @@
 // Degenerate and adversarial inputs the library must survive.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
 #include "fmm/direct.hpp"
 #include "fmm/evaluator.hpp"
 #include "fmm/pointgen.hpp"
@@ -110,6 +112,110 @@ TEST(EdgeCases, EmptyPointSetRejected) {
   const LaplaceKernel kernel;
   EXPECT_THROW(FmmEvaluator(kernel, none, {}, FmmConfig{.p = 4}),
                util::ContractError);
+}
+
+// -- degenerate trees feeding the DAG builder -------------------------------
+//
+// The task-graph builder consumes the octree and its interaction lists
+// as-is, so the structural invariants it leans on (leaves are never empty;
+// every v/w source carries an expansion slot) and the pathological shapes
+// (depth-0 single leaf, a single-occupied-octant chain) get explicit
+// coverage, each evaluated under both executors.
+
+::testing::AssertionResult bits_equal(const std::vector<double>& a,
+                                      const std::vector<double>& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  for (std::size_t i = 0; i < a.size(); ++i)
+    if (std::memcmp(&a[i], &b[i], sizeof(double)) != 0)
+      return ::testing::AssertionFailure()
+             << "bit mismatch at [" << i << "]: " << a[i] << " vs " << b[i];
+  return ::testing::AssertionSuccess();
+}
+
+TEST(EdgeCases, LeavesAreNeverEmpty) {
+  // The octree only materializes non-empty children (including during
+  // balance ripple-splitting), so every leaf holds at least one point --
+  // the invariant that lets the DAG builder emit a U task per leaf without
+  // empties. Checked across adversarial distributions.
+  util::Rng rng(75);
+  std::vector<std::vector<Vec3>> sets;
+  sets.push_back(uniform_cube(777, rng));
+  {
+    std::vector<Vec3> corner;
+    for (int i = 0; i < 400; ++i)
+      corner.push_back({1e-4 * rng.uniform(), 1e-4 * rng.uniform(),
+                        1e-4 * rng.uniform()});
+    sets.push_back(std::move(corner));
+  }
+  {
+    std::vector<Vec3> mixed;
+    for (int i = 0; i < 64; ++i)
+      mixed.push_back({0.5 + 1e-7 * rng.normal(), 0.5 + 1e-7 * rng.normal(),
+                       0.5 + 1e-7 * rng.normal()});
+    for (int i = 0; i < 64; ++i)
+      mixed.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+    sets.push_back(std::move(mixed));
+  }
+  for (const auto& pts : sets) {
+    const Octree tree(pts, {.max_points_per_box = 8, .max_level = 6});
+    for (const int b : tree.leaves())
+      EXPECT_GE(tree.node(b).num_points(), 1u);
+    // And every interaction-list source of every node has points behind it.
+    const auto lists = build_lists(tree);
+    for (std::size_t b = 0; b < tree.nodes().size(); ++b)
+      for (const int a : lists.u[b])
+        EXPECT_GE(tree.node(a).num_points(), 1u);
+  }
+}
+
+TEST(EdgeCases, SingleLeafDepthZeroTreeUnderBothExecutors) {
+  // Few points, large Q: the tree is one root leaf at level 0. No node
+  // carries an expansion, so the DAG degenerates to U tasks only -- and
+  // must still agree with the phases path bit for bit.
+  util::Rng rng(76);
+  const auto pts = uniform_cube(24, rng);
+  const auto dens = random_densities(24, rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 64}, FmmConfig{.p = 4});
+  ASSERT_EQ(ev.tree().max_depth(), 0);
+  ASSERT_EQ(ev.tree().leaves().size(), 1u);
+
+  const auto phases = ev.evaluate(dens);
+  ev.set_executor(FmmExecutor::kDag);
+  EXPECT_TRUE(bits_equal(ev.evaluate(dens), phases));
+  for (std::size_t t = 0; t < ev.task_graph().task_count(); ++t)
+    EXPECT_EQ(ev.task_graph().tag(static_cast<int>(t)), kDagTagU);
+
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(phases, ref), 1e-9);
+}
+
+TEST(EdgeCases, AllPointsInOneOctantChainUnderBothExecutors) {
+  // Nearly every point inside one octant of one octant ...: a lone anchor
+  // point at the far corner pins the (point-fitted) root box, so the upper
+  // tree is a chain of levels holding almost nothing but the cluster's
+  // octant and most interaction lists are empty. The DAG must stay acyclic
+  // and complete, and match the phases path bitwise.
+  util::Rng rng(78);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 600; ++i)
+    pts.push_back({0.04 * rng.uniform(), 0.04 * rng.uniform(),
+                   0.04 * rng.uniform()});
+  pts.push_back({0.95, 0.95, 0.95});
+  const auto dens = random_densities(pts.size(), rng);
+  const LaplaceKernel kernel;
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16, .max_level = 8},
+                  FmmConfig{.p = 4});
+  EXPECT_GE(ev.tree().max_depth(), 4);
+
+  const auto phases = ev.evaluate(dens);
+  ev.set_executor(FmmExecutor::kDag);
+  const auto dag = ev.evaluate(dens);
+  EXPECT_TRUE(bits_equal(dag, phases));
+
+  const auto ref = direct_sum(kernel, pts, pts, dens);
+  EXPECT_LT(rel_l2_error(dag, ref), 5e-3);
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Differential coverage of the DAG executor against the bulk-synchronous
+// phases path: bitwise-identical potentials across kernels, problem sizes,
+// leaf capacities and thread counts; structural validity of the built task
+// graph on a hand-built uniform depth-3 tree; and stats()/trace parity
+// between the executors.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "trace/trace.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+template <typename Fn>
+void with_threads(int num_threads, Fn&& fn) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(num_threads);
+  fn();
+  omp_set_num_threads(saved);
+#else
+  (void)num_threads;
+  fn();
+#endif
+}
+
+::testing::AssertionResult bitwise_equal(const std::vector<double>& got,
+                                         const std::vector<double>& want) {
+  if (got.size() != want.size())
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << " vs " << want.size();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(double)) != 0)
+      return ::testing::AssertionFailure()
+             << "bit mismatch at [" << i << "]: " << got[i] << " vs "
+             << want[i] << " (delta " << got[i] - want[i] << ")";
+  }
+  return ::testing::AssertionSuccess();
+}
+
+struct KernelCase {
+  std::string name;
+  const Kernel& kernel() const {
+    static const LaplaceKernel laplace;
+    static const YukawaKernel yukawa{2.5};
+    static const GaussianKernel gaussian{0.35};
+    if (name == "laplace") return laplace;
+    if (name == "yukawa") return yukawa;
+    return gaussian;
+  }
+};
+
+class Differential : public ::testing::TestWithParam<KernelCase> {};
+
+TEST_P(Differential, DagMatchesPhasesBitwiseAcrossSizesAndThreads) {
+  const Kernel& kernel = GetParam().kernel();
+  for (const std::size_t n : {std::size_t{1}, std::size_t{2}, std::size_t{513},
+                              std::size_t{16384}}) {
+    for (const std::uint32_t q : {16u, 64u}) {
+      util::Rng rng(900 + n + q);
+      const auto pts = uniform_cube(n, rng);
+      const auto dens = random_densities(n, rng);
+      // Keep the largest case cheap: accuracy is not under test, only
+      // bitwise agreement between executors.
+      const int p = n >= 16384 ? 3 : 4;
+      FmmEvaluator ev(kernel, pts, {.max_points_per_box = q},
+                      FmmConfig{.p = p});
+
+      // Reference: the bulk-synchronous path, single-threaded.
+      std::vector<double> ref;
+      with_threads(1, [&] { ref = ev.evaluate(dens); });
+
+      for (const int threads : {1, 2, 4}) {
+        with_threads(threads, [&] {
+          ev.set_executor(FmmExecutor::kPhases);
+          EXPECT_TRUE(bitwise_equal(ev.evaluate(dens), ref))
+              << "phases n=" << n << " q=" << q << " threads=" << threads;
+          ev.set_executor(FmmExecutor::kDag);
+          EXPECT_TRUE(bitwise_equal(ev.evaluate(dens), ref))
+              << "dag n=" << n << " q=" << q << " threads=" << threads;
+        });
+      }
+      ev.set_executor(FmmExecutor::kPhases);
+    }
+  }
+}
+
+TEST_P(Differential, DenseM2lFallbackAgreesToo) {
+  // The non-FFT V path builds a different DAG shape (Hadamard tasks replaced
+  // by dense per-pair applications depending directly on the sources' UP).
+  const Kernel& kernel = GetParam().kernel();
+  util::Rng rng(941);
+  const auto pts = uniform_cube(1024, rng);
+  const auto dens = random_densities(1024, rng);
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16},
+                  FmmConfig{.p = 3, .use_fft_m2l = false});
+  std::vector<double> ref;
+  with_threads(1, [&] { ref = ev.evaluate(dens); });
+  ev.set_executor(FmmExecutor::kDag);
+  for (const int threads : {1, 4}) {
+    with_threads(threads, [&] {
+      EXPECT_TRUE(bitwise_equal(ev.evaluate(dens), ref))
+          << "threads=" << threads;
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Kernels, Differential,
+                         ::testing::Values(KernelCase{"laplace"},
+                                           KernelCase{"yukawa"},
+                                           KernelCase{"gaussian"}),
+                         [](const auto& test_info) {
+                           return test_info.param.name;
+                         });
+
+/// One point at the center of every level-3 cell: the tree refines to a
+/// uniform depth-3 octree (8^3 = 512 single-point leaves), the hand-built
+/// fixture for structural assertions.
+std::vector<Vec3> uniform_depth3_points() {
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 8; ++i)
+    for (int j = 0; j < 8; ++j)
+      for (int k = 0; k < 8; ++k)
+        pts.push_back({(i + 0.5) / 8.0, (j + 0.5) / 8.0, (k + 0.5) / 8.0});
+  return pts;
+}
+
+TEST(DagStructure, UniformDepth3TreeBuildsTheExpectedGraph) {
+  const LaplaceKernel kernel;
+  const auto pts = uniform_depth3_points();
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 1}, FmmConfig{.p = 3});
+  ASSERT_EQ(ev.tree().max_depth(), 3);
+  ASSERT_EQ(ev.tree().leaves().size(), 512u);
+
+  const util::TaskGraph& g = ev.task_graph();
+  ASSERT_TRUE(g.sealed());
+
+  // Expected task population, derived from the tree and its lists.
+  std::size_t slot_nodes = 0, v_nonempty = 0, x_nonempty = 0, w_nonempty = 0;
+  const auto& nodes = ev.tree().nodes();
+  for (std::size_t b = 0; b < nodes.size(); ++b) {
+    if (nodes[b].level() < 2) continue;
+    ++slot_nodes;
+    if (!ev.lists().v[b].empty()) ++v_nonempty;
+    if (!ev.lists().x[b].empty()) ++x_nonempty;
+  }
+  for (const int b : ev.tree().leaves())
+    if (!ev.lists().w[static_cast<std::size_t>(b)].empty()) ++w_nonempty;
+  EXPECT_EQ(slot_nodes, 64u + 512u);
+  // Uniform leaves: no level mismatch between adjacent leaves, so no W/X.
+  EXPECT_EQ(w_nonempty, 0u);
+  EXPECT_EQ(x_nonempty, 0u);
+
+  std::map<int, std::size_t> by_tag;
+  for (std::size_t t = 0; t < g.task_count(); ++t)
+    ++by_tag[g.tag(static_cast<int>(t))];
+  EXPECT_EQ(by_tag[kDagTagUp], slot_nodes);
+  // FFT M2L: one forward-FFT task per expansion-bearing node plus one
+  // Hadamard task per node with a non-empty v-list.
+  EXPECT_EQ(by_tag[kDagTagV], slot_nodes + v_nonempty);
+  EXPECT_EQ(by_tag[kDagTagX], x_nonempty);
+  // DOWN: a DC2E/L2L task per expansion-bearing node plus an L2P task per
+  // expansion-bearing leaf (all 512 here).
+  EXPECT_EQ(by_tag[kDagTagDown], slot_nodes + 512u);
+  EXPECT_EQ(by_tag[kDagTagU], 512u);
+  EXPECT_EQ(by_tag[kDagTagW], w_nonempty);
+
+  // Topological validity: dependency counts match predecessor lists, roots
+  // have none, and every edge connects existing tasks (successors() and
+  // predecessors() agree).
+  std::size_t pred_edges = 0, succ_edges = 0;
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const int id = static_cast<int>(t);
+    EXPECT_EQ(g.initial_dep_count(id),
+              static_cast<int>(g.predecessors(id).size()));
+    pred_edges += g.predecessors(id).size();
+    succ_edges += g.successors(id).size();
+  }
+  EXPECT_EQ(pred_edges, g.edge_count());
+  EXPECT_EQ(succ_edges, g.edge_count());
+  for (const int r : g.roots()) EXPECT_EQ(g.initial_dep_count(r), 0);
+
+  // No orphan tasks: one DAG evaluation runs every task (non-zero stamps),
+  // and every edge's ordering guarantee holds.
+  util::Rng rng(77);
+  const auto dens = random_densities(pts.size(), rng);
+  ev.set_executor(FmmExecutor::kDag);
+  (void)ev.evaluate(dens);
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const int id = static_cast<int>(t);
+    EXPECT_GT(g.start_stamp(id), 0) << "orphan task " << id;
+    EXPECT_LT(g.start_stamp(id), g.finish_stamp(id));
+    for (const int u : g.predecessors(id))
+      EXPECT_LT(g.finish_stamp(u), g.start_stamp(id));
+  }
+}
+
+void expect_phase_equal(const FmmStats::Phase& a, const FmmStats::Phase& b) {
+  // Exact: tallies are committed wholesale from one canonical serial pass.
+  EXPECT_EQ(a.kernel_evals, b.kernel_evals);
+  EXPECT_EQ(a.pair_count, b.pair_count);
+  EXPECT_EQ(a.ffts, b.ffts);
+  EXPECT_EQ(a.hadamard_cmuls, b.hadamard_cmuls);
+  EXPECT_EQ(a.solve_matvecs, b.solve_matvecs);
+}
+
+TEST(DagStats, TalliesAreIdenticalUnderBothExecutors) {
+  // Regression for the tally commit order: stats() must not depend on the
+  // executor or the schedule.
+  const LaplaceKernel kernel;
+  util::Rng rng(91);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 24}, FmmConfig{.p = 4});
+
+  (void)ev.evaluate(dens);
+  const FmmStats phases = ev.stats();
+  EXPECT_GT(phases.up.kernel_evals, 0.0);
+  EXPECT_GT(phases.u.kernel_evals, 0.0);
+
+  ev.set_executor(FmmExecutor::kDag);
+  for (const int threads : {1, 4}) {
+    with_threads(threads, [&] { (void)ev.evaluate(dens); });
+    const FmmStats dag = ev.stats();
+    expect_phase_equal(dag.up, phases.up);
+    expect_phase_equal(dag.u, phases.u);
+    expect_phase_equal(dag.v, phases.v);
+    expect_phase_equal(dag.w, phases.w);
+    expect_phase_equal(dag.x, phases.x);
+    expect_phase_equal(dag.down, phases.down);
+  }
+}
+
+TEST(DagTrace, PhaseSpansAndCounterTotalsMatchThePhasesPath) {
+  const LaplaceKernel kernel;
+  util::Rng rng(92);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 24}, FmmConfig{.p = 4});
+
+  std::map<std::string, double> phases_totals;
+  {
+    trace::TraceSession session;
+    trace::SessionGuard guard(session);
+    (void)ev.evaluate(dens);
+    phases_totals = session.counter_totals();
+  }
+
+  trace::TraceSession session;
+  {
+    trace::SessionGuard guard(session);
+    ev.set_executor(FmmExecutor::kDag);
+    (void)ev.evaluate(dens);
+  }
+  EXPECT_EQ(session.counter_totals(), phases_totals);
+
+  // The DAG run still reports one aggregate span per phase (busy time), so
+  // chrome://tracing and the P x S grid keep their phase attribution.
+  std::multiset<std::string> phase_spans;
+  for (const auto& span : session.spans())
+    if (span.category == "fmm.phase") phase_spans.insert(span.name);
+  EXPECT_EQ(phase_spans, (std::multiset<std::string>{"DOWN", "U", "UP", "V",
+                                                     "W", "X"}));
+}
+
+}  // namespace
+}  // namespace eroof::fmm

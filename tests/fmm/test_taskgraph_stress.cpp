@@ -1,0 +1,140 @@
+// Randomized scheduler stress: seeded delay injection perturbs the DAG
+// executor's pop order (workers stall for task-dependent, seed-dependent
+// spins before each body), and the run must still (a) produce bitwise
+// identical potentials and (b) never start a task before its dependencies
+// finished, as witnessed by the per-task epoch stamps. This suite is part
+// of the Clang TSan CI job, so the same schedules are also race-checked.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "fmm/evaluator.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+#include "util/taskgraph.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+template <typename Fn>
+void with_threads(int num_threads, Fn&& fn) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(num_threads);
+  fn();
+  omp_set_num_threads(saved);
+#else
+  (void)num_threads;
+  fn();
+#endif
+}
+
+/// Seeded, task-addressed delay: every (seed, task) pair maps to a fixed
+/// spin count in [0, 4096). Deterministic per pair, wildly different across
+/// seeds -- enough to reshuffle which ready task each worker grabs next.
+class DelayInjector {
+ public:
+  explicit DelayInjector(std::uint64_t seed) : stream_(seed) {}
+
+  void operator()(int task, int /*worker*/) const {
+    const std::uint64_t spins = stream_.fork(static_cast<std::uint64_t>(task))
+                                    .seed() % 4096;
+    // Volatile sink so the spin survives optimization.
+    volatile std::uint64_t sink = 0;
+    for (std::uint64_t i = 0; i < spins; ++i) sink = sink + i;
+  }
+
+ private:
+  util::RngStream stream_;
+};
+
+::testing::AssertionResult bitwise_equal(const std::vector<double>& got,
+                                         const std::vector<double>& want) {
+  if (got.size() != want.size())
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << " vs " << want.size();
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    if (std::memcmp(&got[i], &want[i], sizeof(double)) != 0)
+      return ::testing::AssertionFailure()
+             << "bit mismatch at [" << i << "]: " << got[i] << " vs "
+             << want[i];
+  }
+  return ::testing::AssertionSuccess();
+}
+
+void expect_dependency_safe(const util::TaskGraph& g) {
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const int id = static_cast<int>(t);
+    ASSERT_GT(g.start_stamp(id), 0) << "task " << id << " never ran";
+    ASSERT_LT(g.start_stamp(id), g.finish_stamp(id));
+    for (const int u : g.predecessors(id))
+      ASSERT_LT(g.finish_stamp(u), g.start_stamp(id))
+          << "task " << id << " started before predecessor " << u
+          << " finished";
+  }
+}
+
+TEST(TaskGraphStress, PerturbedSchedulesStayBitwiseIdenticalAndSafe) {
+  const LaplaceKernel kernel;
+  util::Rng rng(810);
+  const auto pts = uniform_cube(2048, rng);
+  const auto dens = random_densities(2048, rng);
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 16}, FmmConfig{.p = 3});
+
+  std::vector<double> ref;
+  with_threads(1, [&] { ref = ev.evaluate(dens); });
+
+  ev.set_executor(FmmExecutor::kDag);
+  for (const std::uint64_t seed : {1u, 2u, 3u, 4u, 5u}) {
+    util::TaskGraph::RunHooks hooks;
+    hooks.before_task = DelayInjector(seed);
+    ev.set_dag_hooks(hooks);
+    for (const int threads : {2, 4}) {
+      with_threads(threads, [&] {
+        EXPECT_TRUE(bitwise_equal(ev.evaluate(dens), ref))
+            << "seed=" << seed << " threads=" << threads;
+      });
+      expect_dependency_safe(ev.task_graph());
+    }
+  }
+  ev.set_dag_hooks({});
+}
+
+TEST(TaskGraphStress, DeepTreePerturbationAcrossReplays) {
+  // A deeper, lumpier tree (clustered points, q = 4) exercises long
+  // dependency chains; replay the same graph many times under different
+  // seeds and thread counts.
+  const LaplaceKernel kernel;
+  util::Rng rng(811);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 768; ++i) {
+    const double s = i < 384 ? 0.1 : 1.0;  // half the points in one corner
+    pts.push_back({s * rng.uniform(), s * rng.uniform(), s * rng.uniform()});
+  }
+  const auto dens = random_densities(pts.size(), rng);
+  FmmEvaluator ev(kernel, pts, {.max_points_per_box = 4, .max_level = 7},
+                  FmmConfig{.p = 3});
+
+  std::vector<double> ref;
+  with_threads(1, [&] { ref = ev.evaluate(dens); });
+
+  ev.set_executor(FmmExecutor::kDag);
+  for (const std::uint64_t seed : {11u, 12u, 13u}) {
+    util::TaskGraph::RunHooks hooks;
+    hooks.before_task = DelayInjector(seed);
+    ev.set_dag_hooks(hooks);
+    with_threads(4, [&] {
+      EXPECT_TRUE(bitwise_equal(ev.evaluate(dens), ref)) << "seed=" << seed;
+    });
+    expect_dependency_safe(ev.task_graph());
+  }
+  ev.set_dag_hooks({});
+}
+
+}  // namespace
+}  // namespace eroof::fmm

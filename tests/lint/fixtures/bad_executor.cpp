@@ -1,0 +1,33 @@
+// Seeded violations in a task-graph worker-loop idiom: the steady-state
+// scheduling loop (claim ticket, run body, release successors) is a hot
+// region, so per-task allocations, deferred-body wrappers and string
+// labels are all banned inside it. Lint-input fixture -- never compiled.
+#include <functional>
+#include <string>
+#include <vector>
+
+struct FakeGraph {
+  std::vector<int> ready;
+  std::vector<std::function<void()>> bodies;
+};
+
+void fixture_worker_loop(FakeGraph& g) {
+  // eroof: hot-begin (task-graph replay: fixture worker loop)
+  for (std::size_t ticket = 0; ticket < g.ready.size(); ++ticket) {
+    std::string label = "task";                              // hot-alloc
+    std::function<void()> body = g.bodies[ticket];           // hot-alloc
+    int* scratch = new int[4];                               // hot-alloc
+    g.ready.push_back(static_cast<int>(ticket));             // hot-alloc
+    body();
+    delete[] scratch;
+    (void)label;
+  }
+  // eroof: hot-end
+}
+
+void fixture_graph_build(FakeGraph& g) {
+  // Build-time code may allocate freely: tasks and edges are arena-ized at
+  // seal(), not per replay.
+  g.bodies.push_back([] {});
+  g.ready.reserve(g.bodies.size());
+}

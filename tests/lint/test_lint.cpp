@@ -58,6 +58,22 @@ TEST(LintRules, AllocationOutsideHotRegionIsFine) {
   for (const auto& f : rep.findings) EXPECT_LT(f.line, 20) << f.message;
 }
 
+TEST(LintRules, FlagsAllocationsInExecutorWorkerLoop) {
+  // The task-graph executor's replay loop is the repo's newest hot region:
+  // per-task strings, type-erased bodies, heap scratch, and container growth
+  // are all banned there, while graph-build code below the region may
+  // allocate freely.
+  const auto rep = lint_file(fixture("bad_executor.cpp"), Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {17, "hot-alloc"},
+      {18, "hot-alloc"},
+      {19, "hot-alloc"},
+      {20, "hot-alloc"},
+  };
+  EXPECT_EQ(violations(rep), expected);
+  for (const auto& f : rep.findings) EXPECT_LT(f.line, 28) << f.message;
+}
+
 TEST(LintRules, FlagsHeaderHygiene) {
   const auto rep = lint_file(fixture("bad_header.hpp"), Options{});
   const std::vector<std::pair<int, std::string>> expected = {

@@ -1,0 +1,193 @@
+// Unit tests of the dependency-counting task-graph executor: construction
+// contracts, CSR introspection, replayability, epoch-stamp ordering, and
+// hook plumbing. The FMM-shaped integration and stress coverage lives in
+// tests/fmm/test_taskgraph*.cpp.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <vector>
+
+#include "util/require.hpp"
+#include "util/taskgraph.hpp"
+
+namespace eroof::util {
+namespace {
+
+TEST(TaskGraph, DiamondRunsEveryTaskOnceInDependencyOrder) {
+  // a -> {b, c} -> d. Record a serialized execution log via an atomic slot
+  // counter; whatever the interleaving, a is first and d is last.
+  TaskGraph g;
+  std::atomic<int> next{0};
+  std::vector<int> order(4, -1);
+  const auto body = [&](int id) {
+    return [&, id] { order[static_cast<std::size_t>(next++)] = id; };
+  };
+  const int a = g.add_task(0, body(0));
+  const int b = g.add_task(0, body(1));
+  const int c = g.add_task(0, body(2));
+  const int d = g.add_task(0, body(3));
+  g.add_edge(a, b);
+  g.add_edge(a, c);
+  g.add_edge(b, d);
+  g.add_edge(c, d);
+  g.seal();
+
+  for (const int threads : {1, 2, 4}) {
+    next = 0;
+    std::fill(order.begin(), order.end(), -1);
+    g.run(threads);
+    EXPECT_EQ(next.load(), 4);
+    EXPECT_EQ(order[0], 0);
+    EXPECT_EQ(order[3], 3);
+  }
+  EXPECT_EQ(g.runs_completed(), 3u);
+}
+
+TEST(TaskGraph, IntrospectionExposesTheSealedTopology) {
+  TaskGraph g;
+  const int a = g.add_task(7, [] {});
+  const int b = g.add_task(8, [] {});
+  const int c = g.add_task(9, [] {});
+  g.add_edge(a, c);
+  g.add_edge(b, c);
+  g.seal();
+
+  EXPECT_EQ(g.task_count(), 3u);
+  EXPECT_EQ(g.edge_count(), 2u);
+  EXPECT_EQ(g.tag(a), 7);
+  EXPECT_EQ(g.tag(c), 9);
+  EXPECT_EQ(g.initial_dep_count(a), 0);
+  EXPECT_EQ(g.initial_dep_count(c), 2);
+  ASSERT_EQ(g.roots().size(), 2u);
+  EXPECT_EQ(g.roots()[0], a);
+  EXPECT_EQ(g.roots()[1], b);
+  ASSERT_EQ(g.successors(a).size(), 1u);
+  EXPECT_EQ(g.successors(a)[0], c);
+  ASSERT_EQ(g.predecessors(c).size(), 2u);
+  EXPECT_EQ(g.successors(c).size(), 0u);
+}
+
+TEST(TaskGraph, EpochStampsProveEdgeOrdering) {
+  // A two-wide layered graph: stamps of the latest run must satisfy
+  // finish(u) < start(v) for every edge, and be distinct positive values.
+  TaskGraph g;
+  constexpr int kLayers = 8;
+  int prev[2] = {-1, -1};
+  std::vector<std::pair<int, int>> edges;
+  for (int l = 0; l < kLayers; ++l) {
+    const int t0 = g.add_task(l, [] {});
+    const int t1 = g.add_task(l, [] {});
+    if (prev[0] >= 0) {
+      for (const int p : prev)
+        for (const int t : {t0, t1}) {
+          g.add_edge(p, t);
+          edges.emplace_back(p, t);
+        }
+    }
+    prev[0] = t0;
+    prev[1] = t1;
+  }
+  g.seal();
+  g.run(4);
+
+  for (std::size_t t = 0; t < g.task_count(); ++t) {
+    const int id = static_cast<int>(t);
+    EXPECT_GT(g.start_stamp(id), 0);
+    EXPECT_LT(g.start_stamp(id), g.finish_stamp(id));
+  }
+  for (const auto& [u, v] : edges)
+    EXPECT_LT(g.finish_stamp(u), g.start_stamp(v));
+}
+
+TEST(TaskGraph, ReplayRepeatsTheWorkExactly) {
+  TaskGraph g;
+  int counter = 0;
+  const int a = g.add_task(0, [&] { counter += 1; });
+  const int b = g.add_task(0, [&] { counter += 10; });
+  g.add_edge(a, b);
+  g.seal();
+  for (int rep = 0; rep < 5; ++rep) g.run(2);
+  EXPECT_EQ(counter, 55);
+  EXPECT_EQ(g.runs_completed(), 5u);
+}
+
+TEST(TaskGraph, BeforeTaskHookSeesEveryTaskOnItsWorker) {
+  TaskGraph g;
+  constexpr int kTasks = 32;
+  for (int t = 0; t < kTasks; ++t) g.add_task(0, [] {});
+  g.seal();
+
+  std::vector<std::atomic<int>> seen(kTasks);
+  TaskGraph::RunHooks hooks;
+  hooks.before_task = [&](int task, int worker) {
+    EXPECT_GE(worker, 0);
+    seen[static_cast<std::size_t>(task)]++;
+  };
+  g.run(hooks, 4);
+  for (const auto& s : seen) EXPECT_EQ(s.load(), 1);
+}
+
+TEST(TaskGraph, EmptyGraphRunsTrivially) {
+  TaskGraph g;
+  g.seal();
+  g.run(4);
+  EXPECT_EQ(g.runs_completed(), 1u);
+}
+
+TEST(TaskGraph, SingleThreadedRunHonorsDeepChains) {
+  // A pure chain forces strictly serial publication; the single worker must
+  // keep finding the next ticket (no deadlock, no skipped task).
+  TaskGraph g;
+  constexpr int kChain = 100;
+  int last = 0;
+  int prev = -1;
+  for (int t = 0; t < kChain; ++t) {
+    const int id = g.add_task(0, [&last, t] {
+      EXPECT_EQ(last, t);
+      last = t + 1;
+    });
+    if (prev >= 0) g.add_edge(prev, id);
+    prev = id;
+  }
+  g.seal();
+  g.run(1);
+  EXPECT_EQ(last, kChain);
+}
+
+TEST(TaskGraph, ContractViolationsThrow) {
+  TaskGraph g;
+  const int a = g.add_task(0, [] {});
+  const int b = g.add_task(0, [] {});
+  EXPECT_THROW(g.add_edge(a, a), ContractError);   // self-edge
+  EXPECT_THROW(g.add_edge(a, 99), ContractError);  // unknown id
+  EXPECT_THROW(g.run(), ContractError);            // run before seal
+  g.add_edge(a, b);
+  g.add_edge(a, b);  // duplicate: rejected at seal()
+  EXPECT_THROW(g.seal(), ContractError);
+}
+
+TEST(TaskGraph, CycleIsRejectedAtSeal) {
+  TaskGraph g;
+  const int a = g.add_task(0, [] {});
+  const int b = g.add_task(0, [] {});
+  const int c = g.add_task(0, [] {});
+  g.add_edge(a, b);
+  g.add_edge(b, c);
+  g.add_edge(c, a);
+  EXPECT_THROW(g.seal(), ContractError);
+}
+
+TEST(TaskGraph, SealFreezesTheGraph) {
+  TaskGraph g;
+  const int a = g.add_task(0, [] {});
+  const int b = g.add_task(0, [] {});
+  g.add_edge(a, b);
+  g.seal();
+  EXPECT_TRUE(g.sealed());
+  EXPECT_THROW(g.add_task(0, [] {}), ContractError);
+  EXPECT_THROW(g.add_edge(a, b), ContractError);
+  EXPECT_THROW(g.seal(), ContractError);
+}
+
+}  // namespace
+}  // namespace eroof::util
