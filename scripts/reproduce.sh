@@ -56,9 +56,11 @@ mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
   2>/dev/null || true
 
 # Machine-readable perf baselines: the committed bench/results/*.json
-# references plus a fresh perf_pipeline run on this machine.
+# references plus fresh perf_pipeline and serving runs on this machine.
 cp -f bench/results/*.json reproduction/ 2>/dev/null || true
 ./build/bench/perf_pipeline --bench-json=reproduction/BENCH_pipeline.local.json \
   --bench-reps=5 || true
+./build/bench/perf_serve --bench-json=reproduction/BENCH_serve.local.json \
+  --bench-requests=24 || true
 
 echo "All outputs collected under ./reproduction/"

@@ -265,4 +265,32 @@ ScheduleComparison compare_strategies(const EnergyModel& model,
   return cmp;
 }
 
+const PhaseSchedule& ScheduleMemo::schedule_for_plan(
+    const std::string& plan_key,
+    const std::function<PhaseSchedule()>& compute) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = memo_.find(plan_key);
+    if (it != memo_.end()) {
+      trace::counter_add("core.schedule_memo.hit", 1.0);
+      return *it->second;
+    }
+  }
+  // Compute outside the lock; `compute` is deterministic, so if two threads
+  // race on a fresh key both produce the same schedule and the loser's copy
+  // is simply dropped.
+  auto result = std::make_unique<PhaseSchedule>(compute());
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto [it, inserted] = memo_.try_emplace(plan_key, std::move(result));
+  trace::counter_add(inserted ? "core.schedule_memo.miss"
+                              : "core.schedule_memo.hit",
+                     1.0);
+  return *it->second;
+}
+
+std::size_t ScheduleMemo::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return memo_.size();
+}
+
 }  // namespace eroof::model

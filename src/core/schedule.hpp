@@ -25,8 +25,12 @@
 // goes through hw::Soc::run_sequence / true_schedule_cost.
 #pragma once
 
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "core/model.hpp"
@@ -139,5 +143,30 @@ ScheduleComparison compare_strategies(const EnergyModel& model,
                                       std::span<const hw::DvfsSetting> grid,
                                       const hw::DvfsTransitionModel& transitions,
                                       double time_weight = 0);
+
+/// Memoized schedule-DP results keyed by a serving plan key (the string the
+/// plan cache keys on: kernel, accuracy, depth, domain). The schedule
+/// search -- GPU-profile prediction grid + chain DP -- depends only on the
+/// plan, not on one request's points, so its result is cached here and
+/// survives plan-cache eviction: a re-built plan skips the search entirely.
+///
+/// Thread-safe. The first caller for a key computes outside the lock (the
+/// search can take milliseconds); racing computations of the same key are
+/// harmless because `compute` must be deterministic -- the first insert
+/// wins and duplicates are dropped. Returned references are stable for the
+/// memo's lifetime (entries are never evicted; distinct plans are few).
+class ScheduleMemo {
+ public:
+  const PhaseSchedule& schedule_for_plan(
+      const std::string& plan_key,
+      const std::function<PhaseSchedule()>& compute);
+
+  /// Number of memoized keys (observability / tests).
+  std::size_t size() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<PhaseSchedule>> memo_;
+};
 
 }  // namespace eroof::model

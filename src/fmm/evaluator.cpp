@@ -87,10 +87,34 @@ void record_phase(trace::ScopedSpan& span, const char* phase,
 
 FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
                            Octree::Params tree_params, FmmConfig cfg)
-    : kernel_(kernel),
-      tree_(points, tree_params),
-      lists_(build_lists(tree_)),
-      ops_(kernel, tree_.domain().half, tree_.max_depth(), cfg) {
+    : tree_(points, tree_params), lists_(build_lists(tree_)) {
+  plan_ = FmmPlan::for_tree(FmmPlan::borrow_kernel(kernel), tree_, cfg);
+  init();
+}
+
+FmmEvaluator::FmmEvaluator(std::shared_ptr<const FmmPlan> plan, Octree tree)
+    : plan_(std::move(plan)),
+      tree_(std::move(tree)),
+      lists_(build_lists(tree_)) {
+  EROOF_REQUIRE_MSG(plan_ != nullptr, "null plan");
+  // Bitwise equality: per-level operator geometry scales with the root
+  // half-width, so anything but the exact same domain silently changes
+  // results. Depth is only an upper bound -- levels are built/rescaled
+  // independently, so a deeper plan's shallow levels are identical to a
+  // fresh shallower build.
+  EROOF_REQUIRE_MSG(tree_.domain().half == plan_->root_half(),
+                    "tree domain does not match the plan");
+  EROOF_REQUIRE_MSG(tree_.max_depth() <= plan_->max_depth(),
+                    "tree deeper than the plan");
+  init();
+}
+
+FmmEvaluator::FmmEvaluator(std::shared_ptr<const FmmPlan> plan,
+                           std::span<const Vec3> points,
+                           Octree::Params tree_params)
+    : FmmEvaluator(std::move(plan), Octree(points, tree_params)) {}
+
+void FmmEvaluator::init() {
   const auto pts = tree_.points();
   px_.resize(pts.size());
   py_.resize(pts.size());
@@ -107,7 +131,7 @@ FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
     if (nodes[b].level() >= kMinLevel)
       slot_[b] = static_cast<int>(n_slots_++);
 
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   up_equiv_.resize(n_slots_ * ns);
   down_check_.resize(n_slots_ * ns);
   down_equiv_.resize(n_slots_ * ns);
@@ -125,9 +149,9 @@ FmmEvaluator::FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l)
     widest = std::max(widest, by_level[static_cast<std::size_t>(l)].size());
   pos_in_level_.assign(nodes.size(), 0);
-  if (ops_.config().use_fft_m2l) {
-    spec_re_.resize(widest * ops_.grid_size());
-    spec_im_.resize(widest * ops_.grid_size());
+  if (ops().config().use_fft_m2l) {
+    spec_re_.resize(widest * ops().grid_size());
+    spec_im_.resize(widest * ops().grid_size());
   }
 
   structural_stats_ = compute_structural_stats();
@@ -140,8 +164,8 @@ FmmStats FmmEvaluator::compute_structural_stats() const {
   // so the summation order (and therefore every double) is bitwise identical
   // to what the bulk-synchronous path historically produced.
   FmmStats s;
-  const std::size_t ns = ops_.n_surf();
-  const std::size_t g = ops_.grid_size();
+  const std::size_t ns = ops().n_surf();
+  const std::size_t g = ops().grid_size();
   const auto& by_level = tree_.nodes_by_level();
   const auto& leaves = tree_.leaves();
 
@@ -162,7 +186,7 @@ FmmStats FmmEvaluator::compute_structural_stats() const {
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
     if (level_nodes.empty()) continue;
-    if (!ops_.config().use_fft_m2l) {
+    if (!ops().config().use_fft_m2l) {
       for (const int b : level_nodes) {
         const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
         s.v.kernel_evals +=
@@ -229,8 +253,8 @@ FmmStats FmmEvaluator::compute_structural_stats() const {
 void FmmEvaluator::ensure_workspaces() {
   const auto want = static_cast<std::size_t>(max_threads());
   if (workspaces_.size() >= want && !workspaces_.empty()) return;
-  const std::size_t ns = ops_.n_surf();
-  const std::size_t g = ops_.config().use_fft_m2l ? ops_.grid_size() : 0;
+  const std::size_t ns = ops().n_surf();
+  const std::size_t g = ops().config().use_fft_m2l ? ops().grid_size() : 0;
   workspaces_.resize(std::max<std::size_t>(want, 1));
   for (auto& ws : workspaces_) {
     ws.check.resize(ns);
@@ -317,40 +341,40 @@ std::vector<double> FmmEvaluator::evaluate_at(
 
 void FmmEvaluator::node_up(int b, const double* dens) {
   // eroof: hot-begin (UP body: P2M or M2M, then the UC2E solve, for one node)
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   const Node& node = tree_.node(b);
-  const LevelOperators& ops = ops_.level(node.level());
+  const LevelOperators& lops = ops().level(node.level());
   Workspace& ws = workspace();
   std::fill(ws.check.begin(), ws.check.end(), 0.0);
 
   if (node.leaf) {
     // P2M: source points -> upward check potentials.
-    ops.surf_outer.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
+    lops.surf_outer.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
                                ws.tz.data());
-    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+    kern().eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
                        point_block(node.point_begin, node.point_end),
                        dens + node.point_begin, ws.check.data());
   } else {
     // M2M: children's equivalent densities -> this box's check surface.
     for (int c : node.children) {
       if (c < 0) continue;
-      la::gemv_add(ops.m2m[tree_.node(c).key.octant_in_parent()], up_equiv(c),
+      la::gemv_add(lops.m2m[tree_.node(c).key.octant_in_parent()], up_equiv(c),
                    ws.check);
     }
   }
 
   // UC2E solve: check potentials -> equivalent density.
-  la::gemv_add(ops.uc2e, ws.check, up_equiv(b));
+  la::gemv_add(lops.uc2e, ws.check, up_equiv(b));
   // eroof: hot-end
 }
 
 void FmmEvaluator::node_fft_forward(int b, double* qr, double* qi) {
   // eroof: hot-begin (V body: forward FFT of one node's equivalent grid,
   // split into real/imag planes so the Hadamard stage vectorizes)
-  const std::size_t g = ops_.grid_size();
+  const std::size_t g = ops().grid_size();
   Workspace& ws = workspace();
-  ops_.embed(up_equiv(b), ws.grid);
-  ops_.plan().forward(ws.grid);
+  ops().embed(up_equiv(b), ws.grid);
+  ops().plan().forward(ws.grid);
   for (std::size_t k = 0; k < g; ++k) {
     qr[k] = ws.grid[k].real();
     qi[k] = ws.grid[k].imag();
@@ -365,13 +389,13 @@ void FmmEvaluator::node_v_hadamard(int b, const double* spec_re,
   // onto one node's downward check surface)
   const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
   if (vlist.empty()) return;
-  const std::size_t ns = ops_.n_surf();
-  const std::size_t g = ops_.grid_size();
+  const std::size_t ns = ops().n_surf();
+  const std::size_t g = ops().grid_size();
   const Node& node = tree_.node(b);
-  const LevelOperators& ops = ops_.level(node.level());
-  const double* bank_re = ops.m2l->re.data();
-  const double* bank_im = ops.m2l->im.data();
-  const double scale = ops.m2l_scale;
+  const LevelOperators& lops = ops().level(node.level());
+  const double* bank_re = lops.m2l->re.data();
+  const double* bank_im = lops.m2l->im.data();
+  const double scale = lops.m2l_scale;
   const auto bc = node.key.coords();
   Workspace& ws = workspace();
   std::fill(ws.acc_re.begin(), ws.acc_re.end(), 0.0);
@@ -398,8 +422,8 @@ void FmmEvaluator::node_v_hadamard(int b, const double* spec_re,
   }
   for (std::size_t k = 0; k < g; ++k)
     ws.grid[k] = fft::cplx{acc_re[k], acc_im[k]};
-  ops_.plan().inverse(ws.grid);
-  ops_.extract(ws.grid, ws.vals);
+  ops().plan().inverse(ws.grid);
+  ops().extract(ws.grid, ws.vals);
   double* check = down_check(b).data();
   // m2l_scale is a power of two for homogeneous kernels, so applying it
   // here (instead of to the shared bank) is exact.
@@ -412,9 +436,9 @@ void FmmEvaluator::node_v_dense(int b) {
   // eroof: hot-begin (V body, dense fallback: batched M2L kernel application)
   const auto& vlist = lists_.v[static_cast<std::size_t>(b)];
   if (vlist.empty()) return;
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   const Node& node = tree_.node(b);
-  const LevelOperators& lops = ops_.level(node.level());
+  const LevelOperators& lops = ops().level(node.level());
   Workspace& ws = workspace();
   lops.surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
                               ws.tz.data());
@@ -422,7 +446,7 @@ void FmmEvaluator::node_v_dense(int b) {
   for (const int s : vlist) {
     lops.surf_inner.materialize(tree_.node(s).box.center, ws.sx.data(),
                                 ws.sy.data(), ws.sz.data());
-    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+    kern().eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
                        {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
                        up_equiv(s).data(), check);
   }
@@ -431,16 +455,16 @@ void FmmEvaluator::node_v_dense(int b) {
 
 void FmmEvaluator::node_x(int b, const double* dens) {
   // eroof: hot-begin (X body: batched P2L onto one downward check surface)
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   const Node& node = tree_.node(b);
   Workspace& ws = workspace();
-  ops_.level(node.level())
+  ops().level(node.level())
       .surf_inner.materialize(node.box.center, ws.tx.data(), ws.ty.data(),
                               ws.tz.data());
   double* check = down_check(b).data();
   for (const int a : lists_.x[static_cast<std::size_t>(b)]) {
     const Node& src = tree_.node(a);
-    kernel_.eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
+    kern().eval_batch({ws.tx.data(), ws.ty.data(), ws.tz.data(), ns},
                        point_block(src.point_begin, src.point_end),
                        dens + src.point_begin, check);
   }
@@ -450,17 +474,17 @@ void FmmEvaluator::node_x(int b, const double* dens) {
 void FmmEvaluator::node_down(int b) {
   // eroof: hot-begin (DOWN body: DC2E solve + L2L pushes for one node)
   const Node& node = tree_.node(b);
-  const LevelOperators& ops = ops_.level(node.level());
+  const LevelOperators& lops = ops().level(node.level());
   // DC2E solve: accumulated check potentials -> equivalent density.
   const auto equiv = down_equiv(b);
-  la::gemv_add(ops.dc2e, down_check(b), equiv);
+  la::gemv_add(lops.dc2e, down_check(b), equiv);
 
   // L2L: push to children's check surfaces (each child's check surface has
   // exactly one L2L writer -- this node -- so this is race-free under both
   // executors).
   for (int c : node.children) {
     if (c < 0) continue;
-    la::gemv_add(ops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
+    la::gemv_add(lops.l2l[tree_.node(c).key.octant_in_parent()], equiv,
                  down_check(c));
   }
   // eroof: hot-end
@@ -470,12 +494,12 @@ void FmmEvaluator::leaf_l2p(int b, double* phi) {
   // eroof: hot-begin (DOWN body: batched L2P outputs of one leaf)
   const Node& node = tree_.node(b);
   if (node.level() < kMinLevel) return;  // no expansion this shallow
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   Workspace& ws = workspace();
-  ops_.level(node.level())
+  ops().level(node.level())
       .surf_outer.materialize(node.box.center, ws.sx.data(), ws.sy.data(),
                               ws.sz.data());
-  kernel_.eval_batch(point_block(node.point_begin, node.point_end),
+  kern().eval_batch(point_block(node.point_begin, node.point_end),
                      {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
                      down_equiv(b).data(), phi + node.point_begin);
   // eroof: hot-end
@@ -487,7 +511,7 @@ void FmmEvaluator::leaf_u(int b, const double* dens, double* phi) {
   const PointBlock targets = point_block(node.point_begin, node.point_end);
   for (const int a : lists_.u[static_cast<std::size_t>(b)]) {
     const Node& src = tree_.node(a);
-    kernel_.eval_batch(targets, point_block(src.point_begin, src.point_end),
+    kern().eval_batch(targets, point_block(src.point_begin, src.point_end),
                        dens + src.point_begin, phi + node.point_begin);
   }
   // eroof: hot-end
@@ -498,15 +522,15 @@ void FmmEvaluator::leaf_w(int b, double* phi) {
   const Node& node = tree_.node(b);
   const auto& wlist = lists_.w[static_cast<std::size_t>(b)];
   if (wlist.empty()) return;
-  const std::size_t ns = ops_.n_surf();
+  const std::size_t ns = ops().n_surf();
   Workspace& ws = workspace();
   const PointBlock targets = point_block(node.point_begin, node.point_end);
   for (const int a : wlist) {
     const Node& src = tree_.node(a);
-    ops_.level(src.level())
+    ops().level(src.level())
         .surf_inner.materialize(src.box.center, ws.sx.data(), ws.sy.data(),
                                 ws.sz.data());
-    kernel_.eval_batch(targets, {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
+    kern().eval_batch(targets, {ws.sx.data(), ws.sy.data(), ws.sz.data(), ns},
                        up_equiv(a).data(), phi + node.point_begin);
   }
   // eroof: hot-end
@@ -566,14 +590,14 @@ void FmmEvaluator::upward_pass(std::span<const double> dens) {
 }
 
 void FmmEvaluator::v_phase() {
-  const std::size_t g = ops_.grid_size();
+  const std::size_t g = ops().grid_size();
   const auto& by_level = tree_.nodes_by_level();
 
   for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
     const auto& level_nodes = by_level[static_cast<std::size_t>(l)];
     if (level_nodes.empty()) continue;
 
-    if (!ops_.config().use_fft_m2l) {
+    if (!ops().config().use_fft_m2l) {
       // eroof: hot-begin (V dense fallback: batched M2L kernel application)
 #pragma omp parallel for schedule(dynamic)
       for (std::size_t ni = 0; ni < level_nodes.size(); ++ni)
@@ -670,12 +694,12 @@ void FmmEvaluator::w_pass(std::span<double> phi) {
 
 const util::TaskGraph& FmmEvaluator::task_graph() {
   if (!dag_built_) build_dag();
-  return dag_;
+  return *dag_;
 }
 
 void FmmEvaluator::dag_fft(int b) {
   const std::size_t pos =
-      dag_spec_pos_[static_cast<std::size_t>(b)] * ops_.grid_size();
+      dag_spec_pos_[static_cast<std::size_t>(b)] * ops().grid_size();
   node_fft_forward(b, dag_spec_re_.data() + pos, dag_spec_im_.data() + pos);
 }
 
@@ -684,142 +708,84 @@ void FmmEvaluator::dag_vhad(int b) {
                   dag_spec_pos_.data());
 }
 
-int FmmEvaluator::dag_add(int tag, int node,
-                          void (FmmEvaluator::*body)(int)) {
-  return dag_.add_task(tag, [this, tag, node, body] {
-    if (!dag_timing_) {
-      (this->*body)(node);
-      return;
+void FmmEvaluator::run_dag_task(int t) {
+  const int b = dag_node_[t];
+  const auto dispatch = [&] {
+    // Bound to the densities/potentials of the current evaluate() via
+    // dag_dens_/dag_phi_ (spans are caller-owned for one call only).
+    switch (dag_kind_[t]) {
+      case FmmDagKind::kUp:
+        node_up(b, dag_dens_);
+        break;
+      case FmmDagKind::kFft:
+        dag_fft(b);
+        break;
+      case FmmDagKind::kVHad:
+        dag_vhad(b);
+        break;
+      case FmmDagKind::kVDense:
+        node_v_dense(b);
+        break;
+      case FmmDagKind::kX:
+        node_x(b, dag_dens_);
+        break;
+      case FmmDagKind::kDown:
+        node_down(b);
+        break;
+      case FmmDagKind::kL2p:
+        leaf_l2p(b, dag_phi_);
+        break;
+      case FmmDagKind::kU:
+        leaf_u(b, dag_dens_, dag_phi_);
+        break;
+      case FmmDagKind::kW:
+        leaf_w(b, dag_phi_);
+        break;
     }
-    const auto t0 = trace::Clock::now();
-    (this->*body)(node);
-    const auto t1 = trace::Clock::now();
-    dag_busy_us_[static_cast<std::size_t>(thread_index())]
-                [static_cast<std::size_t>(tag)] +=
-        std::chrono::duration<double, std::micro>(t1 - t0).count();
-  });
+  };
+  if (!dag_timing_) {
+    dispatch();
+    return;
+  }
+  const auto t0 = trace::Clock::now();
+  dispatch();
+  const auto t1 = trace::Clock::now();
+  dag_busy_us_[static_cast<std::size_t>(thread_index())]
+              [static_cast<std::size_t>(dag_->tag(t))] +=
+      std::chrono::duration<double, std::micro>(t1 - t0).count();
 }
 
 void FmmEvaluator::build_dag() {
   const auto& nodes = tree_.nodes();
-  const auto& by_level = tree_.nodes_by_level();
-  const bool fft = ops_.config().use_fft_m2l;
+  const bool fft = ops().config().use_fft_m2l;
 
   if (fft) {
     // Per-slot spectrum planes: the DAG overlaps levels, so the per-level
     // banks of the phases path would be reused while still referenced.
-    dag_spec_re_.resize(n_slots_ * ops_.grid_size());
-    dag_spec_im_.resize(n_slots_ * ops_.grid_size());
+    dag_spec_re_.resize(n_slots_ * ops().grid_size());
+    dag_spec_im_.resize(n_slots_ * ops().grid_size());
     dag_spec_pos_.assign(nodes.size(), 0);
     for (std::size_t b = 0; b < nodes.size(); ++b)
       if (slot_[b] >= 0)
         dag_spec_pos_[b] = static_cast<std::size_t>(slot_[b]);
   }
 
-  std::vector<int> up_t(nodes.size(), -1);
-  std::vector<int> fft_t(nodes.size(), -1);
-  std::vector<int> v_t(nodes.size(), -1);
-  std::vector<int> x_t(nodes.size(), -1);
-  std::vector<int> down_t(nodes.size(), -1);
-  std::vector<int> l2p_t(nodes.size(), -1);
-  std::vector<int> u_t(nodes.size(), -1);
-
-  // UP: one task per expansion-bearing node; a parent starts after all of
-  // its children (M2M reads their equivalent densities).
-  for (int l = tree_.max_depth(); l >= kMinLevel; --l)
-    for (const int b : by_level[static_cast<std::size_t>(l)])
-      up_t[static_cast<std::size_t>(b)] =
-          dag_add(kDagTagUp, b, &FmmEvaluator::dag_up);
-  for (std::size_t b = 0; b < nodes.size(); ++b) {
-    if (up_t[b] < 0 || nodes[b].leaf) continue;
-    for (int c : nodes[b].children)
-      if (c >= 0)
-        dag_.add_edge(up_t[static_cast<std::size_t>(c)], up_t[b]);
+  // Adopt the plan's skeleton when the tree structure matches (the serving
+  // cache-hit path: skips edge construction, the duplicate check and the
+  // Kahn pass); otherwise build a local one. Correctness is validated by
+  // the structural signature, never assumed -- a plan built from one
+  // request's tree can be offered a differently-shaped tree later.
+  const FmmDagSkeleton* skel = plan_->dag_skeleton();
+  if (skel == nullptr ||
+      skel->tree_signature != tree_structure_signature(tree_)) {
+    local_skeleton_ = std::make_unique<FmmDagSkeleton>(
+        build_fmm_dag_skeleton(tree_, lists_, fft));
+    skel = local_skeleton_.get();
   }
-
-  // V: with FFT M2L, a forward-FFT task per expansion-bearing node (the
-  // phases path also transforms every node of a level) and one Hadamard
-  // task per node with a non-empty v-list, after all its sources' spectra.
-  // The dense fallback needs the sources' equivalent densities directly.
-  if (fft) {
-    for (std::size_t b = 0; b < nodes.size(); ++b) {
-      if (up_t[b] < 0) continue;
-      fft_t[b] = dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_fft);
-      dag_.add_edge(up_t[b], fft_t[b]);
-    }
-    for (std::size_t b = 0; b < nodes.size(); ++b) {
-      if (up_t[b] < 0 || lists_.v[b].empty()) continue;
-      v_t[b] = dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_vhad);
-      for (const int s : lists_.v[b])
-        dag_.add_edge(fft_t[static_cast<std::size_t>(s)], v_t[b]);
-    }
-  } else {
-    for (std::size_t b = 0; b < nodes.size(); ++b) {
-      if (up_t[b] < 0 || lists_.v[b].empty()) continue;
-      v_t[b] =
-          dag_add(kDagTagV, static_cast<int>(b), &FmmEvaluator::dag_vdense);
-      for (const int s : lists_.v[b])
-        dag_.add_edge(up_t[static_cast<std::size_t>(s)], v_t[b]);
-    }
-  }
-
-  // X: P2L adds follow the V commit on the same check surface (phases-path
-  // write order). Sources are raw point ranges, so there is no other dep.
-  for (const int b : x_targets_) {
-    const auto bi = static_cast<std::size_t>(b);
-    x_t[bi] = dag_add(kDagTagX, b, &FmmEvaluator::dag_x);
-    if (v_t[bi] >= 0) dag_.add_edge(v_t[bi], x_t[bi]);
-  }
-
-  // Last far-field writer of a node's downward check surface (before L2L).
-  const auto vlast = [&](std::size_t b) {
-    return x_t[b] >= 0 ? x_t[b] : v_t[b];
-  };
-
-  // DOWN: one DC2E+L2L task per expansion-bearing node. A node's task runs
-  // after its parent's (which L2L-appends to its check surface); the parent
-  // in turn waits for every child's V/X commits so the append lands after
-  // them, as in the phases path. Top-level nodes (no expansion-bearing
-  // parent) wait directly on their own V/X.
-  for (int l = kMinLevel; l <= tree_.max_depth(); ++l)
-    for (const int b : by_level[static_cast<std::size_t>(l)])
-      down_t[static_cast<std::size_t>(b)] =
-          dag_add(kDagTagDown, b, &FmmEvaluator::dag_down);
-  for (int l = kMinLevel; l <= tree_.max_depth(); ++l) {
-    for (const int b : by_level[static_cast<std::size_t>(l)]) {
-      const auto bi = static_cast<std::size_t>(b);
-      if (l == kMinLevel && vlast(bi) >= 0)
-        dag_.add_edge(vlast(bi), down_t[bi]);
-      if (nodes[bi].leaf) continue;
-      for (int c : nodes[bi].children) {
-        if (c < 0) continue;
-        const auto ci = static_cast<std::size_t>(c);
-        dag_.add_edge(down_t[bi], down_t[ci]);
-        if (vlast(ci) >= 0) dag_.add_edge(vlast(ci), down_t[bi]);
-      }
-    }
-  }
-
-  // Leaf output tasks, chained per leaf so phi[leaf range] accumulates in
-  // the canonical order L2P -> U -> W regardless of schedule.
-  for (const int b : tree_.leaves()) {
-    const auto bi = static_cast<std::size_t>(b);
-    if (slot_[bi] >= 0) {
-      l2p_t[bi] = dag_add(kDagTagDown, b, &FmmEvaluator::dag_l2p);
-      dag_.add_edge(down_t[bi], l2p_t[bi]);
-    }
-    u_t[bi] = dag_add(kDagTagU, b, &FmmEvaluator::dag_u);
-    if (l2p_t[bi] >= 0) dag_.add_edge(l2p_t[bi], u_t[bi]);
-    if (!lists_.w[bi].empty()) {
-      const int wt = dag_add(kDagTagW, b, &FmmEvaluator::dag_w);
-      dag_.add_edge(u_t[bi], wt);
-      // M2P reads the w-nodes' upward equivalent densities.
-      for (const int a : lists_.w[bi])
-        dag_.add_edge(up_t[static_cast<std::size_t>(a)], wt);
-    }
-  }
-
-  dag_.seal();
+  dag_kind_ = skel->kind.data();
+  dag_node_ = skel->node.data();
+  dag_ = std::make_unique<util::TaskGraph>(skel->topology);
+  dag_->set_runner([this](int t) { run_dag_task(t); });
   dag_built_ = true;
 }
 
@@ -838,7 +804,7 @@ void FmmEvaluator::evaluate_dag(std::span<const double> dens,
     t0 = sess->now_us();
   }
 
-  dag_.run(dag_hooks_);
+  dag_->run(dag_hooks_);
 
   dag_dens_ = nullptr;
   dag_phi_ = nullptr;

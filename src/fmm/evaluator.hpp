@@ -44,6 +44,7 @@
 #include "fmm/lists.hpp"
 #include "fmm/octree.hpp"
 #include "fmm/operators.hpp"
+#include "fmm/plan.hpp"
 #include "util/taskgraph.hpp"
 
 namespace eroof::fmm {
@@ -67,26 +68,28 @@ enum class FmmExecutor {
   kDag,     ///< dependency-counting task DAG (util::TaskGraph)
 };
 
-/// Phase tags carried by the DAG's tasks (util::TaskGraph::tag), in the
-/// evaluator's canonical phase order.
-enum FmmDagTag : int {
-  kDagTagUp = 0,
-  kDagTagV = 1,
-  kDagTagX = 2,
-  kDagTagDown = 3,
-  kDagTagU = 4,
-  kDagTagW = 5,
-};
-inline constexpr int kFmmDagTagCount = 6;
-
-/// The evaluator. Construction builds the tree, the interaction lists and
-/// the per-level operators; `evaluate` can then be called repeatedly with
-/// different source densities (e.g. inside a time-stepping loop) -- repeat
-/// calls reuse all arenas and scratch without reallocating.
+/// The evaluator. Construction builds the tree and the interaction lists
+/// (per-request state) and either builds or shares an FmmPlan (the
+/// operators and optional DAG skeleton); `evaluate` can then be called
+/// repeatedly with different source densities (e.g. inside a time-stepping
+/// loop) -- repeat calls reuse all arenas and scratch without reallocating.
 class FmmEvaluator {
  public:
+  /// Legacy API: builds a private plan for this tree (kernel must outlive
+  /// the evaluator). A thin wrapper over the plan-sharing constructor.
   FmmEvaluator(const Kernel& kernel, std::span<const Vec3> points,
                Octree::Params tree_params = {}, FmmConfig cfg = {});
+
+  /// Shares an existing (possibly cached) plan: no operator construction
+  /// happens here. The tree must match the plan's geometry -- domain
+  /// half-width bitwise equal, depth <= plan depth -- and results are
+  /// bitwise identical to a fresh evaluator built for the same tree.
+  /// Multiple evaluators may evaluate against one plan concurrently.
+  FmmEvaluator(std::shared_ptr<const FmmPlan> plan, Octree tree);
+
+  /// Same, building the tree here from `points`.
+  FmmEvaluator(std::shared_ptr<const FmmPlan> plan,
+               std::span<const Vec3> points, Octree::Params tree_params = {});
 
   /// Potentials at every point for the given densities; both vectors are in
   /// the caller's original point order. Self-interactions excluded.
@@ -117,8 +120,9 @@ class FmmEvaluator {
 
   const Octree& tree() const { return tree_; }
   const InteractionLists& lists() const { return lists_; }
-  const Operators& operators() const { return ops_; }
-  const Kernel& kernel() const { return kernel_; }
+  const Operators& operators() const { return plan_->operators(); }
+  const Kernel& kernel() const { return plan_->kernel(); }
+  const std::shared_ptr<const FmmPlan>& plan() const { return plan_; }
 
   /// Tallies of the most recent evaluate() call. The tallies are purely
   /// structural (tree + lists + operators), so they are computed once at
@@ -177,18 +181,14 @@ class FmmEvaluator {
   // -- DAG executor -------------------------------------------------------
   void evaluate_dag(std::span<const double> dens, std::span<double> phi);
   void build_dag();
-  int dag_add(int tag, int node, void (FmmEvaluator::*body)(int));
-  // Task bodies bound to the densities/potentials of the current evaluate()
-  // via dag_dens_/dag_phi_ (spans are caller-owned for one call only).
-  void dag_up(int b) { node_up(b, dag_dens_); }
+  /// The shared runner: dispatches task `t` through the skeleton's
+  /// (kind, node) tables to the per-node bodies, binding the densities /
+  /// potentials of the current evaluate() via dag_dens_/dag_phi_.
+  void run_dag_task(int t);
   void dag_fft(int b);
   void dag_vhad(int b);
-  void dag_vdense(int b) { node_v_dense(b); }
-  void dag_x(int b) { node_x(b, dag_dens_); }
-  void dag_down(int b) { node_down(b); }
-  void dag_l2p(int b) { leaf_l2p(b, dag_phi_); }
-  void dag_u(int b) { leaf_u(b, dag_dens_, dag_phi_); }
-  void dag_w(int b) { leaf_w(b, dag_phi_); }
+
+  void init();  ///< common construction tail of all constructors
 
   /// The canonical serial tally pass (see stats()).
   FmmStats compute_structural_stats() const;
@@ -196,24 +196,28 @@ class FmmEvaluator {
   void ensure_workspaces();
   Workspace& workspace();
 
+  /// Shorthands for the plan's shared immutable pieces.
+  const Operators& ops() const { return plan_->operators(); }
+  const Kernel& kern() const { return plan_->kernel(); }
+
   /// Arena views; `b` must be a node at level >= 2 (slot_[b] >= 0).
   std::span<double> up_equiv(int b) {
     return {up_equiv_.data() +
                 static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
-                    ops_.n_surf(),
-            ops_.n_surf()};
+                    ops().n_surf(),
+            ops().n_surf()};
   }
   std::span<double> down_check(int b) {
     return {down_check_.data() +
                 static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
-                    ops_.n_surf(),
-            ops_.n_surf()};
+                    ops().n_surf(),
+            ops().n_surf()};
   }
   std::span<double> down_equiv(int b) {
     return {down_equiv_.data() +
                 static_cast<std::size_t>(slot_[static_cast<std::size_t>(b)]) *
-                    ops_.n_surf(),
-            ops_.n_surf()};
+                    ops().n_surf(),
+            ops().n_surf()};
   }
 
   /// SoA view of the tree-order point range [begin, end).
@@ -222,10 +226,12 @@ class FmmEvaluator {
             end - begin};
   }
 
-  const Kernel& kernel_;
+  // The shared immutable setup (operators, config, optional DAG skeleton)
+  // and the per-request tree + lists. plan_ is set by every constructor
+  // before init() runs.
+  std::shared_ptr<const FmmPlan> plan_;
   Octree tree_;
   InteractionLists lists_;
-  Operators ops_;
   FmmStats stats_;
   FmmStats structural_stats_;
 
@@ -253,7 +259,14 @@ class FmmEvaluator {
 
   // -- DAG executor state --------------------------------------------------
   FmmExecutor executor_ = FmmExecutor::kPhases;
-  util::TaskGraph dag_;
+  // The runnable graph adopts a topology either from the plan's skeleton
+  // (structure-validated by signature) or from local_skeleton_, built here
+  // when the plan carries none that fits. dag_kind_/dag_node_ alias the
+  // owning skeleton's dispatch tables.
+  std::unique_ptr<util::TaskGraph> dag_;
+  std::unique_ptr<FmmDagSkeleton> local_skeleton_;
+  const FmmDagKind* dag_kind_ = nullptr;
+  const int* dag_node_ = nullptr;
   util::TaskGraph::RunHooks dag_hooks_;
   bool dag_built_ = false;
   const double* dag_dens_ = nullptr;  // valid only inside evaluate_dag()

@@ -18,19 +18,27 @@ Octree::Octree(std::span<const Vec3> points, Params params)
   for (std::uint32_t i = 0; i < original_index_.size(); ++i)
     original_index_[i] = i;
 
-  // Bounding cube, slightly inflated so boundary points normalize into
-  // [0, 1) strictly.
-  Vec3 lo = points_[0];
-  Vec3 hi = points_[0];
-  for (const Vec3& p : points_) {
-    lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
-    hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+  if (params_.domain.half > 0) {
+    // Fixed protocol domain: every point must already lie inside it.
+    for (const Vec3& p : points_)
+      EROOF_REQUIRE_MSG(params_.domain.contains(p),
+                        "point outside the fixed domain");
+    domain_ = params_.domain;
+  } else {
+    // Bounding cube, slightly inflated so boundary points normalize into
+    // [0, 1) strictly.
+    Vec3 lo = points_[0];
+    Vec3 hi = points_[0];
+    for (const Vec3& p : points_) {
+      lo = {std::min(lo.x, p.x), std::min(lo.y, p.y), std::min(lo.z, p.z)};
+      hi = {std::max(hi.x, p.x), std::max(hi.y, p.y), std::max(hi.z, p.z)};
+    }
+    const Vec3 center = (lo + hi) * 0.5;
+    double half = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
+    if (half == 0) half = 0.5;  // all points coincide
+    half *= 1.0 + 1e-6;
+    domain_ = Box{center, half};
   }
-  const Vec3 center = (lo + hi) * 0.5;
-  double half = 0.5 * std::max({hi.x - lo.x, hi.y - lo.y, hi.z - lo.z});
-  if (half == 0) half = 0.5;  // all points coincide
-  half *= 1.0 + 1e-6;
-  domain_ = Box{center, half};
 
   Node root;
   root.key = MortonKey::from_coords(0, 0, 0, 0);

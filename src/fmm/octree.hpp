@@ -46,6 +46,13 @@ class Octree {
     /// profile reflects. Use uniform_depth_for() to derive the depth from
     /// (N, Q).
     int uniform_depth = -1;
+    /// half > 0: use this cube as the root box instead of the bounding cube
+    /// of the points (which must all lie inside it). A fixed domain makes
+    /// the tree geometry -- and therefore the per-level operators -- a
+    /// function of the protocol rather than of one request's point set,
+    /// which is what lets the serving plan cache share operators across
+    /// requests.
+    Box domain{{0.0, 0.0, 0.0}, 0.0};
   };
 
   /// Smallest depth d with N / 8^d <= Q (capped at max_level 12).

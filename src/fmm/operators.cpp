@@ -4,6 +4,7 @@
 
 #include "fmm/morton.hpp"
 
+#include "trace/trace.hpp"
 #include "util/require.hpp"
 
 namespace eroof::fmm {
@@ -36,6 +37,10 @@ Operators::Operators(const Kernel& kernel, double root_half, int max_level,
                              static_cast<std::size_t>(j)) *
                                 m +
                             static_cast<std::size_t>(k));
+
+  // Setup-work witness: tests and the serving plan cache count operator
+  // constructions through the trace registry to prove sharing works.
+  trace::counter_add("fmm.operators.builds", 1.0);
 
   levels_.resize(static_cast<std::size_t>(max_level) + 1);
   if (max_level < kMinOperatorLevel) return;

@@ -1,0 +1,60 @@
+#include "serve/plan_cache.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <sstream>
+
+#include "util/require.hpp"
+
+namespace eroof::serve {
+namespace {
+
+const char* kind_name(KernelKind k) {
+  switch (k) {
+    case KernelKind::kLaplace:
+      return "laplace";
+    case KernelKind::kYukawa:
+      return "yukawa";
+    default:
+      return "gaussian";
+  }
+}
+
+/// Exact bit pattern of a double, hex-encoded: distinct values never alias
+/// and the key is platform-stable.
+void append_bits(std::ostringstream& os, double v) {
+  os << std::hex << std::bit_cast<std::uint64_t>(v) << std::dec;
+}
+
+}  // namespace
+
+std::shared_ptr<const fmm::Kernel> make_kernel(const KernelSpec& spec) {
+  switch (spec.kind) {
+    case KernelKind::kLaplace:
+      return std::make_shared<fmm::LaplaceKernel>();
+    case KernelKind::kYukawa:
+      return std::make_shared<fmm::YukawaKernel>(spec.param);
+    default:
+      return std::make_shared<fmm::GaussianKernel>(spec.param);
+  }
+}
+
+std::string plan_cache_key(const KernelSpec& spec, int p,
+                           std::uint32_t max_points_per_box, int depth,
+                           const fmm::Box& domain) {
+  std::ostringstream os;
+  os << kind_name(spec.kind) << ':';
+  append_bits(os, spec.kind == KernelKind::kLaplace ? 0.0 : spec.param);
+  os << "|p=" << p << "|q=" << max_points_per_box << "|d=" << depth
+     << "|dom=";
+  append_bits(os, domain.center.x);
+  os << ',';
+  append_bits(os, domain.center.y);
+  os << ',';
+  append_bits(os, domain.center.z);
+  os << ',';
+  append_bits(os, domain.half);
+  return os.str();
+}
+
+}  // namespace eroof::serve

@@ -1,0 +1,53 @@
+// The serving plan cache: (kernel, accuracy q, tree depth) -> ServePlan.
+//
+// A ServePlan is everything reusable across requests that resolve to the
+// same key: the FmmPlan (per-level operators + shared M2L bank + sealed
+// DAG skeleton) and the memoized schedule-DP result. A cache hit therefore
+// skips operator construction, DAG structure building AND the schedule
+// search; the per-request remainder (tree, lists, arenas, the solve
+// itself) is what the worker still executes.
+//
+// Key contents: kernel spec (kind + parameter bits), surface order p,
+// max points per box Q, tree depth, and the domain bits -- every input the
+// plan's bitwise output contract depends on. Doubles enter as exact bit
+// patterns, so distinct parameters never alias.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/schedule.hpp"
+#include "fmm/kernel.hpp"
+#include "fmm/plan.hpp"
+#include "serve/cache.hpp"
+#include "serve/request.hpp"
+
+namespace eroof::serve {
+
+/// Instantiates the kernel a spec describes. Each plan owns its kernel
+/// instance; kernels are stateless, so equality-of-spec implies
+/// equality-of-behavior.
+std::shared_ptr<const fmm::Kernel> make_kernel(const KernelSpec& spec);
+
+/// The cache key. Deterministic, human-readable prefix + exact parameter
+/// bits (hex-encoded doubles).
+std::string plan_cache_key(const KernelSpec& spec, int p,
+                           std::uint32_t max_points_per_box, int depth,
+                           const fmm::Box& domain);
+
+/// One cached unit of reuse.
+struct ServePlan {
+  std::string key;
+  std::shared_ptr<const fmm::FmmPlan> plan;
+  /// The schedule the chain DP picked for this plan's phase profile (from
+  /// the request that built the plan -- the plan's canonical
+  /// representative). Empty pick when no schedule context is configured.
+  model::PhaseSchedule schedule;
+  /// Grid labels matching schedule.pick, precomputed so responses need no
+  /// grid lookup.
+  std::vector<std::string> setting_labels;
+};
+
+using PlanCache = ShardedLruCache<ServePlan>;
+
+}  // namespace eroof::serve

@@ -1,0 +1,80 @@
+// Bounded MPMC work queue with admission control.
+//
+// Producers (submit callers) never block: try_push either admits the item
+// or reports the queue full so the server can shed the request -- bounded
+// latency under overload beats unbounded memory growth. Consumers (the
+// worker pool) block on pop until an item arrives or the queue is closed
+// and drained; close() is the shutdown path and wakes every waiter.
+//
+// A mutex + condition variable is deliberate: requests are milliseconds of
+// work, so queue transfer cost is noise, and the blocking pop gives workers
+// a real idle state (no spinning between requests).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "util/require.hpp"
+
+namespace eroof::serve {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    EROOF_REQUIRE(capacity_ >= 1);
+  }
+
+  /// Admits `item` unless the queue is full or closed; returns whether it
+  /// was admitted (false = shed / rejected). On rejection `item` is left
+  /// intact so the caller can still answer it (e.g. with a shed response).
+  bool try_push(T&& item) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (returning it) or the queue is
+  /// closed and drained (returning nullopt -- the consumer's exit signal).
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ready_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    return out;
+  }
+
+  /// Rejects all future pushes; consumers drain what is queued, then see
+  /// nullopt. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  std::size_t depth() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace eroof::serve

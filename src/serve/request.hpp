@@ -1,0 +1,74 @@
+// Wire types of the FMM serving subsystem (DESIGN.md §12).
+//
+// A request is one independent FMM solve: a point cloud inside the protocol
+// domain, source densities, a kernel and an accuracy order. The response
+// carries the potentials (bitwise identical to a fresh single-threaded
+// FmmEvaluator run on the same request -- the serving contract), the
+// per-phase DVFS schedule the energy model picked for this request's plan,
+// and the observability fields benchmarks and tests key on.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "fmm/geometry.hpp"
+
+namespace eroof::serve {
+
+/// The protocol domain: every request's points must lie inside this cube.
+/// Fixing the root box is what makes tree geometry -- and therefore the
+/// cached per-level operators -- a function of (kernel, accuracy, depth)
+/// instead of one request's bounding box.
+inline constexpr fmm::Box kServeDomain{{0.5, 0.5, 0.5}, 0.5};
+
+/// Which kernel a request wants; `param` is Yukawa's lambda or the
+/// Gaussian's sigma (ignored for Laplace). Kernels are identified by value
+/// so the plan-cache key can be built from the spec alone.
+enum class KernelKind : std::uint8_t { kLaplace, kYukawa, kGaussian };
+struct KernelSpec {
+  KernelKind kind = KernelKind::kLaplace;
+  double param = 0.0;
+};
+
+/// One FMM solve. `p` is the surface order (the accuracy knob q of the
+/// plan-cache key); `max_points_per_box` the paper's workload knob Q, which
+/// (with the point count) determines the uniform tree depth.
+struct FmmRequest {
+  std::uint64_t id = 0;
+  KernelSpec kernel;
+  int p = 4;
+  std::uint32_t max_points_per_box = 64;
+  std::vector<fmm::Vec3> points;
+  std::vector<double> densities;
+};
+
+enum class ServeStatus : std::uint8_t {
+  kOk,    ///< solved; potentials are valid
+  kShed,  ///< admission control rejected the request (queue full)
+};
+
+/// The chosen per-phase DVFS schedule, in the canonical phase order
+/// UP,V,X,DOWN,U,W. Empty when the server runs without a schedule context.
+struct ServeSchedule {
+  std::vector<std::string> setting_labels;  ///< one grid label per phase
+  double pred_time_s = 0;
+  double pred_energy_j = 0;
+  int switches = 0;
+};
+
+struct FmmResponse {
+  std::uint64_t id = 0;
+  ServeStatus status = ServeStatus::kOk;
+  std::vector<double> potentials;  ///< caller's point order; empty if shed
+
+  ServeSchedule schedule;
+
+  // Observability.
+  std::string plan_key;   ///< the plan-cache key this request resolved to
+  bool cache_hit = false;  ///< true if the plan was served from the cache
+  double queue_us = 0;    ///< time from admission to a worker claiming it
+  double service_us = 0;  ///< time inside the worker (solve + respond)
+};
+
+}  // namespace eroof::serve

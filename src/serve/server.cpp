@@ -1,0 +1,185 @@
+#include "serve/server.hpp"
+
+#include <omp.h>
+
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "fmm/gpu_profile.hpp"
+#include "trace/trace.hpp"
+#include "ubench/campaign.hpp"
+#include "util/require.hpp"
+
+namespace eroof::serve {
+namespace {
+
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+std::shared_ptr<const ScheduleContext> ScheduleContext::tegra_default(
+    std::uint64_t campaign_seed) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon meter;
+  const util::RngStream root(campaign_seed);
+  const auto campaign = ub::paper_campaign(soc, meter, root);
+  std::vector<model::FitSample> train;
+  for (const auto& s : campaign)
+    if (s.role == hw::SettingRole::kTrain)
+      train.push_back(model::to_fit_sample(s.meas));
+  return std::make_shared<const ScheduleContext>(
+      ScheduleContext{soc, model::fit_energy_model(train).model,
+                      hw::full_grid(), hw::DvfsTransitionModel{100e-6, 50e-6}});
+}
+
+FmmServer::FmmServer(ServerConfig cfg)
+    : cfg_(cfg),
+      queue_(cfg.queue_capacity),
+      cache_({.capacity = cfg.plan_cache_capacity,
+              .shards = cfg.plan_cache_shards,
+              .counter_prefix = "serve.plan_cache"}) {
+  EROOF_REQUIRE_MSG(cfg_.workers >= 1, "FmmServer needs >= 1 worker");
+  workers_.reserve(static_cast<std::size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i)
+    workers_.emplace_back([this] { worker_main(); });
+}
+
+FmmServer::~FmmServer() { shutdown(); }
+
+std::future<FmmResponse> FmmServer::submit(FmmRequest req) {
+  Job job;
+  job.req = std::move(req);
+  job.enqueued_us = now_us();
+  std::future<FmmResponse> future = job.promise.get_future();
+  const std::uint64_t id = job.req.id;
+  if (!queue_.try_push(std::move(job))) {
+    // Admission control: answer immediately instead of queueing unbounded
+    // work. `job` is intact on rejection, so its promise still answers.
+    FmmResponse resp;
+    resp.id = id;
+    resp.status = ServeStatus::kShed;
+    shed_.fetch_add(1, std::memory_order_relaxed);
+    trace::counter_add("serve.shed", 1.0);
+    job.promise.set_value(std::move(resp));
+  }
+  return future;
+}
+
+FmmResponse FmmServer::serve_now(FmmRequest req) {
+  return serve_one(std::move(req));
+}
+
+void FmmServer::shutdown() {
+  if (down_.exchange(true)) return;
+  queue_.close();
+  for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+FmmServer::Stats FmmServer::stats() const {
+  return {served_.load(std::memory_order_relaxed),
+          shed_.load(std::memory_order_relaxed), cache_.stats()};
+}
+
+void FmmServer::worker_main() {
+  // Each solve runs single-threaded; serving parallelism comes from
+  // concurrent requests, and per-request work stays deterministic no matter
+  // how many co-tenants run. The num-threads ICV is per-thread, so this
+  // only serializes *this* worker's OpenMP regions.
+  omp_set_num_threads(1);
+  // eroof: hot-begin -- steady-state serving loop: no allocation beyond the
+  // per-request evaluator state, no locks beyond the queue handoff.
+  while (auto job = queue_.pop()) {
+    const std::int64_t claimed_us = now_us();
+    FmmResponse resp = serve_one(std::move(job->req));
+    resp.queue_us = static_cast<double>(claimed_us - job->enqueued_us);
+    job->promise.set_value(std::move(resp));
+  }
+  // eroof: hot-end
+}
+
+FmmResponse FmmServer::serve_one(FmmRequest req) {
+  const std::int64_t start_us = now_us();
+  trace::ScopedSpan span("serve.request", "serve");
+
+  FmmResponse resp;
+  resp.id = req.id;
+  EROOF_REQUIRE_MSG(!req.points.empty(), "request has no points");
+  EROOF_REQUIRE_MSG(req.densities.size() == req.points.size(),
+                    "densities/points size mismatch");
+
+  // The tree is a protocol function of the request: fixed domain, uniform
+  // depth from (N, Q). Identical across workers and arrival orders.
+  fmm::Octree::Params tp;
+  tp.max_points_per_box = req.max_points_per_box;
+  tp.uniform_depth =
+      fmm::Octree::uniform_depth_for(req.points.size(), req.max_points_per_box);
+  tp.domain = kServeDomain;
+  fmm::Octree tree(req.points, tp);
+
+  const std::string key =
+      plan_cache_key(req.kernel, req.p, req.max_points_per_box,
+                     tree.max_depth(), tree.domain());
+  const PlanCache::Result cached = cache_.get_or_build(
+      key, [&] { return build_plan(key, req, tree); });
+  const ServePlan& sp = *cached.value;
+
+  fmm::FmmEvaluator ev(sp.plan, std::move(tree));
+  ev.set_executor(cfg_.executor);
+  resp.potentials = ev.evaluate(req.densities);
+
+  resp.plan_key = key;
+  resp.cache_hit = cached.hit;
+  resp.schedule.setting_labels = sp.setting_labels;
+  resp.schedule.pred_time_s = sp.schedule.pred_time_s;
+  resp.schedule.pred_energy_j = sp.schedule.pred_energy_j;
+  resp.schedule.switches = sp.schedule.switches;
+  resp.service_us = static_cast<double>(now_us() - start_us);
+  served_.fetch_add(1, std::memory_order_relaxed);
+  trace::counter_add("serve.served", 1.0);
+  return resp;
+}
+
+std::shared_ptr<const ServePlan> FmmServer::build_plan(
+    const std::string& key, const FmmRequest& req, const fmm::Octree& tree) {
+  trace::ScopedSpan span("serve.plan_build", "serve");
+
+  fmm::FmmConfig fcfg;
+  fcfg.p = req.p;
+  auto plan = std::make_shared<fmm::FmmPlan>(
+      make_kernel(req.kernel), tree.domain().half, tree.max_depth(), fcfg);
+  plan->attach_dag_skeleton(fmm::build_fmm_dag_skeleton(
+      tree, fmm::build_lists(tree), fcfg.use_fft_m2l));
+
+  auto sp = std::make_shared<ServePlan>();
+  sp->key = key;
+  sp->plan = plan;
+  if (cfg_.schedule_ctx) {
+    const ScheduleContext& ctx = *cfg_.schedule_ctx;
+    // The plan's canonical representative is the request that built it: its
+    // phase workloads feed the chain DP once, and the memo keeps the result
+    // alive across plan-cache evictions (schedules are tiny; replaying the
+    // DP is not).
+    sp->schedule = schedule_memo_.schedule_for_plan(key, [&] {
+      fmm::FmmEvaluator ev(plan, req.points, tree.params());
+      const auto prof = fmm::profile_gpu_execution(ev);
+      std::vector<hw::Workload> phases;
+      phases.reserve(prof.phases.size());
+      for (const auto& ph : prof.phases) phases.push_back(ph.workload);
+      const auto pred =
+          model::predict_phase_grid(ctx.model, ctx.soc, phases, ctx.grid);
+      return model::schedule_phases(pred, ctx.transitions);
+    });
+    sp->setting_labels.reserve(sp->schedule.pick.size());
+    for (const std::size_t pick : sp->schedule.pick)
+      sp->setting_labels.push_back(ctx.grid[pick].label());
+  }
+  return sp;
+}
+
+}  // namespace eroof::serve

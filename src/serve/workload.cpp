@@ -1,0 +1,56 @@
+#include "serve/workload.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "fmm/pointgen.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::serve {
+namespace {
+
+/// Maps a point into the protocol domain: contraction toward the domain
+/// center. Factor 0.45 pulls the unit sphere (radius 1 around the center,
+/// so it pokes outside the unit cube) strictly inside, and a final clamp
+/// guards the Gaussian tails.
+fmm::Vec3 into_domain(fmm::Vec3 p) {
+  const fmm::Vec3 c = kServeDomain.center;
+  fmm::Vec3 out{c.x + (p.x - c.x) * 0.45, c.y + (p.y - c.y) * 0.45,
+                c.z + (p.z - c.z) * 0.45};
+  const double lo = kServeDomain.center.x - kServeDomain.half;
+  const double hi = kServeDomain.center.x + kServeDomain.half;
+  out.x = std::clamp(out.x, lo, hi);
+  out.y = std::clamp(out.y, lo, hi);
+  out.z = std::clamp(out.z, lo, hi);
+  return out;
+}
+
+}  // namespace
+
+FmmRequest make_request(const WorkloadConfig& cfg, std::uint64_t index) {
+  FmmRequest req;
+  req.id = index;
+  req.kernel = cfg.kernels[static_cast<std::size_t>(index) % cfg.kernels.size()];
+  req.p = cfg.p;
+  req.max_points_per_box = cfg.max_points_per_box;
+
+  const std::size_t n =
+      cfg.sizes[static_cast<std::size_t>(index) % cfg.sizes.size()];
+  util::Rng rng = util::RngStream(cfg.seed).fork(index).rng();
+  switch (index % 3) {
+    case 0:
+      req.points = fmm::uniform_cube(n, rng);
+      break;
+    case 1:
+      req.points = fmm::sphere_surface(n, rng);
+      break;
+    default:
+      req.points = fmm::gaussian_clusters(n, 8, 0.05, rng);
+      break;
+  }
+  for (fmm::Vec3& p : req.points) p = into_domain(p);
+  req.densities = fmm::random_densities(n, rng);
+  return req;
+}
+
+}  // namespace eroof::serve

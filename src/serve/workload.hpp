@@ -1,0 +1,36 @@
+// Deterministic mixed-workload generator for the serving benchmark/tests.
+//
+// make_request(cfg, i) is a pure function of (cfg.seed, i): request i is
+// identical no matter which requests were generated before it, in which
+// order, or on which thread -- the property the bitwise serving tests rely
+// on when they replay the same request against a fresh evaluator.
+//
+// The mix cycles point distributions (uniform cube, sphere surface,
+// Gaussian clusters) and request sizes; every point set is mapped into the
+// protocol domain kServeDomain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace eroof::serve {
+
+struct WorkloadConfig {
+  std::uint64_t seed = 2016;
+  /// Request sizes, cycled by request index.
+  std::vector<std::size_t> sizes = {1024, 2048, 4096};
+  /// Kernel specs, cycled by request index. Defaults to Laplace-only (the
+  /// homogeneous-kernel mix of the headline benchmark).
+  std::vector<KernelSpec> kernels = {{KernelKind::kLaplace, 0.0}};
+  int p = 4;
+  std::uint32_t max_points_per_box = 64;
+};
+
+/// Builds request `index` of the workload. Deterministic and
+/// order-independent (each request forks its own RNG stream).
+FmmRequest make_request(const WorkloadConfig& cfg, std::uint64_t index);
+
+}  // namespace eroof::serve

@@ -33,12 +33,31 @@ int default_threads() {
 
 }  // namespace
 
+TaskGraph::TaskGraph(std::shared_ptr<const Topology> topology)
+    : sealed_(true), topo_(std::move(topology)) {
+  EROOF_REQUIRE_MSG(topo_ != nullptr, "adopting a null topology");
+  alloc_run_arenas(topo_->task_count());
+}
+
 int TaskGraph::add_task(int tag, std::function<void()> body) {
   EROOF_REQUIRE_MSG(!sealed_, "add_task after seal()");
   EROOF_REQUIRE(body != nullptr);
   bodies_.push_back(std::move(body));
   tags_.push_back(tag);
   return static_cast<int>(bodies_.size()) - 1;
+}
+
+int TaskGraph::add_task(int tag) {
+  EROOF_REQUIRE_MSG(!sealed_, "add_task after seal()");
+  bodies_.emplace_back();  // null body: dispatched through the runner
+  tags_.push_back(tag);
+  has_runner_tasks_ = true;
+  return static_cast<int>(bodies_.size()) - 1;
+}
+
+void TaskGraph::set_runner(std::function<void(int)> runner) {
+  EROOF_REQUIRE(runner != nullptr);
+  runner_ = std::move(runner);
 }
 
 void TaskGraph::add_edge(int before, int after) {
@@ -50,13 +69,25 @@ void TaskGraph::add_edge(int before, int after) {
 }
 
 std::size_t TaskGraph::check(int task) const {
-  EROOF_REQUIRE(task >= 0 && static_cast<std::size_t>(task) < tags_.size());
+  EROOF_REQUIRE(task >= 0 && static_cast<std::size_t>(task) < task_count());
   return static_cast<std::size_t>(task);
+}
+
+const TaskGraph::Topology& TaskGraph::topo() const {
+  EROOF_REQUIRE_MSG(sealed_, "topology access before seal()");
+  return *topo_;
+}
+
+void TaskGraph::alloc_run_arenas(std::size_t n) {
+  deps_ = std::make_unique<std::atomic<int>[]>(n);
+  ready_ = std::make_unique<std::atomic<int>[]>(n);
+  stamps_ = std::make_unique<Stamps[]>(n);
 }
 
 void TaskGraph::seal() {
   EROOF_REQUIRE_MSG(!sealed_, "seal() twice");
   const std::size_t n = bodies_.size();
+  auto topo = std::make_shared<Topology>();
 
   // Duplicate edges would count (and decrement) symmetrically, so they are
   // harmless to execution -- but predecessor lists are part of the public
@@ -70,85 +101,106 @@ void TaskGraph::seal() {
         "duplicate edge");
   }
 
-  succ_begin_.assign(n + 1, 0);
-  pred_begin_.assign(n + 1, 0);
+  topo->succ_begin.assign(n + 1, 0);
+  topo->pred_begin.assign(n + 1, 0);
   for (const auto& [u, v] : edges_) {
-    ++succ_begin_[static_cast<std::size_t>(u) + 1];
-    ++pred_begin_[static_cast<std::size_t>(v) + 1];
+    ++topo->succ_begin[static_cast<std::size_t>(u) + 1];
+    ++topo->pred_begin[static_cast<std::size_t>(v) + 1];
   }
   for (std::size_t i = 0; i < n; ++i) {
-    succ_begin_[i + 1] += succ_begin_[i];
-    pred_begin_[i + 1] += pred_begin_[i];
+    topo->succ_begin[i + 1] += topo->succ_begin[i];
+    topo->pred_begin[i + 1] += topo->pred_begin[i];
   }
-  succ_.resize(edges_.size());
-  pred_.resize(edges_.size());
+  topo->succ.resize(edges_.size());
+  topo->pred.resize(edges_.size());
   {
-    auto scur = succ_begin_;
-    auto pcur = pred_begin_;
+    auto scur = topo->succ_begin;
+    auto pcur = topo->pred_begin;
     for (const auto& [u, v] : edges_) {
-      succ_[static_cast<std::size_t>(scur[static_cast<std::size_t>(u)]++)] = v;
-      pred_[static_cast<std::size_t>(pcur[static_cast<std::size_t>(v)]++)] = u;
+      topo->succ[static_cast<std::size_t>(scur[static_cast<std::size_t>(u)]++)] =
+          v;
+      topo->pred[static_cast<std::size_t>(pcur[static_cast<std::size_t>(v)]++)] =
+          u;
     }
   }
 
-  initial_deps_.assign(n, 0);
+  topo->initial_deps.assign(n, 0);
   for (std::size_t t = 0; t < n; ++t)
-    initial_deps_[t] = pred_begin_[t + 1] - pred_begin_[t];
+    topo->initial_deps[t] = topo->pred_begin[t + 1] - topo->pred_begin[t];
   for (std::size_t t = 0; t < n; ++t)
-    if (initial_deps_[t] == 0) roots_.push_back(static_cast<int>(t));
+    if (topo->initial_deps[t] == 0) topo->roots.push_back(static_cast<int>(t));
 
   // A graph with tasks but no roots is cyclic; deeper cycles are caught at
   // run time (run() would hang otherwise, so verify reachability once here
   // with a Kahn pass over the initial counts).
   {
-    std::vector<int> counts = initial_deps_;
-    std::vector<int> queue = roots_;
+    std::vector<int> counts = topo->initial_deps;
+    std::vector<int> queue = topo->roots;
     std::size_t done = 0;
     while (done < queue.size()) {
       const int u = queue[done++];
-      for (int e = succ_begin_[static_cast<std::size_t>(u)];
-           e < succ_begin_[static_cast<std::size_t>(u) + 1]; ++e) {
-        const int v = succ_[static_cast<std::size_t>(e)];
+      for (int e = topo->succ_begin[static_cast<std::size_t>(u)];
+           e < topo->succ_begin[static_cast<std::size_t>(u) + 1]; ++e) {
+        const int v = topo->succ[static_cast<std::size_t>(e)];
         if (--counts[static_cast<std::size_t>(v)] == 0) queue.push_back(v);
       }
     }
     EROOF_REQUIRE_MSG(done == n, "task graph has a cycle");
   }
 
-  deps_ = std::make_unique<std::atomic<int>[]>(n);
-  ready_ = std::make_unique<std::atomic<int>[]>(n);
-  stamps_ = std::make_unique<Stamps[]>(n);
+  topo->tags = std::move(tags_);
+  alloc_run_arenas(n);
   edges_.clear();
   edges_.shrink_to_fit();
+  topo_ = std::move(topo);
   sealed_ = true;
 }
 
-std::span<const int> TaskGraph::successors(int task) const {
-  EROOF_REQUIRE_MSG(sealed_, "successors() before seal()");
+std::shared_ptr<const TaskGraph::Topology> TaskGraph::share_topology() const {
+  EROOF_REQUIRE_MSG(sealed_, "share_topology() before seal()");
+  return topo_;
+}
+
+std::size_t TaskGraph::edge_count() const {
+  return sealed_ ? topo_->edge_count() : edges_.size();
+}
+
+int TaskGraph::tag(int task) const {
   const std::size_t t = check(task);
-  return {succ_.data() + succ_begin_[t],
-          static_cast<std::size_t>(succ_begin_[t + 1] - succ_begin_[t])};
+  return sealed_ ? topo_->tags[t] : tags_[t];
+}
+
+std::span<const int> TaskGraph::successors(int task) const {
+  const auto& tp = topo();
+  const std::size_t t = check(task);
+  return {tp.succ.data() + tp.succ_begin[t],
+          static_cast<std::size_t>(tp.succ_begin[t + 1] - tp.succ_begin[t])};
 }
 
 std::span<const int> TaskGraph::predecessors(int task) const {
-  EROOF_REQUIRE_MSG(sealed_, "predecessors() before seal()");
+  const auto& tp = topo();
   const std::size_t t = check(task);
-  return {pred_.data() + pred_begin_[t],
-          static_cast<std::size_t>(pred_begin_[t + 1] - pred_begin_[t])};
+  return {tp.pred.data() + tp.pred_begin[t],
+          static_cast<std::size_t>(tp.pred_begin[t + 1] - tp.pred_begin[t])};
 }
 
 void TaskGraph::run(const RunHooks& hooks, int num_threads) {
   EROOF_REQUIRE_MSG(sealed_, "run() before seal()");
-  const int n = static_cast<int>(tags_.size());
+  const auto& tp = *topo_;
+  const int n = static_cast<int>(tp.task_count());
   if (n == 0) {
     ++runs_;
     return;
   }
+  // Any task without its own body (runner-mode or adopted topology) needs
+  // the shared runner installed.
+  if (has_runner_tasks_ || bodies_.size() < tp.task_count())
+    EROOF_REQUIRE_MSG(runner_ != nullptr, "run() without a runner");
 
   // Replay reset: restore the counter image and empty the ring. Plain
   // stores are enough -- the worker fork below publishes them.
   for (int t = 0; t < n; ++t) {
-    deps_[t].store(initial_deps_[static_cast<std::size_t>(t)],
+    deps_[t].store(tp.initial_deps[static_cast<std::size_t>(t)],
                    std::memory_order_relaxed);
     ready_[t].store(-1, std::memory_order_relaxed);
     stamps_[t].start.store(0, std::memory_order_relaxed);
@@ -157,7 +209,7 @@ void TaskGraph::run(const RunHooks& hooks, int num_threads) {
   epoch_.store(0, std::memory_order_relaxed);
   pop_pos_.store(0, std::memory_order_relaxed);
   int pushed = 0;
-  for (const int r : roots_)
+  for (const int r : tp.roots)
     ready_[pushed++].store(r, std::memory_order_relaxed);
   push_pos_.store(pushed, std::memory_order_relaxed);
 
@@ -177,7 +229,10 @@ void TaskGraph::run(const RunHooks& hooks, int num_threads) {
 }
 
 void TaskGraph::worker_loop(const RunHooks& hooks, int worker) {
-  const int n = static_cast<int>(tags_.size());
+  const Topology& tp = *topo_;
+  const int n = static_cast<int>(tp.task_count());
+  const std::function<void()>* bodies = bodies_.data();
+  const std::size_t n_bodies = bodies_.size();
   // eroof: hot-begin (task-graph replay: claim ticket, run task, release
   // successors -- the steady-state scheduling loop of every DAG evaluate)
   for (;;) {
@@ -191,14 +246,19 @@ void TaskGraph::worker_loop(const RunHooks& hooks, int worker) {
     if (hooks.before_task) hooks.before_task(t, worker);
     stamps_[t].start.store(epoch_.fetch_add(1, std::memory_order_relaxed) + 1,
                            std::memory_order_release);
-    bodies_[static_cast<std::size_t>(t)]();
+    if (static_cast<std::size_t>(t) < n_bodies &&
+        bodies[static_cast<std::size_t>(t)]) {
+      bodies[static_cast<std::size_t>(t)]();
+    } else {
+      runner_(t);
+    }
     stamps_[t].finish.store(
         epoch_.fetch_add(1, std::memory_order_relaxed) + 1,
         std::memory_order_release);
-    const int sb = succ_begin_[static_cast<std::size_t>(t)];
-    const int se = succ_begin_[static_cast<std::size_t>(t) + 1];
+    const int sb = tp.succ_begin[static_cast<std::size_t>(t)];
+    const int se = tp.succ_begin[static_cast<std::size_t>(t) + 1];
     for (int e = sb; e < se; ++e) {
-      const int s = succ_[static_cast<std::size_t>(e)];
+      const int s = tp.succ[static_cast<std::size_t>(e)];
       // The last predecessor to finish publishes the successor; acq_rel
       // on the shared counter makes every predecessor's writes visible to
       // whichever worker later claims the ring slot.

@@ -18,6 +18,24 @@
 // is noise, and the single ring keeps the executor small enough to reason
 // about determinism and to sanitize under TSan.
 //
+// Task bodies come in two flavors:
+//
+//   * per-task std::function bodies (add_task(tag, body)) -- convenient for
+//     unit tests and one-off graphs;
+//   * a single shared *runner* (add_task(tag) + set_runner(fn)) -- the
+//     runner is called with the task id, and the client dispatches off its
+//     own side tables. This keeps a graph of N tasks down to one callable
+//     (no N type-erased closures), which matters when graphs are rebound
+//     per-request in the serving path.
+//
+// Topology sharing: the sealed structure (CSR edges, initial dependency
+// counts, roots, tags) is immutable and independent of the bodies, so
+// share_topology() exposes it as a shared_ptr and the adopting constructor
+// TaskGraph(topology) builds a new runnable graph around it without
+// re-validating or re-sorting anything. This is how the FMM plan cache
+// reuses one sealed DAG skeleton across requests: structure built and
+// Kahn-checked once per plan, per-request graphs just attach a runner.
+//
 // Determinism contract: the executor guarantees *ordering*, not schedule --
 // a task observes all writes of its transitive predecessors (release/acquire
 // through the dependency counters and ring slots). Clients that want bitwise
@@ -42,6 +60,20 @@ namespace eroof::util {
 
 class TaskGraph {
  public:
+  /// The immutable sealed structure: everything a replay needs except the
+  /// bodies and the per-run counters. Shareable across TaskGraph instances
+  /// (and threads) because nothing in it is ever written after seal().
+  struct Topology {
+    std::vector<int> tags;
+    std::vector<int> succ, succ_begin;  ///< CSR successors
+    std::vector<int> pred, pred_begin;  ///< CSR predecessors
+    std::vector<int> initial_deps;
+    std::vector<int> roots;
+
+    std::size_t task_count() const { return tags.size(); }
+    std::size_t edge_count() const { return succ.size(); }
+  };
+
   /// Test instrumentation. `before_task(task, worker)` runs on the claiming
   /// worker immediately before the task body; injecting seeded delays there
   /// perturbs the schedule without touching the ordering guarantees.
@@ -50,6 +82,10 @@ class TaskGraph {
   };
 
   TaskGraph() = default;
+  /// Adopts an already-sealed topology: the graph starts sealed, with fresh
+  /// run arenas, and executes via the runner (set_runner() must be called
+  /// before run()). No edge validation or CSR construction happens here.
+  explicit TaskGraph(std::shared_ptr<const Topology> topology);
   TaskGraph(const TaskGraph&) = delete;
   TaskGraph& operator=(const TaskGraph&) = delete;
 
@@ -57,6 +93,15 @@ class TaskGraph {
   /// arbitrary client label (the FMM tags tasks by paper phase so traces
   /// can aggregate busy time per phase).
   int add_task(int tag, std::function<void()> body);
+
+  /// Adds a body-less task dispatched through the shared runner.
+  int add_task(int tag);
+
+  /// Installs the shared runner, called as `runner(task)` for every task
+  /// added without a body. Required before run() if any such task exists;
+  /// may be reinstalled between runs (the serving path rebinds it per
+  /// request).
+  void set_runner(std::function<void(int task)> runner);
 
   /// Declares that `after` must not start until `before` has finished.
   /// Both ids must exist; self-edges and duplicate edges are rejected by
@@ -69,25 +114,32 @@ class TaskGraph {
   void seal();
   bool sealed() const { return sealed_; }
 
+  /// The sealed structure, shareable with other TaskGraph instances via the
+  /// adopting constructor. Requires seal().
+  std::shared_ptr<const Topology> share_topology() const;
+
   /// Executes every task once, honoring all edges. `num_threads` <= 0 uses
   /// the OpenMP default. Allocation-free; requires seal().
   void run(int num_threads = 0) { run(RunHooks{}, num_threads); }
   void run(const RunHooks& hooks, int num_threads = 0);
 
-  std::size_t task_count() const { return tags_.size(); }
-  std::size_t edge_count() const { return succ_.size(); }
-  int tag(int task) const { return tags_[check(task)]; }
+  std::size_t task_count() const { return topo_ ? topo_->task_count() : tags_.size(); }
+  std::size_t edge_count() const;
+  int tag(int task) const;
 
   /// Number of predecessors, i.e. the dependency count a replay starts from.
   int initial_dep_count(int task) const {
-    return initial_deps_[check(task)];
+    return topo().initial_deps[check(task)];
   }
   std::span<const int> successors(int task) const;
   std::span<const int> predecessors(int task) const;
 
   /// Tasks with no predecessors, in ascending id order (the push order of
   /// every replay's initial ready set).
-  std::span<const int> roots() const { return {roots_.data(), roots_.size()}; }
+  std::span<const int> roots() const {
+    const auto& r = topo().roots;
+    return {r.data(), r.size()};
+  }
 
   /// Completed replays since construction.
   std::uint64_t runs_completed() const { return runs_; }
@@ -109,19 +161,22 @@ class TaskGraph {
   };
 
   std::size_t check(int task) const;
+  const Topology& topo() const;
+  void alloc_run_arenas(std::size_t n);
   void worker_loop(const RunHooks& hooks, int worker);
 
   // Build-time state (edge list order is irrelevant; seal() sorts by CSR).
+  // Unused when the graph was constructed from a shared topology.
   std::vector<std::function<void()>> bodies_;
   std::vector<int> tags_;
   std::vector<std::pair<int, int>> edges_;
+  bool has_runner_tasks_ = false;
 
-  // Sealed arenas.
+  // Sealed state. `topo_` owns the structure (possibly shared with other
+  // graphs); the arenas below are private to this instance.
   bool sealed_ = false;
-  std::vector<int> succ_, succ_begin_;  // CSR successors
-  std::vector<int> pred_, pred_begin_;  // CSR predecessors
-  std::vector<int> initial_deps_;
-  std::vector<int> roots_;
+  std::shared_ptr<const Topology> topo_;
+  std::function<void(int)> runner_;
   std::unique_ptr<std::atomic<int>[]> deps_;   // live counters of one run
   std::unique_ptr<std::atomic<int>[]> ready_;  // the ready ring (task ids)
   std::unique_ptr<Stamps[]> stamps_;

@@ -1,0 +1,22 @@
+// Seeded serving-loop violations: thread spawns inside the hot region
+// (a worker's steady state must reuse its pool, never create threads per
+// request). Lint-input fixture -- never compiled.
+#include <future>
+#include <thread>
+
+void fixture_serve_loop(int n) {
+  // eroof: hot-begin (worker steady state)
+  for (int i = 0; i < n; ++i) {
+    std::thread worker([] {});
+    auto f = std::async([] { return 1; });
+    worker.join();
+    (void)f.get();
+  }
+  // eroof: hot-end
+}
+
+void fixture_pool_setup() {
+  // Spawning outside the hot region is the sanctioned pattern.
+  std::thread worker([] {});
+  worker.join();
+}

@@ -53,6 +53,15 @@ TEST(LintRules, FlagsEverySeededHotPathAllocation) {
   EXPECT_EQ(violations(rep), expected);
 }
 
+TEST(LintRules, FlagsThreadSpawnsInsideHotServeLoop) {
+  const auto rep = lint_file(fixture("bad_serve_loop.cpp"), Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {10, "hot-alloc"},
+      {11, "hot-alloc"},
+  };
+  EXPECT_EQ(violations(rep), expected);
+}
+
 TEST(LintRules, AllocationOutsideHotRegionIsFine) {
   const auto rep = lint_file(fixture("bad_hotpath.cpp"), Options{});
   for (const auto& f : rep.findings) EXPECT_LT(f.line, 20) << f.message;

@@ -1,0 +1,88 @@
+// BoundedQueue: admission control (full queue rejects without consuming the
+// item), FIFO order, close/drain semantics, and MPMC conservation under
+// concurrent producers and consumers.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <memory>
+#include <set>
+#include <thread>
+#include <vector>
+
+#include "serve/queue.hpp"
+
+namespace eroof::serve {
+namespace {
+
+TEST(BoundedQueue, FifoWithinCapacity) {
+  BoundedQueue<int> q(4);
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(q.try_push(int(i)));
+  EXPECT_EQ(q.depth(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    auto v = q.pop();
+    ASSERT_TRUE(v.has_value());
+    EXPECT_EQ(*v, i);
+  }
+  EXPECT_EQ(q.depth(), 0u);
+}
+
+TEST(BoundedQueue, FullQueueRejectsAndLeavesItemIntact) {
+  BoundedQueue<std::unique_ptr<int>> q(1);
+  EXPECT_TRUE(q.try_push(std::make_unique<int>(1)));
+  auto extra = std::make_unique<int>(2);
+  EXPECT_FALSE(q.try_push(std::move(extra)));
+  // The rejected item must survive: the server answers it with a shed
+  // response through the promise it still holds.
+  ASSERT_NE(extra, nullptr);
+  EXPECT_EQ(*extra, 2);
+}
+
+TEST(BoundedQueue, CloseDrainsThenSignalsExit) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.try_push(7));
+  q.close();
+  EXPECT_FALSE(q.try_push(8));  // closed: no new admissions
+  auto v = q.pop();             // queued work still drains
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(*v, 7);
+  EXPECT_FALSE(q.pop().has_value());  // drained + closed -> exit signal
+  q.close();                          // idempotent
+}
+
+TEST(BoundedQueue, CloseWakesBlockedConsumers) {
+  BoundedQueue<int> q(2);
+  std::thread consumer([&] { EXPECT_FALSE(q.pop().has_value()); });
+  q.close();
+  consumer.join();
+}
+
+TEST(BoundedQueue, MpmcConservesItems) {
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 200;
+  BoundedQueue<int> q(64);
+  std::mutex mu;
+  std::set<int> seen;
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < 3; ++c)
+    consumers.emplace_back([&] {
+      while (auto v = q.pop()) {
+        std::lock_guard<std::mutex> lock(mu);
+        EXPECT_TRUE(seen.insert(*v).second);
+      }
+    });
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p)
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        int item = p * kPerProducer + i;
+        while (!q.try_push(std::move(item))) std::this_thread::yield();
+      }
+    });
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(kProducers * kPerProducer));
+}
+
+}  // namespace
+}  // namespace eroof::serve

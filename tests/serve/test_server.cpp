@@ -1,0 +1,199 @@
+// FmmServer end-to-end: the serving contract (every response bitwise
+// identical to a fresh single-threaded FmmEvaluator run, independent of
+// worker count, arrival order, and cache hits vs misses), admission-control
+// shedding, plan-cache accounting through the server, and the DVFS schedule
+// attached to responses.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cstring>
+#include <future>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "fmm/evaluator.hpp"
+#include "serve/plan_cache.hpp"
+#include "serve/server.hpp"
+#include "serve/workload.hpp"
+
+namespace eroof::serve {
+namespace {
+
+::testing::AssertionResult bitwise_equal(const std::vector<double>& got,
+                                         const std::vector<double>& want) {
+  if (got.size() != want.size())
+    return ::testing::AssertionFailure()
+           << "size " << got.size() << " vs " << want.size();
+  for (std::size_t i = 0; i < got.size(); ++i)
+    if (std::memcmp(&got[i], &want[i], sizeof(double)) != 0)
+      return ::testing::AssertionFailure()
+             << "element " << i << ": " << got[i] << " vs " << want[i];
+  return ::testing::AssertionSuccess();
+}
+
+/// Small-but-multi-level workload: two sizes so two distinct plan keys
+/// (uniform depths) occur, Q=8 to keep trees deep at small N.
+WorkloadConfig small_workload() {
+  WorkloadConfig cfg;
+  cfg.sizes = {256, 1024};
+  cfg.max_points_per_box = 8;
+  return cfg;
+}
+
+/// The contract's reference: a fresh evaluator, built from scratch (its own
+/// plan, no sharing), run single-threaded with the phases executor.
+std::vector<double> reference_solve(const FmmRequest& req) {
+#ifdef _OPENMP
+  const int saved = omp_get_max_threads();
+  omp_set_num_threads(1);
+#endif
+  const auto kernel = make_kernel(req.kernel);
+  fmm::Octree::Params tp;
+  tp.max_points_per_box = req.max_points_per_box;
+  tp.uniform_depth = fmm::Octree::uniform_depth_for(req.points.size(),
+                                                    req.max_points_per_box);
+  tp.domain = kServeDomain;
+  fmm::FmmEvaluator ev(*kernel, req.points, tp, fmm::FmmConfig{.p = req.p});
+  auto phi = ev.evaluate(req.densities);
+#ifdef _OPENMP
+  omp_set_num_threads(saved);
+#endif
+  return phi;
+}
+
+TEST(FmmServer, ResponsesBitwiseMatchFreshEvaluatorAcrossWorkerCounts) {
+  const WorkloadConfig wl = small_workload();
+  constexpr std::uint64_t kRequests = 8;
+  std::vector<FmmRequest> requests;
+  std::vector<std::vector<double>> want;
+  for (std::uint64_t i = 0; i < kRequests; ++i) {
+    requests.push_back(make_request(wl, i));
+    want.push_back(reference_solve(requests.back()));
+  }
+
+  for (const int workers : {1, 2, 4}) {
+    for (const std::size_t capacity : {std::size_t{0}, std::size_t{16}}) {
+      ServerConfig cfg;
+      cfg.workers = workers;
+      cfg.queue_capacity = kRequests;
+      cfg.plan_cache_capacity = capacity;
+      FmmServer server(cfg);
+      // Reversed submission order: arrival order must not matter.
+      std::vector<std::future<FmmResponse>> futures(kRequests);
+      for (std::size_t i = kRequests; i-- > 0;)
+        futures[i] = server.submit(requests[i]);
+      for (std::size_t i = 0; i < kRequests; ++i) {
+        const FmmResponse resp = futures[i].get();
+        ASSERT_EQ(resp.status, ServeStatus::kOk);
+        EXPECT_EQ(resp.id, requests[i].id);
+        EXPECT_TRUE(bitwise_equal(resp.potentials, want[i]))
+            << "request " << i << " workers=" << workers
+            << " cache_capacity=" << capacity;
+      }
+      const auto stats = server.stats();
+      EXPECT_EQ(stats.served, kRequests);
+      EXPECT_EQ(stats.shed, 0u);
+    }
+  }
+}
+
+TEST(FmmServer, CacheHitsServeSamePlanAndIdenticalResults) {
+  const WorkloadConfig wl = small_workload();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 8;
+  cfg.plan_cache_capacity = 8;
+  FmmServer server(cfg);
+
+  // Same request served twice: the second must be a plan-cache hit with
+  // bitwise-identical potentials.
+  const FmmRequest req = make_request(wl, 0);
+  const FmmResponse cold = server.serve_now(req);
+  const FmmResponse warm = server.serve_now(req);
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_TRUE(warm.cache_hit);
+  EXPECT_EQ(cold.plan_key, warm.plan_key);
+  EXPECT_TRUE(bitwise_equal(warm.potentials, cold.potentials));
+  EXPECT_TRUE(bitwise_equal(cold.potentials, reference_solve(req)));
+
+  // A different size -> different depth -> different plan key, its own miss.
+  const FmmRequest other = make_request(wl, 1);
+  const FmmResponse r2 = server.serve_now(other);
+  EXPECT_FALSE(r2.cache_hit);
+  EXPECT_NE(r2.plan_key, cold.plan_key);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.cache.hits, 1u);
+  EXPECT_EQ(stats.cache.misses, 2u);
+}
+
+TEST(FmmServer, AdmissionControlShedsWhenQueueFull) {
+  const WorkloadConfig wl = small_workload();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 1;
+  FmmServer server(cfg);
+
+  constexpr std::uint64_t kRequests = 12;
+  std::vector<std::future<FmmResponse>> futures;
+  for (std::uint64_t i = 0; i < kRequests; ++i)
+    futures.push_back(server.submit(make_request(wl, i % 2)));
+  std::uint64_t ok = 0, shed = 0;
+  for (auto& f : futures) {
+    const FmmResponse resp = f.get();
+    if (resp.status == ServeStatus::kOk) {
+      ++ok;
+      EXPECT_FALSE(resp.potentials.empty());
+    } else {
+      ++shed;
+      EXPECT_TRUE(resp.potentials.empty());
+    }
+  }
+  EXPECT_EQ(ok + shed, kRequests);
+  // A 1-deep queue with a single worker cannot absorb 12 instant arrivals.
+  EXPECT_GE(shed, 1u);
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.served, ok);
+  EXPECT_EQ(stats.shed, shed);
+}
+
+TEST(FmmServer, SubmitAfterShutdownSheds) {
+  const WorkloadConfig wl = small_workload();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  FmmServer server(cfg);
+  server.shutdown();
+  const FmmResponse resp = server.submit(make_request(wl, 0)).get();
+  EXPECT_EQ(resp.status, ServeStatus::kShed);
+}
+
+TEST(FmmServer, ScheduleContextAttachesPerPhaseSchedule) {
+  const auto ctx = ScheduleContext::tegra_default();
+  const WorkloadConfig wl = small_workload();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  cfg.plan_cache_capacity = 4;
+  cfg.schedule_ctx = ctx;
+  FmmServer server(cfg);
+
+  const FmmRequest req = make_request(wl, 0);
+  const FmmResponse cold = server.serve_now(req);
+  const FmmResponse warm = server.serve_now(req);
+  // Six FMM phases, each with a grid label the context's grid knows.
+  ASSERT_EQ(cold.schedule.setting_labels.size(), 6u);
+  EXPECT_GT(cold.schedule.pred_time_s, 0.0);
+  EXPECT_GT(cold.schedule.pred_energy_j, 0.0);
+  // The schedule is a property of the plan: hit and miss agree exactly.
+  EXPECT_EQ(warm.schedule.setting_labels, cold.schedule.setting_labels);
+  EXPECT_EQ(warm.schedule.pred_energy_j, cold.schedule.pred_energy_j);
+}
+
+}  // namespace
+}  // namespace eroof::serve

@@ -238,6 +238,11 @@ const HotAlloc kHotAllocs[] = {
     {"insert", true, "container grow (insert)"},
     {"emplace", true, "container grow (emplace)"},
     {"append", true, "container grow (append)"},
+    // Thread spawns: a serving worker's steady-state loop must reuse the
+    // pool it was given, never create threads per request.
+    {"std::thread", false, "std::thread construction (OS thread spawn)"},
+    {"std::async", false, "std::async (thread spawn + shared-state "
+                          "allocation)"},
 };
 
 }  // namespace
