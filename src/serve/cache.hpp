@@ -80,6 +80,7 @@ class ShardedLruCache {
 
     Shard& shard = shards_[util::fnv1a64(key) % shards_.size()];
     std::promise<std::shared_ptr<const V>> promise;
+    std::uint64_t my_gen = 0;
     {
       std::unique_lock<std::mutex> lock(shard.mu);
       const auto it = shard.map.find(key);
@@ -97,6 +98,7 @@ class ShardedLruCache {
       Entry entry;
       entry.future = promise.get_future().share();
       entry.lru_it = shard.lru.begin();
+      my_gen = entry.gen = ++shard.gen;
       shard.map.emplace(key, std::move(entry));
 
       while (shard.map.size() > shard_capacity_) {
@@ -115,7 +117,7 @@ class ShardedLruCache {
       value = builder();
     } catch (...) {
       promise.set_exception(std::current_exception());
-      drop(shard, key);
+      drop(shard, key, my_gen);
       throw;
     }
     promise.set_value(value);
@@ -143,11 +145,13 @@ class ShardedLruCache {
   struct Entry {
     std::shared_future<std::shared_ptr<const V>> future;
     std::list<std::string>::iterator lru_it;
+    std::uint64_t gen = 0;  ///< insertion generation; identifies the entry
   };
   struct Shard {
     mutable std::mutex mu;
     std::unordered_map<std::string, Entry> map;
     std::list<std::string> lru;  ///< front = most recently used
+    std::uint64_t gen = 0;  ///< bumped per insertion (under mu)
   };
 
   void count(std::atomic<std::uint64_t>& counter, const char* suffix) {
@@ -155,12 +159,17 @@ class ShardedLruCache {
     trace::counter_add(cfg_.counter_prefix + suffix, 1.0);
   }
 
-  /// Removes `key` if still present (failed-build cleanup).
-  void drop(Shard& shard, const std::string& key) {
+  /// Failed-build cleanup: removes `key` only if the map still holds the
+  /// entry inserted by the failing call (generation `gen`). If that entry
+  /// was already LRU-evicted and another thread re-inserted a fresh entry
+  /// for the same key, the fresh one is healthy and must survive --
+  /// dropping it would force a redundant rebuild.
+  void drop(Shard& shard, const std::string& key, std::uint64_t gen) {
     std::lock_guard<std::mutex> lock(shard.mu);
     const auto it = shard.map.find(key);
     // Membership test, not iteration: no order dependence.
     if (it == shard.map.end()) return;  // eroof-lint: allow(nondet-unordered-iter)
+    if (it->second.gen != gen) return;
     shard.lru.erase(it->second.lru_it);
     shard.map.erase(it);
   }

@@ -2,10 +2,12 @@
 //
 // A ServePlan is everything reusable across requests that resolve to the
 // same key: the FmmPlan (per-level operators + shared M2L bank + sealed
-// DAG skeleton) and the memoized schedule-DP result. A cache hit therefore
-// skips operator construction, DAG structure building AND the schedule
-// search; the per-request remainder (tree, lists, arenas, the solve
-// itself) is what the worker still executes.
+// DAG skeleton). A cache hit therefore skips operator construction and DAG
+// structure building; the per-request remainder (tree, lists, arenas, the
+// solve itself) is what the worker still executes. The schedule-DP result
+// lives in model::ScheduleMemo keyed by (plan key, point count) -- not
+// here, because the profiled phase workloads depend on the request size,
+// so one plan legitimately maps to several schedules.
 //
 // Key contents: kernel spec (kind + parameter bits), surface order p,
 // max points per box Q, tree depth, and the domain bits -- every input the
@@ -16,7 +18,6 @@
 #include <memory>
 #include <string>
 
-#include "core/schedule.hpp"
 #include "fmm/kernel.hpp"
 #include "fmm/plan.hpp"
 #include "serve/cache.hpp"
@@ -39,13 +40,6 @@ std::string plan_cache_key(const KernelSpec& spec, int p,
 struct ServePlan {
   std::string key;
   std::shared_ptr<const fmm::FmmPlan> plan;
-  /// The schedule the chain DP picked for this plan's phase profile (from
-  /// the request that built the plan -- the plan's canonical
-  /// representative). Empty pick when no schedule context is configured.
-  model::PhaseSchedule schedule;
-  /// Grid labels matching schedule.pick, precomputed so responses need no
-  /// grid lookup.
-  std::vector<std::string> setting_labels;
 };
 
 using PlanCache = ShardedLruCache<ServePlan>;

@@ -44,12 +44,30 @@ struct FmmRequest {
 };
 
 enum class ServeStatus : std::uint8_t {
-  kOk,    ///< solved; potentials are valid
-  kShed,  ///< admission control rejected the request (queue full)
+  kOk,       ///< solved; potentials are valid
+  kShed,     ///< admission control rejected the request (queue full)
+  kInvalid,  ///< malformed request (empty/mismatched arrays, out-of-domain)
+  kError,    ///< the solve failed server-side; `error` has the reason
 };
+
+/// Protocol validation: empty string when `req` is well-formed, otherwise a
+/// human-readable reason. Checks non-empty points, densities/points size
+/// agreement, and that every point lies inside kServeDomain -- the contract
+/// the fixed-root tree build depends on. The server runs this at admission
+/// (submit / serve_now) and answers violations with ServeStatus::kInvalid
+/// instead of letting a contract failure escape a worker thread.
+std::string validate_request(const FmmRequest& req);
 
 /// The chosen per-phase DVFS schedule, in the canonical phase order
 /// UP,V,X,DOWN,U,W. Empty when the server runs without a schedule context.
+///
+/// Determinism scope: only `potentials` carries the bitwise serving
+/// contract. The schedule is memoized per (plan key, point count) and
+/// profiled from the first request that reaches that pair, so two
+/// same-sized requests with different point *distributions* share the
+/// first arrival's schedule -- representative-based by design (the DP
+/// amortizes across repeats; re-profiling every request would cost more
+/// than it saves).
 struct ServeSchedule {
   std::vector<std::string> setting_labels;  ///< one grid label per phase
   double pred_time_s = 0;
@@ -69,6 +87,7 @@ struct FmmResponse {
   bool cache_hit = false;  ///< true if the plan was served from the cache
   double queue_us = 0;    ///< time from admission to a worker claiming it
   double service_us = 0;  ///< time inside the worker (solve + respond)
+  std::string error;      ///< reason when status is kInvalid / kError
 };
 
 }  // namespace eroof::serve

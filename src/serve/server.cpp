@@ -22,6 +22,18 @@ std::int64_t now_us() {
 
 }  // namespace
 
+std::string validate_request(const FmmRequest& req) {
+  if (req.points.empty()) return "request has no points";
+  if (req.densities.size() != req.points.size())
+    return "densities/points size mismatch (" +
+           std::to_string(req.densities.size()) + " vs " +
+           std::to_string(req.points.size()) + ")";
+  for (std::size_t i = 0; i < req.points.size(); ++i)
+    if (!kServeDomain.contains(req.points[i]))
+      return "point " + std::to_string(i) + " outside the protocol domain";
+  return {};
+}
+
 std::shared_ptr<const ScheduleContext> ScheduleContext::tegra_default(
     std::uint64_t campaign_seed) {
   const auto soc = hw::Soc::tegra_k1();
@@ -57,6 +69,13 @@ std::future<FmmResponse> FmmServer::submit(FmmRequest req) {
   job.enqueued_us = now_us();
   std::future<FmmResponse> future = job.promise.get_future();
   const std::uint64_t id = job.req.id;
+  // Validate at admission: workers must never see a malformed request -- a
+  // contract failure thrown inside a worker thread would std::terminate the
+  // whole server and abandon the job's promise.
+  if (std::string reason = validate_request(job.req); !reason.empty()) {
+    job.promise.set_value(invalid_response(id, std::move(reason)));
+    return future;
+  }
   if (!queue_.try_push(std::move(job))) {
     // Admission control: answer immediately instead of queueing unbounded
     // work. `job` is intact on rejection, so its promise still answers.
@@ -71,7 +90,19 @@ std::future<FmmResponse> FmmServer::submit(FmmRequest req) {
 }
 
 FmmResponse FmmServer::serve_now(FmmRequest req) {
-  return serve_one(std::move(req));
+  if (std::string reason = validate_request(req); !reason.empty())
+    return invalid_response(req.id, std::move(reason));
+  return serve_guarded(std::move(req));
+}
+
+FmmResponse FmmServer::invalid_response(std::uint64_t id, std::string reason) {
+  FmmResponse resp;
+  resp.id = id;
+  resp.status = ServeStatus::kInvalid;
+  resp.error = std::move(reason);
+  invalid_.fetch_add(1, std::memory_order_relaxed);
+  trace::counter_add("serve.invalid", 1.0);
+  return resp;
 }
 
 void FmmServer::shutdown() {
@@ -83,7 +114,9 @@ void FmmServer::shutdown() {
 
 FmmServer::Stats FmmServer::stats() const {
   return {served_.load(std::memory_order_relaxed),
-          shed_.load(std::memory_order_relaxed), cache_.stats()};
+          shed_.load(std::memory_order_relaxed),
+          invalid_.load(std::memory_order_relaxed),
+          errors_.load(std::memory_order_relaxed), cache_.stats()};
 }
 
 void FmmServer::worker_main() {
@@ -96,11 +129,34 @@ void FmmServer::worker_main() {
   // per-request evaluator state, no locks beyond the queue handoff.
   while (auto job = queue_.pop()) {
     const std::int64_t claimed_us = now_us();
-    FmmResponse resp = serve_one(std::move(job->req));
+    FmmResponse resp = serve_guarded(std::move(job->req));
     resp.queue_us = static_cast<double>(claimed_us - job->enqueued_us);
     job->promise.set_value(std::move(resp));
   }
   // eroof: hot-end
+}
+
+FmmResponse FmmServer::serve_guarded(FmmRequest req) {
+  const std::uint64_t id = req.id;
+  try {
+    return serve_one(std::move(req));
+  } catch (const std::exception& e) {
+    FmmResponse resp;
+    resp.id = id;
+    resp.status = ServeStatus::kError;
+    resp.error = e.what();
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    trace::counter_add("serve.error", 1.0);
+    return resp;
+  } catch (...) {
+    FmmResponse resp;
+    resp.id = id;
+    resp.status = ServeStatus::kError;
+    resp.error = "unknown exception during solve";
+    errors_.fetch_add(1, std::memory_order_relaxed);
+    trace::counter_add("serve.error", 1.0);
+    return resp;
+  }
 }
 
 FmmResponse FmmServer::serve_one(FmmRequest req) {
@@ -131,14 +187,41 @@ FmmResponse FmmServer::serve_one(FmmRequest req) {
 
   fmm::FmmEvaluator ev(sp.plan, std::move(tree));
   ev.set_executor(cfg_.executor);
+
+  if (cfg_.schedule_ctx) {
+    const ScheduleContext& ctx = *cfg_.schedule_ctx;
+    // Memoized per (plan key, point count), not per plan key alone: the
+    // profiled phase workloads depend on the request's size, so keying by
+    // plan key only would make the reported schedule depend on which
+    // request happened to build the plan (arrival order / cache state).
+    // With N in the key, every repeat of a request shape reads the same
+    // memo entry. The residual representative-ness (same-N requests with
+    // different point *distributions* share the first arrival's schedule)
+    // is documented on ServeSchedule; only potentials are bitwise.
+    const std::string skey =
+        key + "|n=" + std::to_string(req.points.size());
+    const model::PhaseSchedule& sched =
+        schedule_memo_.schedule_for_plan(skey, [&] {
+          const auto prof = fmm::profile_gpu_execution(ev);
+          std::vector<hw::Workload> phases;
+          phases.reserve(prof.phases.size());
+          for (const auto& ph : prof.phases) phases.push_back(ph.workload);
+          const auto pred =
+              model::predict_phase_grid(ctx.model, ctx.soc, phases, ctx.grid);
+          return model::schedule_phases(pred, ctx.transitions);
+        });
+    resp.schedule.setting_labels.reserve(sched.pick.size());
+    for (const std::size_t pick : sched.pick)
+      resp.schedule.setting_labels.push_back(ctx.grid[pick].label());
+    resp.schedule.pred_time_s = sched.pred_time_s;
+    resp.schedule.pred_energy_j = sched.pred_energy_j;
+    resp.schedule.switches = sched.switches;
+  }
+
   resp.potentials = ev.evaluate(req.densities);
 
   resp.plan_key = key;
   resp.cache_hit = cached.hit;
-  resp.schedule.setting_labels = sp.setting_labels;
-  resp.schedule.pred_time_s = sp.schedule.pred_time_s;
-  resp.schedule.pred_energy_j = sp.schedule.pred_energy_j;
-  resp.schedule.switches = sp.schedule.switches;
   resp.service_us = static_cast<double>(now_us() - start_us);
   served_.fetch_add(1, std::memory_order_relaxed);
   trace::counter_add("serve.served", 1.0);
@@ -159,26 +242,6 @@ std::shared_ptr<const ServePlan> FmmServer::build_plan(
   auto sp = std::make_shared<ServePlan>();
   sp->key = key;
   sp->plan = plan;
-  if (cfg_.schedule_ctx) {
-    const ScheduleContext& ctx = *cfg_.schedule_ctx;
-    // The plan's canonical representative is the request that built it: its
-    // phase workloads feed the chain DP once, and the memo keeps the result
-    // alive across plan-cache evictions (schedules are tiny; replaying the
-    // DP is not).
-    sp->schedule = schedule_memo_.schedule_for_plan(key, [&] {
-      fmm::FmmEvaluator ev(plan, req.points, tree.params());
-      const auto prof = fmm::profile_gpu_execution(ev);
-      std::vector<hw::Workload> phases;
-      phases.reserve(prof.phases.size());
-      for (const auto& ph : prof.phases) phases.push_back(ph.workload);
-      const auto pred =
-          model::predict_phase_grid(ctx.model, ctx.soc, phases, ctx.grid);
-      return model::schedule_phases(pred, ctx.transitions);
-    });
-    sp->setting_labels.reserve(sp->schedule.pick.size());
-    for (const std::size_t pick : sp->schedule.pick)
-      sp->setting_labels.push_back(ctx.grid[pick].label());
-  }
   return sp;
 }
 

@@ -5,9 +5,11 @@
 // potentials plus the per-phase DVFS schedule the chain DP picked for the
 // request's plan. The headline mechanism is the plan cache: requests that
 // resolve to the same (kernel, accuracy, depth) key share one FmmPlan --
-// per-level operators, the M2L bank, the sealed DAG skeleton -- and one
-// memoized schedule-DP result, so a cache hit skips operator construction,
-// DAG structure building and the schedule search entirely.
+// per-level operators, the M2L bank, the sealed DAG skeleton -- so a cache
+// hit skips operator construction and DAG structure building. The
+// schedule-DP result is memoized separately per (plan key, point count):
+// the first request with that shape profiles its phase workloads and runs
+// the DP once; every repeat of the shape skips the search.
 //
 // Serving contract: each response's potentials are bitwise identical to a
 // fresh single-threaded FmmEvaluator run on the same request, independent
@@ -68,9 +70,13 @@ class FmmServer {
   FmmServer(const FmmServer&) = delete;
   FmmServer& operator=(const FmmServer&) = delete;
 
-  /// Submits one request. Never blocks: if the queue is full (or the server
-  /// is shut down) the returned future resolves immediately to a kShed
-  /// response -- admission control sheds load instead of queueing it.
+  /// Submits one request. Never blocks: malformed requests (see
+  /// validate_request) resolve immediately to kInvalid, and if the queue is
+  /// full (or the server is shut down) the future resolves immediately to a
+  /// kShed response -- admission control sheds load instead of queueing it.
+  /// Workers never see a request that fails validation, and a solve that
+  /// still throws server-side answers with kError instead of taking the
+  /// process down.
   std::future<FmmResponse> submit(FmmRequest req);
 
   /// Serves one request synchronously on the calling thread, against the
@@ -84,6 +90,8 @@ class FmmServer {
   struct Stats {
     std::uint64_t served = 0;
     std::uint64_t shed = 0;
+    std::uint64_t invalid = 0;  ///< rejected by validate_request at admission
+    std::uint64_t errors = 0;   ///< solves that failed server-side (kError)
     PlanCache::Stats cache;
   };
   Stats stats() const;
@@ -98,7 +106,12 @@ class FmmServer {
   };
 
   void worker_main();
+  /// serve_one with the worker-side safety net: any exception becomes a
+  /// kError response instead of escaping the thread (which would
+  /// std::terminate the whole server) and abandoning the job's promise.
+  FmmResponse serve_guarded(FmmRequest req);
   FmmResponse serve_one(FmmRequest req);
+  FmmResponse invalid_response(std::uint64_t id, std::string reason);
   std::shared_ptr<const ServePlan> build_plan(const std::string& key,
                                               const FmmRequest& req,
                                               const fmm::Octree& tree);
@@ -110,6 +123,8 @@ class FmmServer {
   std::vector<std::thread> workers_;
   std::atomic<std::uint64_t> served_{0};
   std::atomic<std::uint64_t> shed_{0};
+  std::atomic<std::uint64_t> invalid_{0};
+  std::atomic<std::uint64_t> errors_{0};
   std::atomic<bool> down_{false};
 };
 

@@ -115,6 +115,35 @@ TEST(ShardedLruCache, BuilderExceptionPropagatesAndEntryRetries) {
   EXPECT_EQ(*ok.value, 5);
 }
 
+TEST(ShardedLruCache, FailedBuildDoesNotDropAReplacementEntry) {
+  // Race shape: while a build for "K" is in flight, its entry is
+  // LRU-evicted and another thread inserts + completes a fresh entry for
+  // the same key. When the original build then fails, cleanup must leave
+  // the fresh, healthy entry alone (generation check in drop()); erasing
+  // it would force a redundant rebuild.
+  ShardedLruCache<int> cache({.capacity = 1, .shards = 1});
+  EXPECT_THROW(
+      (void)cache.get_or_build(
+          "K",
+          [&]() -> std::shared_ptr<const int> {
+            // A second thread (builders must not re-enter the cache on the
+            // same thread) evicts the in-flight "K", then rebuilds it.
+            std::thread other([&] {
+              (void)cache.get_or_build("evictor", [] { return boxed(1); });
+              auto fresh = cache.get_or_build("K", [] { return boxed(2); });
+              EXPECT_FALSE(fresh.hit);
+              EXPECT_EQ(*fresh.value, 2);
+            });
+            other.join();
+            throw std::runtime_error("original build failed");
+          }),
+      std::runtime_error);
+  // The replacement entry survived the failing call's cleanup.
+  auto after = cache.get_or_build("K", [] { return boxed(3); });
+  EXPECT_TRUE(after.hit);
+  EXPECT_EQ(*after.value, 2);
+}
+
 TEST(ShardedLruCache, CapacityZeroBypassesCaching) {
   ShardedLruCache<int> cache({.capacity = 0, .shards = 1});
   int builds = 0;

@@ -162,6 +162,61 @@ TEST(FmmServer, AdmissionControlShedsWhenQueueFull) {
   EXPECT_EQ(stats.shed, shed);
 }
 
+TEST(FmmServer, InvalidRequestsAreRejectedAtAdmissionNotCrashed) {
+  // One malformed request used to throw inside the worker thread and
+  // std::terminate the whole server. Now validation runs at admission and
+  // answers kInvalid; the server keeps serving afterwards.
+  const WorkloadConfig wl = small_workload();
+  ServerConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 8;
+  FmmServer server(cfg);
+
+  FmmRequest empty;  // no points at all
+  empty.id = 100;
+
+  FmmRequest mismatched = make_request(wl, 0);
+  mismatched.id = 101;
+  mismatched.densities.pop_back();
+
+  FmmRequest outside = make_request(wl, 1);
+  outside.id = 102;
+  outside.points[0] = {2.0, 2.0, 2.0};  // outside kServeDomain
+
+  for (FmmRequest* bad : {&empty, &mismatched, &outside}) {
+    const FmmResponse resp = server.submit(*bad).get();
+    EXPECT_EQ(resp.status, ServeStatus::kInvalid) << "id " << bad->id;
+    EXPECT_FALSE(resp.error.empty());
+    EXPECT_TRUE(resp.potentials.empty());
+  }
+  // serve_now applies the same validation.
+  const FmmResponse direct = server.serve_now(outside);
+  EXPECT_EQ(direct.status, ServeStatus::kInvalid);
+  EXPECT_FALSE(direct.error.empty());
+
+  // The server is still healthy: a valid request solves normally.
+  const FmmRequest good = make_request(wl, 0);
+  const FmmResponse ok = server.submit(good).get();
+  ASSERT_EQ(ok.status, ServeStatus::kOk);
+  EXPECT_TRUE(bitwise_equal(ok.potentials, reference_solve(good)));
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.invalid, 4u);
+  EXPECT_EQ(stats.errors, 0u);
+  EXPECT_EQ(stats.served, 1u);
+}
+
+TEST(FmmServer, ValidateRequestEnforcesTheProtocolDomain) {
+  const WorkloadConfig wl = small_workload();
+  FmmRequest req = make_request(wl, 0);
+  EXPECT_TRUE(validate_request(req).empty());
+  req.points[3] = {0.5, 0.5, 1.0 + 1e-9};  // barely past the +z face
+  EXPECT_FALSE(validate_request(req).empty());
+  req = make_request(wl, 0);
+  req.points.clear();
+  EXPECT_FALSE(validate_request(req).empty());
+}
+
 TEST(FmmServer, SubmitAfterShutdownSheds) {
   const WorkloadConfig wl = small_workload();
   ServerConfig cfg;
@@ -190,9 +245,50 @@ TEST(FmmServer, ScheduleContextAttachesPerPhaseSchedule) {
   ASSERT_EQ(cold.schedule.setting_labels.size(), 6u);
   EXPECT_GT(cold.schedule.pred_time_s, 0.0);
   EXPECT_GT(cold.schedule.pred_energy_j, 0.0);
-  // The schedule is a property of the plan: hit and miss agree exactly.
+  // The schedule is memoized per (plan key, N): a repeat of the same
+  // request shape agrees exactly, cache hit or miss.
   EXPECT_EQ(warm.schedule.setting_labels, cold.schedule.setting_labels);
   EXPECT_EQ(warm.schedule.pred_energy_j, cold.schedule.pred_energy_j);
+}
+
+TEST(FmmServer, ScheduleIsKeyedByRequestSizeNotJustPlanKey) {
+  // N=256 and N=320 at Q=8 share a uniform depth (2) and therefore one
+  // plan-cache key, but their phase workloads differ, so each size gets
+  // its own memoized schedule -- independent of which size arrived first
+  // (the reviewer's arrival-order/cache-state dependence).
+  const auto ctx = ScheduleContext::tegra_default();
+  ServerConfig cfg;
+  cfg.workers = 1;
+  cfg.queue_capacity = 4;
+  cfg.plan_cache_capacity = 4;
+  cfg.schedule_ctx = ctx;
+
+  WorkloadConfig small = small_workload();
+  small.sizes = {256};
+  WorkloadConfig larger = small_workload();
+  larger.sizes = {320};
+  const FmmRequest a = make_request(small, 0);
+  const FmmRequest b = make_request(larger, 0);
+
+  FmmServer first_order(cfg);
+  const FmmResponse a1 = first_order.serve_now(a);
+  const FmmResponse b1 = first_order.serve_now(b);
+  ASSERT_EQ(a1.plan_key, b1.plan_key);  // one shared plan...
+  EXPECT_TRUE(b1.cache_hit);            // ...b rides a's plan build
+
+  FmmServer second_order(cfg);  // reversed arrival order, fresh caches
+  const FmmResponse b2 = second_order.serve_now(b);
+  const FmmResponse a2 = second_order.serve_now(a);
+
+  // Each size's schedule is identical no matter who built the plan.
+  EXPECT_EQ(a1.schedule.setting_labels, a2.schedule.setting_labels);
+  EXPECT_EQ(a1.schedule.pred_time_s, a2.schedule.pred_time_s);
+  EXPECT_EQ(a1.schedule.pred_energy_j, a2.schedule.pred_energy_j);
+  EXPECT_EQ(b1.schedule.setting_labels, b2.schedule.setting_labels);
+  EXPECT_EQ(b1.schedule.pred_time_s, b2.schedule.pred_time_s);
+  EXPECT_EQ(b1.schedule.pred_energy_j, b2.schedule.pred_energy_j);
+  // And the two sizes really were scheduled from different workloads.
+  EXPECT_NE(a1.schedule.pred_time_s, b1.schedule.pred_time_s);
 }
 
 }  // namespace
