@@ -1,8 +1,18 @@
 // Shared plumbing for the table/figure reproduction benches: the calibrated
 // platform, the fitted model (from the paper's microbenchmark campaign), and
-// the Table IV FMM inputs F1..F8 with their GPU execution profiles.
+// the Table IV FMM inputs F1..F8 with their GPU execution profiles -- plus
+// the --bench-json trajectory-harness helpers (order statistics, JSON
+// emission, flag parsing, the standard thread sweep) every perf_* binary
+// shares instead of redeclaring.
 #pragma once
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
 #include <string>
 #include <vector>
 
@@ -93,6 +103,56 @@ inline FmmRunResult run_fmm_profile(const Platform& p,
     r.ops += ph.workload.ops;
   }
   return r;
+}
+
+// ---------------------------------------------------------------------------
+// --bench-json trajectory-harness helpers
+// ---------------------------------------------------------------------------
+
+/// Order statistics of one timing series (times in milliseconds).
+struct Summary {
+  double median = 0, p10 = 0, p90 = 0;
+};
+
+/// Linear-interpolated q-quantile (q in [0, 1]); 0 for an empty series.
+inline double percentile(std::vector<double> xs, double q) {
+  if (xs.empty()) return 0;
+  std::sort(xs.begin(), xs.end());
+  const double pos = q * static_cast<double>(xs.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return xs[lo] + frac * (xs[hi] - xs[lo]);
+}
+
+inline Summary summarize(const std::vector<double>& xs) {
+  return {percentile(xs, 0.5), percentile(xs, 0.1), percentile(xs, 0.9)};
+}
+
+inline void write_summary(std::ofstream& out, const Summary& s) {
+  out << "{\"median_ms\": " << s.median << ", \"p10_ms\": " << s.p10
+      << ", \"p90_ms\": " << s.p90 << "}";
+}
+
+/// Parses `--name` / `--name=value`; true on match, `value` set if present.
+inline bool flag_value(const char* arg, const char* name, std::string* value) {
+  const std::size_t len = std::strlen(name);
+  if (std::strncmp(arg, name, len) != 0) return false;
+  if (arg[len] == '=') *value = arg + len + 1;
+  return arg[len] == '=' || arg[len] == '\0';
+}
+
+/// The standard OpenMP sweep of the trajectory harnesses: {1, 2, 4} plus
+/// the machine maximum when it exceeds 4 (dedup'd when it doesn't). Without
+/// OpenMP, just {1}.
+inline std::vector<int> sweep_thread_counts() {
+  std::vector<int> counts{1};
+#ifdef _OPENMP
+  counts.push_back(2);
+  counts.push_back(4);
+  if (omp_get_max_threads() > 4) counts.push_back(omp_get_max_threads());
+#endif
+  return counts;
 }
 
 }  // namespace eroof::bench

@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "fmm/direct.hpp"
 #include "fmm/evaluator.hpp"
 #include "fmm/pointgen.hpp"
@@ -31,6 +32,10 @@
 namespace {
 
 using namespace eroof;
+using bench::flag_value;
+using bench::Summary;
+using bench::summarize;
+using bench::write_summary;
 
 void BM_FmmEvaluate(benchmark::State& state) {
   const auto n = static_cast<std::size_t>(state.range(0));
@@ -108,30 +113,6 @@ BENCHMARK(BM_FmmSetup)->Arg(16384)->Unit(benchmark::kMillisecond);
 // ---------------------------------------------------------------------------
 
 constexpr const char* kPhases[] = {"UP", "V", "X", "DOWN", "U", "W"};
-
-/// Order statistics of one timing series (times in milliseconds).
-struct Summary {
-  double median = 0, p10 = 0, p90 = 0;
-};
-
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
-}
-
-Summary summarize(const std::vector<double>& xs) {
-  return {percentile(xs, 0.5), percentile(xs, 0.1), percentile(xs, 0.9)};
-}
-
-void write_summary(std::ofstream& out, const Summary& s) {
-  out << "{\"median_ms\": " << s.median << ", \"p10_ms\": " << s.p10
-      << ", \"p90_ms\": " << s.p90 << "}";
-}
 
 /// One measured configuration: repeated traced evaluations at a fixed
 /// thread count.
@@ -228,14 +209,6 @@ int run_bench_json(const std::string& path, std::size_t n, std::uint32_t q,
   out << "  ]\n}\n";
   std::fprintf(stderr, "bench-json: wrote %s\n", path.c_str());
   return 0;
-}
-
-/// Parses `--name` / `--name=value`; true on match, `value` set if present.
-bool flag_value(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '=') *value = arg + len + 1;
-  return arg[len] == '=' || arg[len] == '\0';
 }
 
 }  // namespace

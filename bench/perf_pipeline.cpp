@@ -27,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/common.hpp"
 #include "core/autotune.hpp"
 #include "core/crossval.hpp"
 #include "core/fit.hpp"
@@ -37,6 +38,10 @@
 namespace {
 
 using namespace eroof;
+using bench::flag_value;
+using bench::Summary;
+using bench::summarize;
+using bench::write_summary;
 
 constexpr std::uint64_t kCampaignSeed = 42;
 constexpr std::uint64_t kKfoldSeed = 7;
@@ -134,30 +139,6 @@ BENCHMARK(BM_MeasureGridAutotune)->Unit(benchmark::kMillisecond);
 // ---------------------------------------------------------------------------
 // --bench-json trajectory harness
 // ---------------------------------------------------------------------------
-
-/// Order statistics of one timing series (times in milliseconds).
-struct Summary {
-  double median = 0, p10 = 0, p90 = 0;
-};
-
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
-}
-
-Summary summarize(const std::vector<double>& xs) {
-  return {percentile(xs, 0.5), percentile(xs, 0.1), percentile(xs, 0.9)};
-}
-
-void write_summary(std::ofstream& out, const Summary& s) {
-  out << "{\"median_ms\": " << s.median << ", \"p10_ms\": " << s.p10
-      << ", \"p90_ms\": " << s.p90 << "}";
-}
 
 constexpr const char* kStages[] = {"campaign", "fit", "kfold", "loso",
                                    "autotune"};
@@ -270,15 +251,7 @@ int run_bench_json(const std::string& path, int reps) {
   const auto soc = hw::Soc::tegra_k1();
   const hw::PowerMon pm;
 
-  std::vector<int> thread_counts{1};
-#ifdef _OPENMP
-  // Always exercise 2 and 4 threads (oversubscription is fine: the point is
-  // order-invariance plus whatever speedup the machine can give), and the
-  // hardware width if it is larger still.
-  thread_counts.push_back(2);
-  thread_counts.push_back(4);
-  if (omp_get_max_threads() > 4) thread_counts.push_back(omp_get_max_threads());
-#endif
+  const std::vector<int> thread_counts = bench::sweep_thread_counts();
 
   std::vector<Run> runs;
   Outputs reference;
@@ -343,14 +316,6 @@ int run_bench_json(const std::string& path, int reps) {
       return 1;
     }
   return 0;
-}
-
-/// Parses `--name` / `--name=value`; true on match, `value` set if present.
-bool flag_value(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '=') *value = arg + len + 1;
-  return arg[len] == '=' || arg[len] == '\0';
 }
 
 }  // namespace

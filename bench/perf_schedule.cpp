@@ -31,6 +31,10 @@
 namespace {
 
 using namespace eroof;
+using bench::flag_value;
+using bench::Summary;
+using bench::summarize;
+using bench::write_summary;
 
 constexpr double kWeights[] = {0, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
 
@@ -87,29 +91,6 @@ BENCHMARK(BM_ParetoFrontier)->Unit(benchmark::kMicrosecond);
 // ---------------------------------------------------------------------------
 // --bench-json trajectory harness
 // ---------------------------------------------------------------------------
-
-struct Summary {
-  double median = 0, p10 = 0, p90 = 0;
-};
-
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
-}
-
-Summary summarize(const std::vector<double>& xs) {
-  return {percentile(xs, 0.5), percentile(xs, 0.1), percentile(xs, 0.9)};
-}
-
-void write_summary(std::ofstream& out, const Summary& s) {
-  out << "{\"median_ms\": " << s.median << ", \"p10_ms\": " << s.p10
-      << ", \"p90_ms\": " << s.p90 << "}";
-}
 
 constexpr const char* kStages[] = {"predict", "dp", "pareto"};
 
@@ -191,12 +172,7 @@ int run_bench_json(const std::string& path, int reps, std::size_t n,
                    std::uint32_t q) {
   const Setup setup = make_setup(n, q);
 
-  std::vector<int> thread_counts{1};
-#ifdef _OPENMP
-  thread_counts.push_back(2);
-  thread_counts.push_back(4);
-  if (omp_get_max_threads() > 4) thread_counts.push_back(omp_get_max_threads());
-#endif
+  const std::vector<int> thread_counts = bench::sweep_thread_counts();
 
   std::vector<Run> runs;
   Outputs reference;
@@ -261,13 +237,6 @@ int run_bench_json(const std::string& path, int reps, std::size_t n,
       return 1;
     }
   return 0;
-}
-
-bool flag_value(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '=') *value = arg + len + 1;
-  return arg[len] == '=' || arg[len] == '\0';
 }
 
 }  // namespace

@@ -33,23 +33,16 @@
 
 #include "fmm/octree.hpp"
 #include "serve/plan_cache.hpp"
+#include "bench/common.hpp"
 #include "serve/server.hpp"
 #include "serve/workload.hpp"
 
 namespace {
 
 using namespace eroof;
+using bench::flag_value;
+using bench::percentile;
 using Clock = std::chrono::steady_clock;
-
-double percentile(std::vector<double> xs, double q) {
-  if (xs.empty()) return 0;
-  std::sort(xs.begin(), xs.end());
-  const double pos = q * static_cast<double>(xs.size() - 1);
-  const auto lo = static_cast<std::size_t>(pos);
-  const std::size_t hi = std::min(lo + 1, xs.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  return xs[lo] + frac * (xs[hi] - xs[lo]);
-}
 
 struct Run {
   std::string mode;
@@ -115,14 +108,6 @@ Run drive(const std::vector<serve::FmmRequest>& requests, bool warm,
                         static_cast<double>(served);
   run.shed = after.shed - before.shed;
   return run;
-}
-
-/// Parses `--name` / `--name=value`; true on match, `value` set if present.
-bool flag_value(const char* arg, const char* name, std::string* value) {
-  const std::size_t len = std::strlen(name);
-  if (std::strncmp(arg, name, len) != 0) return false;
-  if (arg[len] == '=') *value = arg + len + 1;
-  return arg[len] == '=' || arg[len] == '\0';
 }
 
 }  // namespace

@@ -51,6 +51,11 @@ done
 echo "== fmm_autotune =="
 ./build/examples/fmm_autotune 2>&1 | tee reproduction/fmm_autotune.txt
 
+# Time-stepping dynamics demo: incremental refit vs rebuild decisions and
+# amortized schedule re-tuning over a Langevin trajectory.
+echo "== fmm_dynamics =="
+./build/examples/fmm_dynamics 2>&1 | tee reproduction/fmm_dynamics.txt
+
 # CSV series are written to the current directory by the fig benches.
 mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
   2>/dev/null || true
@@ -62,5 +67,7 @@ cp -f bench/results/*.json reproduction/ 2>/dev/null || true
   --bench-reps=5 || true
 ./build/bench/perf_serve --bench-json=reproduction/BENCH_serve.local.json \
   --bench-requests=24 || true
+./build/bench/perf_dynamics \
+  --bench-json=reproduction/BENCH_dynamics.local.json --bench-steps=8 || true
 
 echo "All outputs collected under ./reproduction/"

@@ -1,6 +1,7 @@
 #include "core/schedule.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 
 #include "trace/trace.hpp"
@@ -291,6 +292,42 @@ const PhaseSchedule& ScheduleMemo::schedule_for_plan(
 std::size_t ScheduleMemo::size() const {
   std::lock_guard<std::mutex> lock(mu_);
   return memo_.size();
+}
+
+void ScheduleReuse::install(PhaseSchedule schedule,
+                            std::span<const double> phase_work) {
+  schedule_ = std::move(schedule);
+  work0_.assign(phase_work.begin(), phase_work.end());
+  ++stats_.installs;
+  trace::counter_add("core.schedule_reuse.install", 1.0);
+}
+
+double ScheduleReuse::divergence(std::span<const double> phase_work) const {
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  if (work0_.empty() || phase_work.size() != work0_.size()) return kInf;
+  double worst = 0.0;
+  // eroof: hot-begin (per-step drift check: relative work divergence)
+  for (std::size_t p = 0; p < work0_.size(); ++p) {
+    const double w0 = work0_[p];
+    const double w = phase_work[p];
+    if (w0 == 0.0) {
+      if (w != 0.0) return kInf;
+      continue;  // a phase with no work then and none now says nothing
+    }
+    worst = std::max(worst, std::abs(w / w0 - 1.0));
+  }
+  // eroof: hot-end
+  return worst;
+}
+
+bool ScheduleReuse::needs_retune(std::span<const double> phase_work) {
+  if (divergence(phase_work) > bound_) {
+    ++stats_.retunes;
+    trace::counter_add("core.schedule_reuse.retune", 1.0);
+    return true;
+  }
+  ++stats_.reuses;
+  return false;
 }
 
 }  // namespace eroof::model

@@ -25,6 +25,7 @@
 // goes through hw::Soc::run_sequence / true_schedule_cost.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <mutex>
@@ -167,6 +168,60 @@ class ScheduleMemo {
  private:
   mutable std::mutex mu_;
   std::unordered_map<std::string, std::unique_ptr<PhaseSchedule>> memo_;
+};
+
+/// Amortizes the schedule search across a *sequence* of correlated runs --
+/// a time-stepping dynamics loop, where consecutive steps' phase workloads
+/// drift slowly. The expensive part (GPU-profile replay + prediction grid +
+/// chain DP) runs once and is install()ed together with the per-phase
+/// structural work it was tuned for; every subsequent step asks
+/// needs_retune() with its own work vector, a cheap allocation-free check.
+///
+/// The drift monitor: at a fixed DVFS setting the roofline-predicted phase
+/// time scales linearly in the phase's structural work, so the relative
+/// divergence between the time the installed schedule predicted for phase p
+/// and the time the current step would actually spend there is
+/// |w_p / w0_p - 1|. When the max over phases exceeds `bound`, the
+/// installed picks may no longer be energy-optimal and the caller re-runs
+/// the search. This is ROADMAP item 4's control-loop trigger specialized to
+/// workload drift (model drift plugs into the same hook).
+class ScheduleReuse {
+ public:
+  /// `bound`: maximum tolerated per-phase relative work divergence.
+  explicit ScheduleReuse(double bound = 0.10) : bound_(bound) {}
+
+  /// Adopts a freshly searched schedule and the per-phase work (any scalar
+  /// proportional to phase time at a fixed setting; the dynamics engine
+  /// feeds FmmStats tallies) it was tuned against.
+  void install(PhaseSchedule schedule, std::span<const double> phase_work);
+
+  bool installed() const { return !work0_.empty(); }
+
+  /// One step's decision. False: the installed schedule still fits, counted
+  /// as a reuse. True: nothing installed yet, the phase count changed, or
+  /// divergence exceeded the bound -- counted as a retune; the caller
+  /// re-searches and install()s the result. Allocation-free.
+  bool needs_retune(std::span<const double> phase_work);
+
+  /// max_p |w_p / w0_p - 1| against the installed work; +inf when a phase
+  /// with zero installed work gains work (or nothing is installed).
+  double divergence(std::span<const double> phase_work) const;
+
+  const PhaseSchedule& schedule() const { return schedule_; }
+  double bound() const { return bound_; }
+
+  struct Stats {
+    std::uint64_t installs = 0;
+    std::uint64_t reuses = 0;
+    std::uint64_t retunes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  double bound_;
+  PhaseSchedule schedule_;
+  std::vector<double> work0_;
+  Stats stats_;
 };
 
 }  // namespace eroof::model

@@ -1,0 +1,98 @@
+#include "dynamics/engine.hpp"
+
+#include <utility>
+
+#include "core/fit.hpp"
+#include "fmm/gpu_profile.hpp"
+#include "hw/powermon.hpp"
+#include "trace/trace.hpp"
+#include "ubench/campaign.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::dynamics {
+
+std::shared_ptr<const TuneContext> TuneContext::tegra_default(
+    std::uint64_t campaign_seed) {
+  const auto soc = hw::Soc::tegra_k1();
+  const hw::PowerMon meter;
+  const util::RngStream root(campaign_seed);
+  const auto campaign = ub::paper_campaign(soc, meter, root);
+  std::vector<model::FitSample> train;
+  for (const auto& s : campaign)
+    if (s.role == hw::SettingRole::kTrain)
+      train.push_back(model::to_fit_sample(s.meas));
+  return std::make_shared<const TuneContext>(
+      TuneContext{soc, model::fit_energy_model(train).model, hw::full_grid(),
+                  hw::DvfsTransitionModel{100e-6, 50e-6}});
+}
+
+DynamicsEngine::DynamicsEngine(std::shared_ptr<const fmm::Kernel> kernel,
+                               ParticleSystem particles, Config cfg)
+    : cfg_(std::move(cfg)),
+      ps_(std::move(particles)),
+      session_(std::move(kernel), ps_.pos, cfg_.session) {
+  EROOF_REQUIRE_MSG(ps_.charge.size() == ps_.pos.size(),
+                    "charges/positions size mismatch");
+  EROOF_REQUIRE_MSG(ps_.domain.half == cfg_.session.tree.domain.half &&
+                        ps_.domain.center.x == cfg_.session.tree.domain.center.x &&
+                        ps_.domain.center.y == cfg_.session.tree.domain.center.y &&
+                        ps_.domain.center.z == cfg_.session.tree.domain.center.z,
+                    "particle domain must equal the session's tree domain");
+  phi_.resize(ps_.size());
+  if (cfg_.tune) reuse_.emplace(cfg_.retune_bound);
+}
+
+void DynamicsEngine::step(Mover& mover) {
+  ++stats_.steps;
+  // eroof: hot-begin (steady-state step: advance, refit/move, evaluate,
+  // energy reduction -- zero heap allocations after step 0)
+  mover.advance(ps_);
+  session_.move_to(ps_.pos);
+  session_.evaluate_into(ps_.charge, phi_);
+  double e = 0.0;
+  for (std::size_t i = 0; i < phi_.size(); ++i) e += ps_.charge[i] * phi_[i];
+  energy_ = 0.5 * e;
+  // eroof: hot-end
+  if (reuse_) {
+    gather_phase_work();
+    // eroof: hot-begin (amortized tuning: allocation-free drift check; the
+    // search below it runs only on step 0 and on drift past the bound)
+    const bool stale = reuse_->needs_retune(work_);
+    // eroof: hot-end
+    if (stale) retune();
+  }
+}
+
+void DynamicsEngine::gather_phase_work() {
+  // Any per-phase scalar proportional to phase time at a fixed setting
+  // works for the drift monitor; this one folds every FmmStats tally with
+  // its natural size factor (solves are n_surf^2 matvecs, FFTs touch the
+  // padded grid).
+  const auto& s = session_.evaluator().stats();
+  const auto& ops = session_.evaluator().operators();
+  const auto ns = static_cast<double>(ops.n_surf());
+  const auto g = static_cast<double>(ops.grid_size());
+  const auto scalar = [ns, g](const fmm::FmmStats::Phase& p) {
+    return p.kernel_evals + p.pair_count + g * p.ffts + p.hadamard_cmuls +
+           ns * ns * p.solve_matvecs;
+  };
+  work_ = {scalar(s.up), scalar(s.u), scalar(s.v),
+           scalar(s.w),  scalar(s.x), scalar(s.down)};
+}
+
+void DynamicsEngine::retune() {
+  ++stats_.tunes;
+  trace::counter_add("dynamics.tunes", 1.0);
+  trace::ScopedSpan span("dynamics.retune", "dynamics");
+  const auto prof = fmm::profile_gpu_execution(session_.evaluator());
+  std::vector<hw::Workload> phases;
+  phases.reserve(prof.phases.size());
+  for (const auto& p : prof.phases) phases.push_back(p.workload);
+  const TuneContext& ctx = *cfg_.tune;
+  const auto pred =
+      model::predict_phase_grid(ctx.model, ctx.soc, phases, ctx.grid);
+  reuse_->install(model::schedule_phases(pred, ctx.transitions), work_);
+}
+
+}  // namespace eroof::dynamics

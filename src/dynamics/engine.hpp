@@ -1,0 +1,108 @@
+// The time-stepping dynamics engine (DESIGN.md §13): mover + incremental
+// FMM session + amortized DVFS tuning.
+//
+// Per step: advance the particles, move the session to the new positions
+// (in-place octree refit in the steady state, full rebuild only when the
+// structure actually changed), evaluate the potentials into a reused
+// buffer, and reduce the ensemble's potential energy. After step 0 the
+// whole loop is zero-allocation (enforced by the operator-new hook test).
+//
+// Tuning is *amortized* across steps instead of re-run per evaluation: the
+// expensive search -- GPU-execution profile replay, the phase-by-setting
+// prediction grid, the chain DP -- runs on step 0 and whenever the
+// model::ScheduleReuse drift monitor reports that the per-phase structural
+// work has diverged past its bound from what the installed schedule was
+// tuned for. In between, every step reuses the installed schedule at the
+// cost of one allocation-free divergence check. That monitor is the hook
+// ROADMAP item 4's closed-loop controller plugs into.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "core/schedule.hpp"
+#include "dynamics/mover.hpp"
+#include "dynamics/particles.hpp"
+#include "fmm/session.hpp"
+#include "hw/dvfs.hpp"
+#include "hw/soc.hpp"
+
+namespace eroof::dynamics {
+
+/// Everything the per-phase schedule search needs, shared read-only across
+/// the run: SoC model, fitted energy model, DVFS grid, transition costs.
+/// Mirrors serve::ScheduleContext (serve depends on core+fmm like we do;
+/// neither layer may depend on the other).
+struct TuneContext {
+  hw::Soc soc;
+  model::EnergyModel model;
+  std::vector<hw::DvfsSetting> grid;
+  hw::DvfsTransitionModel transitions;
+
+  /// Tegra K1 SoC, model fitted from the seeded paper campaign, full clock
+  /// grid, realistic 100us/50uJ transitions.
+  static std::shared_ptr<const TuneContext> tegra_default(
+      std::uint64_t campaign_seed = 42);
+};
+
+class DynamicsEngine {
+ public:
+  struct Config {
+    fmm::FmmSession::Config session;
+    std::shared_ptr<const TuneContext> tune;  ///< null = no DVFS tuning
+    /// Max tolerated per-phase relative work drift before a re-search.
+    double retune_bound = 0.10;
+  };
+
+  DynamicsEngine(std::shared_ptr<const fmm::Kernel> kernel,
+                 ParticleSystem particles, Config cfg);
+
+  /// One time step: advance -> move_to -> evaluate_into -> energy, then
+  /// (with tuning on) the drift check and, rarely, a re-search.
+  void step(Mover& mover);
+
+  /// Potentials of the last step, caller (particle) order.
+  std::span<const double> potentials() const { return phi_; }
+  /// (1/2) sum_i q_i phi_i of the last step.
+  double potential_energy() const { return energy_; }
+
+  const ParticleSystem& particles() const { return ps_; }
+  fmm::FmmSession& session() { return session_; }
+  const fmm::FmmSession& session() const { return session_; }
+
+  /// The installed per-phase schedule; null until the first tuned step (or
+  /// always, with tuning off).
+  const model::PhaseSchedule* schedule() const {
+    return reuse_ && reuse_->installed() ? &reuse_->schedule() : nullptr;
+  }
+  const model::ScheduleReuse* schedule_reuse() const {
+    return reuse_ ? &*reuse_ : nullptr;
+  }
+
+  struct Stats {
+    std::uint64_t steps = 0;
+    std::uint64_t tunes = 0;  ///< schedule searches actually run
+  };
+  const Stats& stats() const { return stats_; }
+
+ private:
+  void gather_phase_work();
+  void retune();
+
+  Config cfg_;
+  ParticleSystem ps_;
+  fmm::FmmSession session_;
+  std::vector<double> phi_;
+  double energy_ = 0;
+  std::optional<model::ScheduleReuse> reuse_;
+  /// Per-phase structural work of the last evaluation, UP,U,V,W,X,DOWN --
+  /// the profile_gpu_execution phase order the schedule is searched in.
+  std::array<double, 6> work_{};
+  Stats stats_;
+};
+
+}  // namespace eroof::dynamics

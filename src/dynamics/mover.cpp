@@ -1,0 +1,75 @@
+#include "dynamics/mover.hpp"
+
+#include <cmath>
+#include <cstddef>
+
+namespace eroof::dynamics {
+namespace {
+
+/// Mirrors x into [lo, hi]; flips *v's sign once per bounce so a reflected
+/// leapfrog particle keeps moving away from the wall.
+inline void reflect(double& x, double& v, double lo, double hi) {
+  while (x < lo || x > hi) {
+    if (x < lo) x = 2.0 * lo - x;
+    if (x > hi) x = 2.0 * hi - x;
+    v = -v;
+  }
+}
+
+}  // namespace
+
+void LeapfrogMover::advance(ParticleSystem& ps) {
+  const fmm::Vec3 c = ps.domain.center;
+  const double h = ps.domain.half;
+  const double w2 = p_.omega * p_.omega;
+  const double dt = p_.dt;
+  const auto n = static_cast<std::ptrdiff_t>(ps.size());
+  // eroof: hot-begin (leapfrog kick-drift-reflect; disjoint per-particle
+  // writes, bitwise identical for every thread count)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    fmm::Vec3& x = ps.pos[ui];
+    fmm::Vec3& v = ps.vel[ui];
+    v.x -= w2 * (x.x - c.x) * dt;
+    v.y -= w2 * (x.y - c.y) * dt;
+    v.z -= w2 * (x.z - c.z) * dt;
+    x.x += v.x * dt;
+    x.y += v.y * dt;
+    x.z += v.z * dt;
+    reflect(x.x, v.x, c.x - h, c.x + h);
+    reflect(x.y, v.y, c.y - h, c.y + h);
+    reflect(x.z, v.z, c.z - h, c.z + h);
+  }
+  // eroof: hot-end
+}
+
+void LangevinMover::advance(ParticleSystem& ps) {
+  const fmm::Vec3 c = ps.domain.center;
+  const double h = ps.domain.half;
+  const double dt = p_.dt;
+  const double gdt = p_.gamma * dt;
+  const double noise = p_.sigma * std::sqrt(dt);
+  const util::RngStream step_stream = root_.fork(step_);
+  ++step_;
+  const auto n = static_cast<std::ptrdiff_t>(ps.size());
+  // eroof: hot-begin (Euler--Maruyama update; the (step, particle)-forked
+  // stream makes the noise a pure function of identity, so any thread may
+  // process any particle)
+#pragma omp parallel for schedule(static)
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const auto ui = static_cast<std::size_t>(i);
+    util::Rng rng = step_stream.fork(ui).rng();
+    fmm::Vec3& x = ps.pos[ui];
+    fmm::Vec3& v = ps.vel[ui];
+    x.x += -gdt * (x.x - c.x) + noise * rng.normal();
+    x.y += -gdt * (x.y - c.y) + noise * rng.normal();
+    x.z += -gdt * (x.z - c.z) + noise * rng.normal();
+    reflect(x.x, v.x, c.x - h, c.x + h);
+    reflect(x.y, v.y, c.y - h, c.y + h);
+    reflect(x.z, v.z, c.z - h, c.z + h);
+  }
+  // eroof: hot-end
+}
+
+}  // namespace eroof::dynamics

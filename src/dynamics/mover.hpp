@@ -1,0 +1,69 @@
+// Time-stepping integrators (DESIGN.md §13).
+//
+// A Mover advances the whole ensemble by one step, in place. Both movers
+// are deterministic by construction and bitwise-reproducible across OpenMP
+// thread counts: the per-particle updates write disjoint state, and the
+// Langevin noise is drawn from identity-keyed util::RngStream forks -- the
+// stream for particle i at step s is a pure function of (seed, s, i), never
+// of which thread processed it or in what order.
+//
+// The driving force is an analytic confining field (harmonic well toward
+// the domain center), not the FMM potential: the session computes
+// *potentials*, the observable under study, and keeping the trajectory
+// independent of the evaluation makes the differential tests exact.
+// Reflecting walls keep every particle strictly inside the fixed domain,
+// so the session's protocol-domain requirement holds for the whole run.
+#pragma once
+
+#include <cstdint>
+
+#include "dynamics/particles.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::dynamics {
+
+class Mover {
+ public:
+  virtual ~Mover() = default;
+  /// One time step, in place. Allocation-free.
+  virtual void advance(ParticleSystem& ps) = 0;
+};
+
+/// Leapfrog (kick-drift) in the harmonic well a = -omega^2 (x - center),
+/// with reflecting walls (position mirrored, velocity component negated).
+class LeapfrogMover final : public Mover {
+ public:
+  struct Params {
+    double dt = 1e-2;
+    double omega = 1.0;
+  };
+  LeapfrogMover() = default;
+  explicit LeapfrogMover(Params p) : p_(p) {}
+  void advance(ParticleSystem& ps) override;
+
+ private:
+  Params p_;
+};
+
+/// Overdamped Langevin dynamics (Euler--Maruyama):
+///   dx = -gamma (x - center) dt + sigma sqrt(dt) dW,
+/// with reflecting walls. `sigma` directly controls per-step drift, which
+/// makes it the knob for exercising the session's refit-vs-rebuild split.
+class LangevinMover final : public Mover {
+ public:
+  struct Params {
+    double dt = 1e-2;
+    double gamma = 0.5;
+    double sigma = 0.02;
+  };
+  explicit LangevinMover(std::uint64_t seed) : root_(seed) {}
+  LangevinMover(std::uint64_t seed, Params p) : root_(seed), p_(p) {}
+  void advance(ParticleSystem& ps) override;
+
+ private:
+  util::RngStream root_;
+  Params p_;
+  std::uint64_t step_ = 0;
+};
+
+}  // namespace eroof::dynamics

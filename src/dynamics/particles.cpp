@@ -1,0 +1,30 @@
+#include "dynamics/particles.hpp"
+
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::dynamics {
+
+ParticleSystem ParticleSystem::random(std::size_t n, const fmm::Box& domain,
+                                      std::uint64_t seed, double fill) {
+  EROOF_REQUIRE(n > 0);
+  EROOF_REQUIRE(domain.half > 0);
+  EROOF_REQUIRE(fill > 0 && fill <= 1.0);
+  ParticleSystem ps;
+  ps.domain = domain;
+  ps.pos.resize(n);
+  ps.vel.assign(n, fmm::Vec3{0.0, 0.0, 0.0});
+  ps.charge.resize(n);
+  const util::RngStream root(seed);
+  const double h = domain.half * fill;
+  for (std::size_t i = 0; i < n; ++i) {
+    util::Rng rng = root.fork("particle").fork(i).rng();
+    ps.pos[i] = {domain.center.x + rng.uniform(-h, h),
+                 domain.center.y + rng.uniform(-h, h),
+                 domain.center.z + rng.uniform(-h, h)};
+    ps.charge[i] = rng.uniform(-1.0, 1.0);
+  }
+  return ps;
+}
+
+}  // namespace eroof::dynamics

@@ -1,0 +1,31 @@
+// Particle state for time-stepping dynamics (DESIGN.md §13).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "fmm/geometry.hpp"
+
+namespace eroof::dynamics {
+
+/// Positions, velocities and charges of one particle ensemble, plus the
+/// fixed protocol domain the trajectory must stay inside (reflecting walls;
+/// the domain is what keeps the FMM session's tree geometry and operator
+/// plan step-invariant).
+struct ParticleSystem {
+  std::vector<fmm::Vec3> pos;
+  std::vector<fmm::Vec3> vel;
+  std::vector<double> charge;
+  fmm::Box domain{{0.5, 0.5, 0.5}, 0.5};
+
+  std::size_t size() const { return pos.size(); }
+
+  /// n particles uniform in the inner `fill` fraction of `domain`, charges
+  /// uniform in [-1, 1], velocities zero. Identity-keyed: particle i's
+  /// initial state is a function of (seed, i) only, independent of n or
+  /// generation order.
+  static ParticleSystem random(std::size_t n, const fmm::Box& domain,
+                               std::uint64_t seed, double fill = 0.9);
+};
+
+}  // namespace eroof::dynamics

@@ -276,40 +276,73 @@ FmmEvaluator::Workspace& FmmEvaluator::workspace() {
 }
 
 std::vector<double> FmmEvaluator::evaluate(std::span<const double> densities) {
+  std::vector<double> out(densities.size());
+  evaluate_into(densities, out);
+  return out;
+}
+
+void FmmEvaluator::evaluate_into(std::span<const double> densities,
+                                 std::span<double> out) {
   EROOF_REQUIRE(densities.size() == tree_.points().size());
+  EROOF_REQUIRE(out.size() == densities.size());
   // Tallies are structural: one wholesale commit of the precomputed pass,
   // identical under both executors (and trivially thread-count invariant).
   stats_ = structural_stats_;
 
-  // Setup: permute densities into tree order, zero the arenas, and make
-  // sure per-thread scratch exists. Everything past this point -- the six
-  // phases under either executor -- performs no heap allocation.
+  // Setup: permute densities into tree-order staging, zero the arenas, and
+  // make sure per-thread scratch exists. The staging buffers and scratch are
+  // sized on the first call; past this point -- the six phases under either
+  // executor -- nothing touches the heap.
   const auto orig = tree_.original_index();
-  std::vector<double> dens(densities.size());
-  for (std::size_t i = 0; i < dens.size(); ++i)
-    dens[i] = densities[orig[i]];
+  if (eval_dens_.size() != densities.size()) {
+    eval_dens_.resize(densities.size());
+    eval_phi_.resize(densities.size());
+  }
+  ensure_workspaces();
+
+  // eroof: hot-begin (steady-state evaluate: permute in, zero arenas, run
+  // the six phases, un-permute out)
+  for (std::size_t i = 0; i < eval_dens_.size(); ++i)
+    eval_dens_[i] = densities[orig[i]];
 
   std::fill(up_equiv_.begin(), up_equiv_.end(), 0.0);
   std::fill(down_check_.begin(), down_check_.end(), 0.0);
   std::fill(down_equiv_.begin(), down_equiv_.end(), 0.0);
-  ensure_workspaces();
+  std::fill(eval_phi_.begin(), eval_phi_.end(), 0.0);
 
   trace::ScopedSpan eval_span("evaluate", "fmm");
   if (eval_span.active()) {
-    eval_span.arg("n_points", static_cast<double>(dens.size()));
+    eval_span.arg("n_points", static_cast<double>(eval_dens_.size()));
     eval_span.arg("n_nodes", static_cast<double>(tree_.nodes().size()));
   }
 
-  std::vector<double> phi(dens.size(), 0.0);
   if (executor_ == FmmExecutor::kDag)
-    evaluate_dag(dens, phi);
+    evaluate_dag(eval_dens_, eval_phi_);
   else
-    evaluate_phases(dens, phi);
+    evaluate_phases(eval_dens_, eval_phi_);
 
   // Un-permute the potentials to the caller's order.
-  std::vector<double> out(phi.size());
-  for (std::size_t i = 0; i < phi.size(); ++i) out[orig[i]] = phi[i];
-  return out;
+  for (std::size_t i = 0; i < eval_phi_.size(); ++i)
+    out[orig[i]] = eval_phi_[i];
+  // eroof: hot-end
+}
+
+bool FmmEvaluator::try_refit(std::span<const Vec3> new_points) {
+  if (!tree_.try_refit(new_points)) return false;
+  // Structure is unchanged, so every structural piece -- interaction lists,
+  // slots, arenas, X targets, spectra banks, DAG skeleton -- stays valid.
+  // Only the coordinates moved and the occupancy-dependent tallies shifted.
+  const auto pts = tree_.points();
+  // eroof: hot-begin (refit: refresh the SoA coordinate mirror in place)
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    px_[i] = pts[i].x;
+    py_[i] = pts[i].y;
+    pz_[i] = pts[i].z;
+  }
+  // eroof: hot-end
+  structural_stats_ = compute_structural_stats();
+  stats_ = structural_stats_;
+  return true;
 }
 
 std::vector<double> FmmEvaluator::evaluate_at(

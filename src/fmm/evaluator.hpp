@@ -102,6 +102,25 @@ class FmmEvaluator {
   /// durations of that phase) since phases interleave.
   std::vector<double> evaluate(std::span<const double> densities);
 
+  /// evaluate() without the return-value allocation: potentials are written
+  /// into `out` (caller order, sized like `densities`). After the first
+  /// call -- which sizes internal buffers, per-thread workspaces, and (under
+  /// kDag) the replayable graph -- repeat calls perform no heap allocation,
+  /// which is what lets a time-stepping session run steady-state
+  /// zero-allocation. Bitwise identical to evaluate().
+  void evaluate_into(std::span<const double> densities,
+                     std::span<double> out);
+
+  /// Re-bins moved positions into the existing tree via Octree::try_refit.
+  /// On success (structure unchanged) the interaction lists, node slots,
+  /// arenas, spectra banks, and DAG skeleton -- all purely structural -- are
+  /// kept as-is; only the SoA coordinate mirror and the occupancy-dependent
+  /// structural stats are refreshed, and subsequent evaluations are bitwise
+  /// identical to a fresh evaluator built from `new_points`. On false the
+  /// evaluator is unchanged (caller rebuilds). Allocation-free after the
+  /// tree's first refit.
+  bool try_refit(std::span<const Vec3> new_points);
+
   /// Selects the execution engine for subsequent evaluate() calls. The DAG
   /// executor's prebuilt graph arena is constructed on first use (once) and
   /// replayed allocation-free afterwards.
@@ -235,8 +254,12 @@ class FmmEvaluator {
   FmmStats stats_;
   FmmStats structural_stats_;
 
-  // SoA mirror of the tree-order points (built once; the tree is fixed).
+  // SoA mirror of the tree-order points (rebuilt in place by try_refit).
   std::vector<double> px_, py_, pz_;
+
+  // evaluate_into's tree-order density/potential staging, sized on first
+  // call and reused so steady-state evaluation never touches the heap.
+  std::vector<double> eval_dens_, eval_phi_;
 
   // Contiguous per-phase arenas: one n_surf slot per node at level >= 2
   // (shallower nodes carry no expansions). slot_[node] is the arena slot,

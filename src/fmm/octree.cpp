@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/require.hpp"
 
@@ -150,6 +151,7 @@ void Octree::enforce_balance() {
         Node& an = nodes_[static_cast<std::size_t>(a)];
         if (an.leaf && an.level() < lvl - 1) {
           split(a);
+          ++balance_splits_;
           changed = true;
         }
       }
@@ -167,6 +169,124 @@ void Octree::finalize() {
     by_level_[static_cast<std::size_t>(lvl)].push_back(static_cast<int>(i));
     if (nodes_[i].leaf) leaves_.push_back(static_cast<int>(i));
   }
+}
+
+void Octree::ensure_refit_scratch() {
+  if (refit_count_.size() == nodes_.size()) return;
+  refit_count_.resize(nodes_.size());
+  refit_cursor_.resize(nodes_.size());
+  refit_point_leaf_.resize(points_.size());
+  // Leaves sorted by point range = the structural DFS (octant-path) order
+  // the stable MSD radix build lays points out in. Node *index* order is not
+  // that order (a sibling leaf is appended before the previous sibling's
+  // descendants), so sort once; point ranges before and after a refit keep
+  // the same relative order, hence this is structure-constant.
+  refit_leaf_dfs_ = leaves_;
+  std::sort(refit_leaf_dfs_.begin(), refit_leaf_dfs_.end(),
+            [this](int a, int b) {
+              return nodes_[static_cast<std::size_t>(a)].point_begin <
+                     nodes_[static_cast<std::size_t>(b)].point_begin;
+            });
+}
+
+bool Octree::try_refit(std::span<const Vec3> new_points) {
+  EROOF_REQUIRE_MSG(new_points.size() == points_.size(),
+                    "refit requires the same particle count");
+  // Without a fixed protocol domain a fresh build would re-derive the
+  // bounding cube from the moved points, so no in-place refit can match it.
+  if (params_.domain.half <= 0) return false;
+  // 2:1 balance splits make the structure depend on the occupancy pattern
+  // (which leaf neighbors which refined region); the bounds checked below do
+  // not capture that, so such trees always rebuild.
+  if (balance_splits_ != 0) return false;
+
+  ensure_refit_scratch();
+  std::fill(refit_count_.begin(), refit_count_.end(), 0u);
+
+  // Pass 1: walk every point root->leaf with the exact octant comparisons
+  // split() uses, tallying occupancy at every node on the way. A walk that
+  // needs a child the tree never materialized means a fresh build would
+  // create it: structure changed, refuse.
+  // eroof: hot-begin (refit pass 1: per-point root-to-leaf walk + tally)
+  for (std::size_t i = 0; i < new_points.size(); ++i) {
+    const Vec3 p = new_points[i];
+    EROOF_REQUIRE_MSG(domain_.contains(p), "point outside the fixed domain");
+    int idx = 0;
+    ++refit_count_[0];
+    while (!nodes_[static_cast<std::size_t>(idx)].leaf) {
+      const Box& box = nodes_[static_cast<std::size_t>(idx)].box;
+      const unsigned o = (p.x >= box.center.x ? 1u : 0u) |
+                         (p.y >= box.center.y ? 2u : 0u) |
+                         (p.z >= box.center.z ? 4u : 0u);
+      const int child = nodes_[static_cast<std::size_t>(idx)].children[o];
+      if (child < 0) return false;
+      idx = child;
+      ++refit_count_[static_cast<std::size_t>(idx)];
+    }
+    refit_point_leaf_[i] = idx;
+  }
+  // eroof: hot-end
+
+  // Pass 2: verify every split / no-split decision a fresh build would make
+  // matches the existing structure. Empty nodes are never materialized, so
+  // zero occupancy anywhere refuses; in Q mode a leaf must stay within the
+  // occupancy bound (unless pinned at max_level) and an internal node must
+  // still exceed it.
+  // eroof: hot-begin (refit pass 2: occupancy-bound validation)
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& n = nodes_[i];
+    const std::uint32_t c = refit_count_[i];
+    if (c == 0) return false;
+    if (params_.uniform_depth >= 0) continue;  // level-driven: non-empty is all
+    if (n.leaf) {
+      if (c > params_.max_points_per_box && n.level() < params_.max_level)
+        return false;
+    } else {
+      if (c <= params_.max_points_per_box) return false;
+    }
+  }
+  // eroof: hot-end
+
+  // Pass 3: commit. New leaf ranges are the prefix sums of the new counts in
+  // structural DFS order; scattering caller-order points into those ranges
+  // reproduces, bitwise, the stable MSD octant radix order a fresh build
+  // produces (same buckets, same within-bucket caller order).
+  // eroof: hot-begin (refit pass 3: prefix offsets + stable scatter +
+  // bottom-up range update)
+  std::uint32_t acc = 0;
+  for (const int leaf : refit_leaf_dfs_) {
+    const auto li = static_cast<std::size_t>(leaf);
+    refit_cursor_[li] = acc;
+    acc += refit_count_[li];
+  }
+  for (std::size_t i = 0; i < new_points.size(); ++i) {
+    const auto leaf = static_cast<std::size_t>(refit_point_leaf_[i]);
+    const std::uint32_t pos = refit_cursor_[leaf]++;
+    points_[pos] = new_points[i];
+    original_index_[pos] = static_cast<std::uint32_t>(i);
+  }
+  // Children are always appended after their parent, so a reverse index
+  // sweep sees every child before its parent.
+  for (std::size_t ri = nodes_.size(); ri-- > 0;) {
+    Node& n = nodes_[ri];
+    if (n.leaf) {
+      n.point_end = refit_cursor_[ri];
+      n.point_begin = n.point_end - refit_count_[ri];
+    } else {
+      std::uint32_t begin = std::numeric_limits<std::uint32_t>::max();
+      std::uint32_t end = 0;
+      for (const int c : n.children) {
+        if (c < 0) continue;
+        const Node& ch = nodes_[static_cast<std::size_t>(c)];
+        begin = std::min(begin, ch.point_begin);
+        end = std::max(end, ch.point_end);
+      }
+      n.point_begin = begin;
+      n.point_end = end;
+    }
+  }
+  // eroof: hot-end
+  return true;
 }
 
 int Octree::find(MortonKey key) const {

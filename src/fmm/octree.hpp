@@ -5,6 +5,19 @@
 // knob). Only non-empty children are materialized. A 2:1 balance refinement
 // then guarantees adjacent leaves differ by at most one level, which keeps
 // the U/V/W/X interaction lists well-formed on adaptive distributions.
+//
+// Octant convention (pinned by tests): a point is assigned to the upper
+// half of an axis when its coordinate is >= the box center, so each box
+// owns the half-open cell [lo, center) x [center, hi] per axis -- a point
+// exactly on a split plane always goes to the higher octant. `Box::contains`
+// is closed, so points exactly on the domain boundary are accepted and land
+// in the highest-octant leaf along that axis.
+//
+// Trees built over a fixed `Params.domain` additionally support
+// `try_refit`: re-binning a slightly-moved copy of the same point set into
+// the existing structure without touching keys, boxes, or parent/child
+// links, which is what lets an `FmmSession` keep interaction lists, node
+// slots, and operator plans alive across time steps.
 #pragma once
 
 #include <span>
@@ -92,11 +105,36 @@ class Octree {
   const Box& domain() const { return domain_; }
   const Params& params() const { return params_; }
 
+  /// Re-bins a moved copy of the same point set into the existing tree
+  /// structure, in place. Succeeds (returns true) only when the structure a
+  /// fresh build over `new_points` would produce is *identical* to the
+  /// current one; in that case the permuted point order, `original_index`,
+  /// and every node's point range afterwards are bitwise what that fresh
+  /// build would have computed, while node keys, boxes, parent/child links,
+  /// `leaves()`, `nodes_by_level()`, and therefore the structure signature
+  /// are untouched. On false the tree is unchanged and the caller must
+  /// rebuild.
+  ///
+  /// Requirements: the tree was built over a fixed `Params.domain`
+  /// (otherwise a fresh build would re-derive a different bounding cube and
+  /// refit always refuses), `new_points.size()` equals `points().size()`,
+  /// and every new point lies inside the domain. Trees that needed
+  /// 2:1 balance splits refuse refit: their structure depends on the
+  /// occupancy pattern in a way this check does not track.
+  ///
+  /// Steady-state calls are allocation-free: scratch is sized on first use
+  /// and reused.
+  bool try_refit(std::span<const Vec3> new_points);
+
+  /// Number of splits forced by 2:1 balance enforcement during build.
+  int balance_splits() const { return balance_splits_; }
+
  private:
   void build_recursive(int node_idx);
   void split(int node_idx);
   void enforce_balance();
   void finalize();
+  void ensure_refit_scratch();
 
   Params params_;
   Box domain_;
@@ -106,6 +144,14 @@ class Octree {
   std::vector<int> leaves_;
   std::vector<std::vector<int>> by_level_;
   std::unordered_map<std::uint64_t, int> key_to_node_;
+  int balance_splits_ = 0;
+
+  // try_refit scratch, sized once on first refit and reused thereafter so
+  // steady-state stepping stays allocation-free.
+  std::vector<std::uint32_t> refit_count_;     ///< per-node occupancy tally
+  std::vector<std::uint32_t> refit_cursor_;    ///< per-node scatter cursor
+  std::vector<int> refit_point_leaf_;          ///< leaf index per input point
+  std::vector<int> refit_leaf_dfs_;            ///< leaves in point-range order
 };
 
 }  // namespace eroof::fmm

@@ -325,6 +325,57 @@ TEST(Schedule, ParetoFrontierIsSortedAndUndominated) {
   }
 }
 
+// ---------------------------------------------------------------------------
+// ScheduleReuse: the drift monitor gating amortized re-search
+// ---------------------------------------------------------------------------
+
+TEST(ScheduleReuse, ReusesUntilDriftExceedsBound) {
+  ScheduleReuse reuse(0.10);
+  EXPECT_FALSE(reuse.installed());
+  // Nothing installed yet: the first check must demand a search.
+  std::vector<double> w0 = {100.0, 50.0, 200.0, 10.0};
+  EXPECT_TRUE(reuse.needs_retune(w0));
+
+  reuse.install(PhaseSchedule{}, w0);
+  ASSERT_TRUE(reuse.installed());
+  EXPECT_FALSE(reuse.needs_retune(w0));  // zero drift
+
+  // 9% on the largest phase: inside the bound.
+  std::vector<double> small = {100.0, 50.0, 218.0, 10.0};
+  EXPECT_NEAR(reuse.divergence(small), 0.09, 1e-12);
+  EXPECT_FALSE(reuse.needs_retune(small));
+
+  // 11% on one phase: past the bound, even though the others are exact.
+  std::vector<double> big = {100.0, 50.0, 200.0, 11.1};
+  EXPECT_TRUE(reuse.needs_retune(big));
+
+  EXPECT_EQ(reuse.stats().installs, 1u);
+  EXPECT_EQ(reuse.stats().reuses, 2u);
+  // Both the pre-install check and the 11% drift count as retunes.
+  EXPECT_EQ(reuse.stats().retunes, 2u);
+}
+
+TEST(ScheduleReuse, DivergenceHandlesDegenerateWork) {
+  ScheduleReuse reuse(0.5);
+  // A phase with zero installed work that stays zero is ignored; one that
+  // becomes nonzero is infinite drift (the installed schedule never priced
+  // it at all).
+  reuse.install(PhaseSchedule{}, std::vector<double>{10.0, 0.0});
+  EXPECT_EQ(reuse.divergence(std::vector<double>{10.0, 0.0}), 0.0);
+  EXPECT_TRUE(std::isinf(reuse.divergence(std::vector<double>{10.0, 1.0})));
+  // Size mismatch can never be "close enough".
+  EXPECT_TRUE(std::isinf(reuse.divergence(std::vector<double>{10.0})));
+}
+
+TEST(ScheduleReuse, ReinstallRebaselines) {
+  ScheduleReuse reuse(0.10);
+  reuse.install(PhaseSchedule{}, std::vector<double>{100.0});
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{200.0}));
+  reuse.install(PhaseSchedule{}, std::vector<double>{200.0});
+  EXPECT_FALSE(reuse.needs_retune(std::vector<double>{201.0}));
+  EXPECT_EQ(reuse.stats().installs, 2u);
+}
+
 TEST(Schedule, EmptyPhasesOrGridThrows) {
   const auto soc = hw::Soc::tegra_k1();
   const auto grid = hw::full_grid();

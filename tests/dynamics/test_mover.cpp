@@ -1,0 +1,126 @@
+// Movers and ParticleSystem: bitwise reproducibility across OpenMP thread
+// counts (the identity-keyed RngStream contract), seed determinism, and the
+// reflecting-wall invariant that keeps every particle inside the fixed
+// domain the session's protocol requires.
+#include <gtest/gtest.h>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include <cstring>
+
+#include "dynamics/mover.hpp"
+#include "dynamics/particles.hpp"
+#include "util/require.hpp"
+
+namespace eroof::dynamics {
+namespace {
+
+constexpr fmm::Box kDomain{{0.5, 0.5, 0.5}, 0.5};
+
+void set_threads(int n) {
+#ifdef _OPENMP
+  omp_set_num_threads(n);
+#else
+  (void)n;
+#endif
+}
+
+::testing::AssertionResult positions_equal(const ParticleSystem& a,
+                                           const ParticleSystem& b) {
+  if (a.size() != b.size())
+    return ::testing::AssertionFailure() << "size mismatch";
+  if (std::memcmp(a.pos.data(), b.pos.data(),
+                  a.pos.size() * sizeof(fmm::Vec3)) != 0)
+    return ::testing::AssertionFailure() << "positions differ";
+  if (std::memcmp(a.vel.data(), b.vel.data(),
+                  a.vel.size() * sizeof(fmm::Vec3)) != 0)
+    return ::testing::AssertionFailure() << "velocities differ";
+  return ::testing::AssertionSuccess();
+}
+
+bool inside_domain(const ParticleSystem& ps) {
+  for (const auto& p : ps.pos)
+    if (!ps.domain.contains(p)) return false;
+  return true;
+}
+
+TEST(ParticleSystem, RandomIsDeterministicAndFillBounded) {
+  const auto a = ParticleSystem::random(500, kDomain, 21, 0.8);
+  const auto b = ParticleSystem::random(500, kDomain, 21, 0.8);
+  EXPECT_TRUE(positions_equal(a, b));
+  ASSERT_EQ(a.charge.size(), 500u);
+  for (const auto& p : a.pos) {
+    EXPECT_LE(std::abs(p.x - 0.5), 0.5 * 0.8);
+    EXPECT_LE(std::abs(p.y - 0.5), 0.5 * 0.8);
+    EXPECT_LE(std::abs(p.z - 0.5), 0.5 * 0.8);
+  }
+  const auto c = ParticleSystem::random(500, kDomain, 22, 0.8);
+  EXPECT_FALSE(positions_equal(a, c));
+  EXPECT_THROW(ParticleSystem::random(0, kDomain, 1), util::ContractError);
+}
+
+TEST(LangevinMover, BitwiseIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    set_threads(threads);
+    auto ps = ParticleSystem::random(700, kDomain, 23);
+    LangevinMover mover(24, {.sigma = 0.05});
+    for (int s = 0; s < 10; ++s) mover.advance(ps);
+    return ps;
+  };
+  const auto serial = run(1);
+  EXPECT_TRUE(positions_equal(serial, run(2)));
+  EXPECT_TRUE(positions_equal(serial, run(4)));
+  set_threads(4);
+}
+
+TEST(LeapfrogMover, BitwiseIdenticalAcrossThreadCounts) {
+  auto run = [](int threads) {
+    set_threads(threads);
+    auto ps = ParticleSystem::random(700, kDomain, 25);
+    LeapfrogMover mover({.dt = 0.05, .omega = 2.0});
+    for (int s = 0; s < 10; ++s) mover.advance(ps);
+    return ps;
+  };
+  const auto serial = run(1);
+  EXPECT_TRUE(positions_equal(serial, run(2)));
+  EXPECT_TRUE(positions_equal(serial, run(4)));
+  set_threads(4);
+}
+
+TEST(LangevinMover, SameSeedSameTrajectoryDifferentSeedDiffers) {
+  auto ps_a = ParticleSystem::random(300, kDomain, 26);
+  auto ps_b = ParticleSystem::random(300, kDomain, 26);
+  auto ps_c = ParticleSystem::random(300, kDomain, 26);
+  LangevinMover a(27), b(27), c(28);
+  for (int s = 0; s < 5; ++s) {
+    a.advance(ps_a);
+    b.advance(ps_b);
+    c.advance(ps_c);
+  }
+  EXPECT_TRUE(positions_equal(ps_a, ps_b));
+  EXPECT_FALSE(positions_equal(ps_a, ps_c));
+}
+
+TEST(Movers, ReflectingWallsKeepParticlesInsideTheDomain) {
+  // Aggressive parameters so reflections actually fire: large kicks for
+  // leapfrog, heavy noise for Langevin. Every position must stay inside the
+  // (closed) domain box -- the precondition for session refits.
+  auto lf = ParticleSystem::random(400, kDomain, 29);
+  LeapfrogMover leap({.dt = 0.5, .omega = 3.0});
+  for (int s = 0; s < 50; ++s) {
+    leap.advance(lf);
+    ASSERT_TRUE(inside_domain(lf)) << "leapfrog step " << s;
+  }
+
+  auto lv = ParticleSystem::random(400, kDomain, 30);
+  LangevinMover langevin(31, {.dt = 0.1, .gamma = 0.1, .sigma = 2.0});
+  for (int s = 0; s < 50; ++s) {
+    langevin.advance(lv);
+    ASSERT_TRUE(inside_domain(lv)) << "langevin step " << s;
+  }
+}
+
+}  // namespace
+}  // namespace eroof::dynamics

@@ -1,0 +1,236 @@
+// Octree::try_refit: when it succeeds the tree must be *exactly* what a
+// fresh build over the moved points would produce -- point order,
+// original_index, every node range -- while keys, boxes, links, and level
+// lists stay untouched. When the moved structure would differ, it must
+// refuse and leave the tree unchanged. Refit-then-evaluate vs
+// rebuild-then-evaluate is pinned bitwise at the evaluator level.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "fmm/evaluator.hpp"
+#include "fmm/octree.hpp"
+#include "fmm/pointgen.hpp"
+#include "util/require.hpp"
+#include "util/rng.hpp"
+
+namespace eroof::fmm {
+namespace {
+
+constexpr Box kDomain{{0.5, 0.5, 0.5}, 0.5};
+
+/// Jitters every point by at most `amp` per axis, clamped inside the open
+/// domain so refit preconditions hold.
+std::vector<Vec3> jitter(std::span<const Vec3> pts, double amp,
+                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Vec3> out(pts.begin(), pts.end());
+  for (auto& p : out) {
+    p.x = std::min(1.0 - 1e-9, std::max(1e-9, p.x + rng.uniform(-amp, amp)));
+    p.y = std::min(1.0 - 1e-9, std::max(1e-9, p.y + rng.uniform(-amp, amp)));
+    p.z = std::min(1.0 - 1e-9, std::max(1e-9, p.z + rng.uniform(-amp, amp)));
+  }
+  return out;
+}
+
+::testing::AssertionResult trees_identical(const Octree& a, const Octree& b) {
+  if (a.nodes().size() != b.nodes().size())
+    return ::testing::AssertionFailure() << "node count differs";
+  for (std::size_t i = 0; i < a.nodes().size(); ++i) {
+    const Node& x = a.nodes()[i];
+    const Node& y = b.nodes()[i];
+    if (!(x.key == y.key) || x.leaf != y.leaf ||
+        x.parent != y.parent || x.children != y.children ||
+        x.point_begin != y.point_begin || x.point_end != y.point_end)
+      return ::testing::AssertionFailure() << "node " << i << " differs";
+  }
+  if (a.leaves() != b.leaves())
+    return ::testing::AssertionFailure() << "leaf lists differ";
+  const auto pa = a.points();
+  const auto pb = b.points();
+  if (pa.size() != pb.size() ||
+      std::memcmp(pa.data(), pb.data(), pa.size() * sizeof(Vec3)) != 0)
+    return ::testing::AssertionFailure() << "permuted points differ";
+  const auto oa = a.original_index();
+  const auto ob = b.original_index();
+  if (!std::equal(oa.begin(), oa.end(), ob.begin(), ob.end()))
+    return ::testing::AssertionFailure() << "original_index differs";
+  return ::testing::AssertionSuccess();
+}
+
+TEST(OctreeRefit, MatchesFreshBuildExactlyAdaptive) {
+  util::Rng rng(90);
+  const auto pts = uniform_cube(2048, rng);
+  const Octree::Params params{.max_points_per_box = 48, .domain = kDomain};
+  Octree tree(pts, params);
+  ASSERT_EQ(tree.balance_splits(), 0)
+      << "pick another seed: refit needs a balance-split-free tree";
+
+  auto moved = pts;
+  for (int step = 0; step < 8; ++step) {
+    moved = jitter(moved, 2e-3, 91 + static_cast<std::uint64_t>(step));
+    ASSERT_TRUE(tree.try_refit(moved)) << "step " << step;
+    const Octree fresh(moved, params);
+    EXPECT_TRUE(trees_identical(tree, fresh)) << "step " << step;
+  }
+}
+
+TEST(OctreeRefit, MatchesFreshBuildExactlyUniform) {
+  // Depth 2 over 2048 points: every one of the 64 cells holds ~32 points,
+  // so a small jitter can migrate points between cells without ever
+  // emptying one (which would change which children are materialized and
+  // correctly refuse the refit).
+  util::Rng rng(92);
+  const auto pts = uniform_cube(2048, rng);
+  const Octree::Params params{.uniform_depth = 2, .domain = kDomain};
+  Octree tree(pts, params);
+  const auto moved = jitter(pts, 1e-3, 93);
+  ASSERT_TRUE(tree.try_refit(moved));
+  EXPECT_TRUE(trees_identical(tree, Octree(moved, params)));
+}
+
+TEST(OctreeRefit, DuplicateAndCoincidentPointsSurviveRefit) {
+  // Exact duplicates exercise the stable scatter: coincident points must
+  // come out in caller order, exactly as the fresh build's stable counting
+  // sort leaves them.
+  util::Rng rng(94);
+  auto pts = uniform_cube(512, rng);
+  for (std::size_t i = 0; i < 128; ++i) pts.push_back(pts[i]);
+  const Octree::Params params{.max_points_per_box = 32, .domain = kDomain};
+  Octree tree(pts, params);
+  if (tree.balance_splits() != 0) GTEST_SKIP() << "balance-split tree";
+  const auto moved = jitter(pts, 1e-3, 95);
+  ASSERT_TRUE(tree.try_refit(moved));
+  EXPECT_TRUE(trees_identical(tree, Octree(moved, params)));
+}
+
+TEST(OctreeRefit, RefusesWhenLeafOccupancyWouldOverflow) {
+  util::Rng rng(96);
+  const auto pts = uniform_cube(1024, rng);
+  const Octree::Params params{.max_points_per_box = 32, .domain = kDomain};
+  Octree tree(pts, params);
+  ASSERT_EQ(tree.balance_splits(), 0);
+
+  // Collapse a third of the points into one tight ball: some leaf must end
+  // up holding far more than Q, which a fresh build would split further.
+  auto moved = pts;
+  for (std::size_t i = 0; i < moved.size() / 3; ++i)
+    moved[i] = {0.111 + 1e-5 * rng.uniform(), 0.111 + 1e-5 * rng.uniform(),
+                0.111 + 1e-5 * rng.uniform()};
+  const std::vector<Vec3> before(tree.points().begin(), tree.points().end());
+  EXPECT_FALSE(tree.try_refit(moved));
+  // On refusal the tree is untouched.
+  EXPECT_EQ(std::memcmp(before.data(), tree.points().data(),
+                        before.size() * sizeof(Vec3)),
+            0);
+}
+
+TEST(OctreeRefit, RefusesWhenALeafWouldEmpty) {
+  // 9 points, one per octant plus a spare; Q=1 forces one leaf per point at
+  // level 1 (octant 0 holds 2 and splits deeper). Moving every point into
+  // one octant would leave other leaves empty -> refuse.
+  std::vector<Vec3> pts;
+  for (int o = 0; o < 8; ++o)
+    pts.push_back({o & 1 ? 0.75 : 0.25, o & 2 ? 0.75 : 0.25,
+                   o & 4 ? 0.75 : 0.25});
+  pts.push_back({0.26, 0.26, 0.26});
+  Octree tree(pts, {.max_points_per_box = 4, .balance_2to1 = false,
+                    .domain = kDomain});
+  std::vector<Vec3> moved(pts.size(), Vec3{0.9, 0.9, 0.9});
+  EXPECT_FALSE(tree.try_refit(moved));
+}
+
+TEST(OctreeRefit, RefusesWithoutFixedDomain) {
+  util::Rng rng(97);
+  const auto pts = uniform_cube(256, rng);
+  Octree tree(pts, {.max_points_per_box = 32});  // point-fitted bounding box
+  EXPECT_FALSE(tree.try_refit(pts));             // even with zero motion
+}
+
+TEST(OctreeRefit, RefusesOnBalanceSplitTrees) {
+  // A tight cluster pressed against the x = 0.5 face from inside octant 0,
+  // with octant 1 so sparse it stays a level-1 leaf: the cluster's deep
+  // face-adjacent leaves violate 2:1 against that leaf and ripple-split it.
+  // Balance-split trees' structure depends on the occupancy pattern in a
+  // way refit does not track, so they must always refuse.
+  util::Rng rng(98);
+  std::vector<Vec3> pts;
+  for (int i = 0; i < 200; ++i)
+    pts.push_back({0.4999 + 1e-4 * rng.uniform(), 0.25 + 1e-4 * rng.uniform(),
+                   0.25 + 1e-4 * rng.uniform()});
+  for (int i = 0; i < 5; ++i)
+    pts.push_back({0.5 + 0.4 * rng.uniform(), 0.4 * rng.uniform(),
+                   0.4 * rng.uniform()});
+  Octree tree(pts, {.max_points_per_box = 16, .domain = kDomain});
+  ASSERT_GT(tree.balance_splits(), 0)
+      << "fixture no longer triggers balance splits";
+  EXPECT_FALSE(tree.try_refit(pts));
+}
+
+TEST(OctreeRefit, SizeMismatchAndEscapedPointsAreContractErrors) {
+  util::Rng rng(99);
+  const auto pts = uniform_cube(128, rng);
+  Octree tree(pts, {.max_points_per_box = 32, .domain = kDomain});
+
+  auto short_set = pts;
+  short_set.pop_back();
+  EXPECT_THROW((void)tree.try_refit(short_set), util::ContractError);
+
+  auto escaped = pts;
+  escaped[7].x = 1.5;  // outside the fixed domain
+  EXPECT_THROW((void)tree.try_refit(escaped), util::ContractError);
+}
+
+TEST(OctreeRefit, DomainBoundaryPointsRefitExactly) {
+  // Box::contains is closed, so points exactly on the domain boundary are
+  // legal refit inputs; the >=-goes-up octant rule bins them into the
+  // highest octant along each maxed axis, same as the fresh build.
+  util::Rng rng(100);
+  auto pts = uniform_cube(256, rng);
+  pts.push_back({1.0, 1.0, 1.0});
+  pts.push_back({0.0, 1.0, 0.5});
+  const Octree::Params params{.max_points_per_box = 32, .domain = kDomain};
+  Octree tree(pts, params);
+  if (tree.balance_splits() != 0) GTEST_SKIP() << "balance-split tree";
+  auto moved = jitter(pts, 1e-3, 101);
+  moved[moved.size() - 2] = {1.0, 1.0, 1.0};  // keep the corner pinned
+  moved[moved.size() - 1] = {0.0, 1.0, 0.5};
+  ASSERT_TRUE(tree.try_refit(moved));
+  EXPECT_TRUE(trees_identical(tree, Octree(moved, params)));
+}
+
+// ---------------------------------------------------------------------------
+// Evaluator-level regression: refit-then-evaluate == rebuild-then-evaluate
+// ---------------------------------------------------------------------------
+
+TEST(EvaluatorRefit, RefitThenEvaluateMatchesRebuildBitwise) {
+  util::Rng rng(102);
+  const auto pts = uniform_cube(1200, rng);
+  const auto dens = random_densities(1200, rng);
+  const Octree::Params params{.max_points_per_box = 32, .domain = kDomain};
+  const FmmConfig fcfg{.p = 3};
+  static const LaplaceKernel kernel;
+
+  FmmEvaluator ev(kernel, pts, params, fcfg);
+  ASSERT_EQ(ev.tree().balance_splits(), 0);
+  (void)ev.evaluate(dens);
+
+  auto moved = pts;
+  for (int step = 0; step < 4; ++step) {
+    moved = jitter(moved, 2e-3, 103 + static_cast<std::uint64_t>(step));
+    ASSERT_TRUE(ev.try_refit(moved)) << "step " << step;
+    const auto refit_phi = ev.evaluate(dens);
+
+    FmmEvaluator fresh(kernel, moved, params, fcfg);
+    const auto fresh_phi = fresh.evaluate(dens);
+    ASSERT_EQ(refit_phi.size(), fresh_phi.size());
+    EXPECT_EQ(std::memcmp(refit_phi.data(), fresh_phi.data(),
+                          refit_phi.size() * sizeof(double)),
+              0)
+        << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace eroof::fmm

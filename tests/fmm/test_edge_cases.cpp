@@ -114,6 +114,76 @@ TEST(EdgeCases, EmptyPointSetRejected) {
                util::ContractError);
 }
 
+// -- the octant convention, pinned -----------------------------------------
+//
+// A point is assigned to the upper half of an axis when its coordinate is
+// >= the box center: each box owns the half-open cell [lo, center) x
+// [center, hi] per axis, while Box::contains (and hence the domain check)
+// is closed. These tests freeze that convention: refit and every fixed-
+// domain consumer depend on rebinning landing points exactly where the
+// original build put them.
+
+TEST(EdgeCases, PointOnSplitPlaneGoesToTheUpperOctant) {
+  // One point per octant plus one exactly on the center split planes; with
+  // Q=2 the root splits once and the center point must share octant 7 (the
+  // +++ octant) with the (0.75, 0.75, 0.75) point.
+  std::vector<Vec3> pts;
+  for (int o = 0; o < 8; ++o)
+    pts.push_back({o & 1 ? 0.75 : 0.25, o & 2 ? 0.75 : 0.25,
+                   o & 4 ? 0.75 : 0.25});
+  pts.push_back({0.5, 0.5, 0.5});
+  const Octree tree(pts, {.max_points_per_box = 2,
+                          .domain = {{0.5, 0.5, 0.5}, 0.5}});
+  ASSERT_EQ(tree.max_depth(), 1);
+  int with_two = -1;
+  for (const int b : tree.leaves())
+    if (tree.node(b).num_points() == 2) {
+      EXPECT_EQ(with_two, -1) << "only octant 7 may hold two points";
+      with_two = b;
+    }
+  ASSERT_NE(with_two, -1);
+  // Both residents of that leaf sit at coordinates >= the root center.
+  for (std::uint32_t i = tree.node(with_two).point_begin;
+       i < tree.node(with_two).point_end; ++i) {
+    EXPECT_GE(tree.points()[i].x, 0.5);
+    EXPECT_GE(tree.points()[i].y, 0.5);
+    EXPECT_GE(tree.points()[i].z, 0.5);
+  }
+}
+
+TEST(EdgeCases, DomainBoundaryPointsAreAcceptedAndBinHighest) {
+  // Box::contains is closed: a point exactly on the domain's max corner is
+  // legal input and cascades through the >=-goes-up rule into the highest
+  // octant at every level.
+  std::vector<Vec3> pts;
+  util::Rng rng(79);
+  for (int i = 0; i < 63; ++i)
+    pts.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+  pts.push_back({1.0, 1.0, 1.0});
+  const Octree tree(pts, {.max_points_per_box = 16,
+                          .domain = {{0.5, 0.5, 0.5}, 0.5}});
+  // Locate the corner point in permuted order; its leaf's box max corner
+  // must be the domain's max corner at every enclosing level.
+  int pos = -1;
+  for (std::size_t i = 0; i < tree.points().size(); ++i)
+    if (tree.original_index()[i] == 63) pos = static_cast<int>(i);
+  ASSERT_NE(pos, -1);
+  for (const int b : tree.leaves()) {
+    const Node& nd = tree.node(b);
+    if (static_cast<std::uint32_t>(pos) >= nd.point_begin &&
+        static_cast<std::uint32_t>(pos) < nd.point_end) {
+      EXPECT_DOUBLE_EQ(nd.box.center.x + nd.box.half, 1.0);
+      EXPECT_DOUBLE_EQ(nd.box.center.y + nd.box.half, 1.0);
+      EXPECT_DOUBLE_EQ(nd.box.center.z + nd.box.half, 1.0);
+    }
+  }
+  // A point just outside the closed domain is rejected.
+  pts.push_back({1.0 + 1e-12, 0.5, 0.5});
+  EXPECT_THROW(Octree(pts, {.max_points_per_box = 16,
+                            .domain = {{0.5, 0.5, 0.5}, 0.5}}),
+               util::ContractError);
+}
+
 // -- degenerate trees feeding the DAG builder -------------------------------
 //
 // The task-graph builder consumes the octree and its interaction lists

@@ -1,0 +1,25 @@
+// Seeded stepper-loop violations: heap allocation and libc randomness
+// inside the steady-state stepping region -- a dynamics hot loop must
+// reuse its buffers and draw noise only from counter-keyed RngStream
+// forks. Lint-input fixture -- never compiled.
+#include <cstdlib>
+#include <vector>
+
+void fixture_step_loop(std::vector<double>& x, int steps) {
+  // eroof: hot-begin (steady-state stepping)
+  for (int s = 0; s < steps; ++s) {
+    double* tmp = new double[x.size()];
+    x.push_back(static_cast<double>(s));
+    x.resize(x.size() + 1);
+    const double noise = std::rand() / static_cast<double>(RAND_MAX);
+    x[0] += noise + tmp[0];
+    delete[] tmp;
+  }
+  // eroof: hot-end
+}
+
+void fixture_stepper_setup(std::vector<double>& x) {
+  // Sizing the buffers before entering the stepping loop is the sanctioned
+  // pattern; this resize must not be flagged.
+  x.resize(128);
+}

@@ -62,6 +62,21 @@ TEST(LintRules, FlagsThreadSpawnsInsideHotServeLoop) {
   EXPECT_EQ(violations(rep), expected);
 }
 
+TEST(LintRules, FlagsAllocationAndLibcRandInHotStepperLoop) {
+  // The dynamics stepping loop is a hot region: per-step heap scratch,
+  // container growth, and unseeded libc randomness are all banned inside
+  // it, while sizing buffers outside the region stays legal.
+  const auto rep = lint_file(fixture("bad_stepper.cpp"), Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {11, "hot-alloc"},
+      {12, "hot-alloc"},
+      {13, "hot-alloc"},
+      {14, "nondet-rand"},
+  };
+  EXPECT_EQ(violations(rep), expected);
+  for (const auto& f : rep.findings) EXPECT_LT(f.line, 20) << f.message;
+}
+
 TEST(LintRules, AllocationOutsideHotRegionIsFine) {
   const auto rep = lint_file(fixture("bad_hotpath.cpp"), Options{});
   for (const auto& f : rep.findings) EXPECT_LT(f.line, 20) << f.message;
