@@ -1,24 +1,36 @@
 #!/usr/bin/env bash
-# Static-analysis gate: builds and runs the in-tree eroof_lint pass over
-# src/ bench/ examples/ tests/, then (when clang-tidy is installed) runs the
+# Static-analysis gate: builds and runs the in-tree eroof_lint whole-program
+# pass (per-file rules + call-graph hot propagation) over src/ bench/
+# examples/ tests/, then (when the pinned clang-tidy is installed) runs the
 # curated .clang-tidy checks over the exported compile_commands.json.
 #
-#   scripts/lint.sh [--no-tidy] [--fix-annotations] [-B BUILD_DIR]
+#   scripts/lint.sh [--no-tidy] [--fix-annotations] [--write-baseline]
+#                   [-B BUILD_DIR]
 #
-# Exit status is nonzero if eroof_lint finds a violation or clang-tidy
-# reports an error. Findings are mirrored to lint-report.txt.
+# The gating run is strict: stale allow() suppressions fail the build, the
+# committed lint-baseline.json is applied (entries retire automatically when
+# the flagged line changes), and the report is mirrored to lint-report.txt
+# and lint.sarif (SARIF 2.1.0, consumed by GitHub code scanning in CI).
+# When GITHUB_STEP_SUMMARY is set, a one-line count is appended to it.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 BUILD_DIR=build
 RUN_TIDY=1
 FIX_ANNOTATIONS=0
+WRITE_BASELINE=0
+# clang-tidy is pinned so the optional layer cannot drift between local runs
+# and CI: prefer the exact major, fall back to an unpinned binary only with
+# a loud warning.
+TIDY_MAJOR=18
 while [ $# -gt 0 ]; do
   case "$1" in
     --no-tidy) RUN_TIDY=0 ;;
     --fix-annotations) FIX_ANNOTATIONS=1 ;;
+    --write-baseline) WRITE_BASELINE=1 ;;
     -B) BUILD_DIR=$2; shift ;;
-    *) echo "usage: $0 [--no-tidy] [--fix-annotations] [-B BUILD_DIR]" >&2
+    *) echo "usage: $0 [--no-tidy] [--fix-annotations] [--write-baseline]" \
+            "[-B BUILD_DIR]" >&2
        exit 2 ;;
   esac
   shift
@@ -37,15 +49,52 @@ if [ "${FIX_ANNOTATIONS}" = 1 ]; then
   exec "${LINT_BIN}" --root . --fix-annotations
 fi
 
+if [ "${WRITE_BASELINE}" = 1 ]; then
+  exec "${LINT_BIN}" --root . --write-baseline lint-baseline.json
+fi
+
+BASELINE_ARGS=()
+if [ -f lint-baseline.json ]; then
+  BASELINE_ARGS=(--baseline lint-baseline.json)
+fi
+
 STATUS=0
-"${LINT_BIN}" --root . --audit | tee lint-report.txt || STATUS=$?
+"${LINT_BIN}" --root . --audit --strict-allows --sarif lint.sarif \
+  "${BASELINE_ARGS[@]}" 2>lint-summary.txt | tee lint-report.txt \
+  || STATUS=$?
+cat lint-summary.txt >&2
+
+# Gating findings only: the report also mirrors notes and the --audit
+# suppression trail, neither of which fails the build.
+VIOLATIONS=$(grep -E ':[0-9]+: [a-z-]+: ' lint-report.txt \
+  | grep -v -e ': note: ' -e ': suppressed: ' | wc -l | tr -d ' ' || true)
+echo "lint.sh: ${VIOLATIONS} gating finding(s) (details: lint-report.txt," \
+     "SARIF: lint.sarif)"
+if [ -n "${GITHUB_STEP_SUMMARY:-}" ]; then
+  {
+    echo "### eroof_lint"
+    echo ""
+    echo "- gating findings: **${VIOLATIONS}**"
+    echo "- $(cat lint-summary.txt)"
+  } >> "${GITHUB_STEP_SUMMARY}"
+fi
 
 # clang-tidy layer: curated checks from .clang-tidy over the exported
 # database. Optional -- the in-tree pass above is the gating invariant
 # check; clang-tidy adds generic bug-prone/performance findings when the
-# tool is available.
+# pinned tool is available.
 if [ "${RUN_TIDY}" = 1 ]; then
-  TIDY=$(command -v clang-tidy || true)
+  TIDY=$(command -v "clang-tidy-${TIDY_MAJOR}" || true)
+  if [ -z "${TIDY}" ]; then
+    TIDY=$(command -v clang-tidy || true)
+    if [ -n "${TIDY}" ]; then
+      FOUND_MAJOR=$("${TIDY}" --version | sed -n 's/.*version \([0-9]*\).*/\1/p' | head -1)
+      if [ "${FOUND_MAJOR}" != "${TIDY_MAJOR}" ]; then
+        echo "lint.sh: WARNING: clang-tidy ${FOUND_MAJOR} found, pinned" \
+             "version is ${TIDY_MAJOR}; findings may differ from CI" >&2
+      fi
+    fi
+  fi
   if [ -z "${TIDY}" ]; then
     echo "lint.sh: clang-tidy not found; skipping the clang-tidy layer" >&2
   elif [ ! -f "${BUILD_DIR}/compile_commands.json" ]; then

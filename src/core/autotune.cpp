@@ -29,6 +29,8 @@ std::vector<hw::Measurement> measure_grid(
   setting_streams.reserve(grid.size());
   for (const auto& s : grid) setting_streams.push_back(wl_stream.fork(s.label()));
 
+  // eroof: cold (tuning campaign: each run builds its own workload state
+  // and power trace; measurement loops are not steady-state evaluate paths)
 #pragma omp parallel for schedule(static)
   for (std::ptrdiff_t run = 0; run < static_cast<std::ptrdiff_t>(nruns);
        ++run) {

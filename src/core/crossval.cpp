@@ -86,6 +86,8 @@ ValidationReport kfold_validation(std::span<const FitSample> samples, int k,
   // its order-summed counter totals stay bitwise-reproducible too.
   const bool tracing = trace::session() != nullptr;
   std::vector<FoldErrors> folds(static_cast<std::size_t>(k));
+  // eroof: cold (cross-validation folds build their train/test index
+  // vectors and refit the model per fold by design)
 #pragma omp parallel for schedule(dynamic) if (!tracing)
   for (int fold = 0; fold < k; ++fold) {
     const std::size_t lo = n * static_cast<std::size_t>(fold) /
@@ -132,6 +134,8 @@ ValidationReport leave_one_setting_out(std::span<const FitSample> samples) {
 
   const bool tracing = trace::session() != nullptr;
   std::vector<FoldErrors> folds(ngroups);
+  // eroof: cold (leave-one-group-out folds build their partitions and
+  // refit the model per group by design)
 #pragma omp parallel for schedule(dynamic) if (!tracing)
   for (std::ptrdiff_t g = 0; g < static_cast<std::ptrdiff_t>(ngroups); ++g) {
     std::vector<std::size_t> train;

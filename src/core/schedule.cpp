@@ -269,24 +269,38 @@ ScheduleComparison compare_strategies(const EnergyModel& model,
 const PhaseSchedule& ScheduleMemo::schedule_for_plan(
     const std::string& plan_key,
     const std::function<PhaseSchedule()>& compute) {
+  // Counter bumps happen outside mu_: trace::counter_add acquires the
+  // process-wide trace mutex, and holding mu_ across it would stall every
+  // other memo lookup behind an unrelated tracing lock. Entries are never
+  // removed, so returning a reference read under the lock stays valid.
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = memo_.find(plan_key);
-    if (it != memo_.end()) {
+    const PhaseSchedule* hit = nullptr;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = memo_.find(plan_key);
+      if (it != memo_.end()) hit = it->second.get();
+    }
+    if (hit != nullptr) {
       trace::counter_add("core.schedule_memo.hit", 1.0);
-      return *it->second;
+      return *hit;
     }
   }
   // Compute outside the lock; `compute` is deterministic, so if two threads
   // race on a fresh key both produce the same schedule and the loser's copy
   // is simply dropped.
   auto result = std::make_unique<PhaseSchedule>(compute());
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto [it, inserted] = memo_.try_emplace(plan_key, std::move(result));
+  const PhaseSchedule* out = nullptr;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto [it, ins] = memo_.try_emplace(plan_key, std::move(result));
+    inserted = ins;
+    out = it->second.get();
+  }
   trace::counter_add(inserted ? "core.schedule_memo.miss"
                               : "core.schedule_memo.hit",
                      1.0);
-  return *it->second;
+  return *out;
 }
 
 std::size_t ScheduleMemo::size() const {

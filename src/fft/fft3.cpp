@@ -60,7 +60,9 @@ void Plan3::apply_axes(std::span<cplx> data, Fn&& transform1d) const {
   // The temp is per-thread and reused across calls (the FMM V phase runs
   // two 3-D transforms per node per evaluation; none of them may allocate).
   thread_local std::vector<cplx> tl_pencil;
-  if (tl_pencil.size() < std::max(n0_, n1_)) tl_pencil.resize(std::max(n0_, n1_));
+  // First-touch growth per thread; reused across every later transform.
+  if (tl_pencil.size() < std::max(n0_, n1_))
+    tl_pencil.resize(std::max(n0_, n1_));  // eroof-lint: allow(hot-alloc)
   std::vector<cplx>& pencil = tl_pencil;
   for (std::size_t i0 = 0; i0 < n0_; ++i0) {
     for (std::size_t i2 = 0; i2 < n2_; ++i2) {

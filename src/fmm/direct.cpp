@@ -12,6 +12,8 @@ std::vector<double> direct_sum(const Kernel& kernel,
                                std::span<const double> densities) {
   EROOF_REQUIRE(sources.size() == densities.size());
   std::vector<double> phi(targets.size(), 0.0);
+  // eroof: hot-begin (reference direct sum: pure kernel evaluations into a
+  // preallocated output, the baseline every accuracy check compares against)
 #pragma omp parallel for schedule(static)
   for (std::size_t i = 0; i < targets.size(); ++i) {
     double acc = 0;
@@ -19,6 +21,7 @@ std::vector<double> direct_sum(const Kernel& kernel,
       acc += kernel.eval(targets[i], sources[j]) * densities[j];
     phi[i] = acc;
   }
+  // eroof: hot-end
   return phi;
 }
 

@@ -53,6 +53,8 @@ const char* phase_name(int tag) {
 /// Mirrors one phase's tallies into the session's counter registry as
 /// "fmm.<phase>.<tally>" so regression tests can compare runs bit-for-bit.
 /// Both executors call this in canonical phase order (UP,V,X,DOWN,U,W).
+// eroof: cold (trace emission helper: only called with an installed
+// session; the key strings are the accepted cost of tracing)
 void add_phase_counters(const char* phase, const FmmStats::Phase& p) {
   const std::string prefix = std::string("fmm.") + phase + ".";
   trace::counter_add(prefix + "kernel_evals", p.kernel_evals);
@@ -62,6 +64,7 @@ void add_phase_counters(const char* phase, const FmmStats::Phase& p) {
   trace::counter_add(prefix + "solve_matvecs", p.solve_matvecs);
 }
 
+// eroof: cold (trace emission helper: only called with an installed session)
 void phase_args(trace::SpanEvent& ev, const FmmStats::Phase& p) {
   ev.args.push_back({"kernel_evals", p.kernel_evals});
   ev.args.push_back({"pair_count", p.pair_count});
@@ -250,6 +253,8 @@ FmmStats FmmEvaluator::compute_structural_stats() const {
   return s;
 }
 
+// eroof: cold (first-call scratch sizing: returns immediately once the
+// per-thread workspaces match the thread count)
 void FmmEvaluator::ensure_workspaces() {
   const auto want = static_cast<std::size_t>(max_threads());
   if (workspaces_.size() >= want && !workspaces_.empty()) return;
@@ -295,8 +300,8 @@ void FmmEvaluator::evaluate_into(std::span<const double> densities,
   // executor -- nothing touches the heap.
   const auto orig = tree_.original_index();
   if (eval_dens_.size() != densities.size()) {
-    eval_dens_.resize(densities.size());
-    eval_phi_.resize(densities.size());
+    eval_dens_.resize(densities.size());  // eroof-lint: allow(hot-alloc)
+    eval_phi_.resize(densities.size());   // eroof-lint: allow(hot-alloc)
   }
   ensure_workspaces();
 
@@ -824,6 +829,8 @@ void FmmEvaluator::build_dag() {
 
 void FmmEvaluator::evaluate_dag(std::span<const double> dens,
                                 std::span<double> phi) {
+  // eroof: cold (first-call DAG construction; every later evaluate replays
+  // the sealed graph without touching the heap)
   if (!dag_built_) build_dag();
   dag_dens_ = dens.data();
   dag_phi_ = phi.data();

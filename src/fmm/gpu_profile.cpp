@@ -106,6 +106,8 @@ class Profiler {
                                  static_cast<std::size_t>(tree_.max_depth()) +
                                      1)) {}
 
+  // eroof: cold (profiling pass: runs once per plan to model phase
+  // workloads; its sample records allocate by design)
   FmmGpuProfile run() {
     trace::ScopedSpan span("profile_gpu_execution", "fmm.profile");
     FmmGpuProfile out;

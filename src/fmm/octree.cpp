@@ -171,6 +171,8 @@ void Octree::finalize() {
   }
 }
 
+// eroof: cold (lazy refit scratch: sized once per tree structure; every
+// later refit reuses it)
 void Octree::ensure_refit_scratch() {
   if (refit_count_.size() == nodes_.size()) return;
   refit_count_.resize(nodes_.size());

@@ -121,6 +121,8 @@ std::shared_ptr<M2lBank> Operators::build_m2l_bank(const Kernel& kernel,
   // bank plane: iterations are independent, and Plan3::forward is const and
   // re-entrant, so the loop parallelizes cleanly (this is the dominant setup
   // cost for non-homogeneous kernels, which rebuild per level).
+  // eroof: cold (operator setup: each offset builds and FFTs its kernel
+  // tensor into the bank; a per-plan cost, amortized across evaluates)
 #pragma omp parallel for schedule(dynamic)
   for (int flat = 0; flat < 343; ++flat) {
     const int dx = flat / 49 - 3;
@@ -179,6 +181,8 @@ void Operators::build_level(const Kernel& kernel, int l, double root_half) {
                                cfg_.tikhonov_eps);
 
   // M2M / L2L per child octant (children of a level-l box live at l+1).
+  // eroof: cold (operator setup: per-octant translation matrices are
+  // built once per plan, not per evaluate)
 #pragma omp parallel for schedule(static)
   for (int o = 0; o < 8; ++o) {
     const Box child = box.child(static_cast<unsigned>(o));

@@ -33,6 +33,9 @@ bool FmmSession::move_to(std::span<const Vec3> positions) {
   return false;
 }
 
+// eroof: cold (rebuild slow path: full tree/plan reconstruction allocates
+// by design and is amortized across steps; the steady-state contract is
+// the refit path)
 void FmmSession::rebuild(std::span<const Vec3> positions) {
   Octree tree(positions, cfg_.tree);
   if (!plan_ || tree.max_depth() > plan_->max_depth()) {

@@ -76,7 +76,9 @@ PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
 
   PowerTrace trace;
   trace.duration_s = duration_s;
-  trace.samples_w.resize(nsamples);
+  // One trace buffer per measurement, sized before the batched sample
+  // loop below; the loop itself never allocates.
+  trace.samples_w.resize(nsamples);  // eroof-lint: allow(hot-alloc)
   // eroof: hot-begin (batched sample path: quantize + trapezoid, no
   // per-sample std::function or allocation -- this runs once per campaign
   // cell inside the parallel region)

@@ -70,7 +70,9 @@ double Soc::true_constant_power_w(const DvfsSetting& s) const {
   double p = truth_.c1_proc_w_per_v * vp * bend(vp) +
              truth_.c1_mem_w_per_v * vm * bend(vm) + truth_.p_misc_w;
   if (truth_.setting_sigma > 0) {
-    util::Rng point_rng(std::hash<std::string>{}("pi0@" + s.label()));
+    // Per-measurement label hashing: one small string per simulated cell,
+    // outside the batched per-sample loop.
+    util::Rng point_rng(std::hash<std::string>{}("pi0@" + s.label()));  // eroof-lint: allow(hot-alloc)
     p *= 1.0 + truth_.setting_sigma * point_rng.normal();
   }
   return p;
@@ -119,8 +121,10 @@ double Soc::dynamic_power_w(const Workload& w, const DvfsSetting& s,
   // per-(workload, setting) component (DVFS-dependent codegen/refresh-rate
   // effects) that no 9-parameter model can absorb.
   if (truth_.activity_sigma > 0) {
-    util::Rng name_rng(std::hash<std::string>{}(w.name));
-    util::Rng pair_rng(std::hash<std::string>{}(w.name + "@" + s.label()));
+    // Per-measurement label hashing: two small strings per simulated cell,
+    // outside the batched per-sample loop.
+    util::Rng name_rng(std::hash<std::string>{}(w.name));  // eroof-lint: allow(hot-alloc)
+    util::Rng pair_rng(std::hash<std::string>{}(w.name + "@" + s.label()));  // eroof-lint: allow(hot-alloc)
     e *= 1.0 + truth_.activity_sigma * name_rng.normal() +
          0.1 * truth_.activity_sigma * pair_rng.normal();
   }

@@ -125,9 +125,11 @@ class ShardedLruCache {
   }
 
   Stats stats() const {
-    return {hits_.load(std::memory_order_relaxed),
-            misses_.load(std::memory_order_relaxed),
-            evictions_.load(std::memory_order_relaxed)};
+    // Counter snapshot: independently monotonic tallies with no
+    // cross-counter consistency promise; relaxed loads suffice.
+    return {hits_.load(std::memory_order_relaxed),       // eroof-lint: allow(relaxed-atomic)
+            misses_.load(std::memory_order_relaxed),     // eroof-lint: allow(relaxed-atomic)
+            evictions_.load(std::memory_order_relaxed)};  // eroof-lint: allow(relaxed-atomic)
   }
 
   std::size_t size() const {
@@ -155,7 +157,8 @@ class ShardedLruCache {
   };
 
   void count(std::atomic<std::uint64_t>& counter, const char* suffix) {
-    counter.fetch_add(1, std::memory_order_relaxed);
+    // Monotonic tally, read only by stats(); no ordering needed.
+    counter.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
     trace::counter_add(cfg_.counter_prefix + suffix, 1.0);
   }
 

@@ -82,7 +82,8 @@ std::future<FmmResponse> FmmServer::submit(FmmRequest req) {
     FmmResponse resp;
     resp.id = id;
     resp.status = ServeStatus::kShed;
-    shed_.fetch_add(1, std::memory_order_relaxed);
+    // Monotonic tally, read only by stats(); no ordering needed.
+    shed_.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
     trace::counter_add("serve.shed", 1.0);
     job.promise.set_value(std::move(resp));
   }
@@ -100,7 +101,8 @@ FmmResponse FmmServer::invalid_response(std::uint64_t id, std::string reason) {
   resp.id = id;
   resp.status = ServeStatus::kInvalid;
   resp.error = std::move(reason);
-  invalid_.fetch_add(1, std::memory_order_relaxed);
+  // Monotonic tally, read only by stats(); no ordering needed.
+  invalid_.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
   trace::counter_add("serve.invalid", 1.0);
   return resp;
 }
@@ -113,10 +115,13 @@ void FmmServer::shutdown() {
 }
 
 FmmServer::Stats FmmServer::stats() const {
-  return {served_.load(std::memory_order_relaxed),
-          shed_.load(std::memory_order_relaxed),
-          invalid_.load(std::memory_order_relaxed),
-          errors_.load(std::memory_order_relaxed), cache_.stats()};
+  // Counter snapshot: each tally is independently monotonic and stats()
+  // makes no cross-counter consistency promise, so relaxed loads suffice.
+  return {served_.load(std::memory_order_relaxed),    // eroof-lint: allow(relaxed-atomic)
+          shed_.load(std::memory_order_relaxed),      // eroof-lint: allow(relaxed-atomic)
+          invalid_.load(std::memory_order_relaxed),   // eroof-lint: allow(relaxed-atomic)
+          errors_.load(std::memory_order_relaxed),    // eroof-lint: allow(relaxed-atomic)
+          cache_.stats()};
 }
 
 void FmmServer::worker_main() {
@@ -129,6 +134,9 @@ void FmmServer::worker_main() {
   // per-request evaluator state, no locks beyond the queue handoff.
   while (auto job = queue_.pop()) {
     const std::int64_t claimed_us = now_us();
+    // eroof: cold (per-request solve: builds the request's own evaluator and
+    // response, which allocate by design; the evaluator's steady-state
+    // zero-alloc contract is enforced by its own hot regions)
     FmmResponse resp = serve_guarded(std::move(job->req));
     resp.queue_us = static_cast<double>(claimed_us - job->enqueued_us);
     job->promise.set_value(std::move(resp));
@@ -145,7 +153,8 @@ FmmResponse FmmServer::serve_guarded(FmmRequest req) {
     resp.id = id;
     resp.status = ServeStatus::kError;
     resp.error = e.what();
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    // Monotonic tally, read only by stats(); no ordering needed.
+    errors_.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
     trace::counter_add("serve.error", 1.0);
     return resp;
   } catch (...) {
@@ -153,7 +162,8 @@ FmmResponse FmmServer::serve_guarded(FmmRequest req) {
     resp.id = id;
     resp.status = ServeStatus::kError;
     resp.error = "unknown exception during solve";
-    errors_.fetch_add(1, std::memory_order_relaxed);
+    // Monotonic tally, read only by stats(); no ordering needed.
+    errors_.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
     trace::counter_add("serve.error", 1.0);
     return resp;
   }
@@ -223,7 +233,8 @@ FmmResponse FmmServer::serve_one(FmmRequest req) {
   resp.plan_key = key;
   resp.cache_hit = cached.hit;
   resp.service_us = static_cast<double>(now_us() - start_us);
-  served_.fetch_add(1, std::memory_order_relaxed);
+  // Monotonic tally, read only by stats(); no ordering needed.
+  served_.fetch_add(1, std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
   trace::counter_add("serve.served", 1.0);
   return resp;
 }

@@ -30,17 +30,21 @@ std::int64_t TraceSession::now_us() const {
       .count();
 }
 
+// eroof: cold (trace emission: only runs with an installed session; the
+// registry lock and event storage are the accepted cost of tracing)
 void TraceSession::emit_span(SpanEvent ev) {
   std::lock_guard<std::mutex> lock(mu_);
   spans_.push_back(std::move(ev));
 }
 
+// eroof: cold (trace emission: only runs with an installed session)
 void TraceSession::emit_counter(std::string_view name, std::int64_t t_us,
                                 double value) {
   std::lock_guard<std::mutex> lock(mu_);
   counters_.push_back(CounterEvent{std::string(name), t_us, value});
 }
 
+// eroof: cold (trace emission: only runs with an installed session)
 void TraceSession::add_counter_total(std::string_view name, double delta) {
   std::lock_guard<std::mutex> lock(mu_);
   totals_[std::string(name)] += delta;
@@ -66,9 +70,14 @@ void install(TraceSession* session) {
 }
 
 TraceSession* session() {
-  return g_session.load(std::memory_order_relaxed);
+  // Relaxed: install() publishes the session with release, and every
+  // emission path synchronizes on the session's own mutex before
+  // touching its state; the pointer load needs no ordering of its own.
+  return g_session.load(std::memory_order_relaxed);  // eroof-lint: allow(relaxed-atomic)
 }
 
+// eroof: cold (span capture: returns immediately without a session; the
+// name/category copies are the accepted cost of tracing)
 ScopedSpan::ScopedSpan(std::string_view name, std::string_view category)
     : session_(session()) {
   if (!session_) return;
@@ -80,6 +89,7 @@ ScopedSpan::ScopedSpan(std::string_view name, std::string_view category)
   event_.start_us = session_->now_us();
 }
 
+// eroof: cold (span capture: no-op without a session)
 ScopedSpan::~ScopedSpan() {
   if (!session_) return;
   event_.dur_us = std::chrono::duration_cast<std::chrono::microseconds>(
@@ -89,11 +99,13 @@ ScopedSpan::~ScopedSpan() {
   session_->emit_span(std::move(event_));
 }
 
+// eroof: cold (span capture: no-op without a session)
 void ScopedSpan::arg(std::string_view key, double value) {
   if (!session_) return;
   event_.args.push_back(Arg{std::string(key), value});
 }
 
+// eroof: cold (trace emission: no-op without a session)
 void counter_add(std::string_view name, double delta) {
   if (TraceSession* s = session()) s->add_counter_total(name, delta);
 }

@@ -1,0 +1,32 @@
+// Seeded fixture: the concurrency rule family.
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <random>
+#include <thread>
+
+std::mutex mu;
+std::condition_variable cv;
+bool ready = false;
+
+void blocking_under_lock() {
+  std::unique_lock<std::mutex> lock(mu);
+  cv.wait(lock, [] { return ready; });
+}
+
+void detached() {
+  std::thread t([] {});
+  t.detach();
+}
+
+int relaxed(std::atomic<int>& a) {
+  return a.load(std::memory_order_relaxed);
+}
+
+void rng_in_parallel(double* out, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    std::mt19937 gen;
+    out[i] = static_cast<double>(gen()) + i;
+  }
+}

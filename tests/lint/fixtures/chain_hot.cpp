@@ -1,0 +1,17 @@
+// Seeded fixture: the hot region calls a helper two hops away that
+// allocates; the whole-program pass must report the full call chain.
+#include <vector>
+
+namespace demo {
+
+void helper_two(std::vector<int>& v) { v.push_back(1); }
+
+void helper_one(std::vector<int>& v) { helper_two(v); }
+
+void drive(std::vector<int>& v) {
+  // eroof: hot-begin (fixture steady-state loop)
+  for (int i = 0; i < 4; ++i) helper_one(v);
+  // eroof: hot-end
+}
+
+}  // namespace demo

@@ -1,0 +1,20 @@
+// Seeded fixture: same two-hop shape as chain_hot.cpp, but the allocating
+// line carries a justified allow() -- the transitive finding must land in
+// the audit trail, not the violation list.
+#include <vector>
+
+namespace demo_ok {
+
+void helper_two(std::vector<int>& v) {
+  v.push_back(1);  // eroof-lint: allow(hot-alloc) fixture: amortized growth
+}
+
+void helper_one(std::vector<int>& v) { helper_two(v); }
+
+void drive(std::vector<int>& v) {
+  // eroof: hot-begin (fixture steady-state loop)
+  for (int i = 0; i < 4; ++i) helper_one(v);
+  // eroof: hot-end
+}
+
+}  // namespace demo_ok

@@ -1,0 +1,363 @@
+// Tests for tools/lint/callgraph: call-site extraction and conservative
+// resolution, hot-region reachability (cycles, recursion, cold barriers),
+// chain-bearing transitive findings, and the unresolved-call notes.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "callgraph.hpp"
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace eroof::lint {
+namespace {
+
+std::string fixture(const std::string& name) {
+  return std::string(EROOF_LINT_FIXTURES) + "/" + name;
+}
+
+struct Program {
+  std::vector<SourceFile> sources;
+  FunctionIndex index;
+  CallGraph graph;
+};
+
+Program program_of(const std::vector<std::pair<std::string, std::string>>&
+                       files) {
+  Program p;
+  for (const auto& [path, src] : files)
+    p.sources.push_back(load_source(path, src));
+  p.index = build_index(p.sources);
+  p.graph = build_call_graph(p.index, p.sources);
+  return p;
+}
+
+/// The resolved callee ids of the first site named `name` in the program.
+std::vector<int> callees_of(const Program& p, const std::string& name) {
+  for (const auto& s : p.graph.sites)
+    if (s.name == name) return s.callees;
+  ADD_FAILURE() << "no call site named " << name;
+  return {};
+}
+
+std::vector<std::pair<int, std::string>> violations(const ProgramReport& rep) {
+  std::vector<std::pair<int, std::string>> v;
+  for (const auto& f : rep.findings)
+    if (!f.suppressed) v.emplace_back(f.line, f.rule);
+  return v;
+}
+
+// ---------------------------------------------------------------------------
+// Call-site extraction and resolution
+// ---------------------------------------------------------------------------
+
+TEST(LintCallGraph, ResolvesFreeCallsAcrossFiles) {
+  const auto p = program_of({
+      {"a.cpp", "void helper() {}\n"},
+      {"b.cpp", "void helper();\nvoid drive() { helper(); }\n"},
+  });
+  const auto callees = callees_of(p, "helper");
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(p.index.fns[static_cast<std::size_t>(callees[0])].file, "a.cpp");
+}
+
+TEST(LintCallGraph, OverloadArityFilterSelectsTheMatchingSignature) {
+  const auto p = program_of({
+      {"a.cpp",
+       "int f(int a) { return a; }\n"
+       "int f(int a, int b) { return a + b; }\n"
+       "int drive() { return f(1); }\n"},
+  });
+  const auto callees = callees_of(p, "f");
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(p.index.fns[static_cast<std::size_t>(callees[0])].arity, 1);
+}
+
+TEST(LintCallGraph, ArityMismatchFallsBackToAllCandidates) {
+  // A lexical arg-count miscue (macro-expanded args, defaulted callables)
+  // must degrade to edges-to-every-overload, never to a silently dropped
+  // call.
+  const auto p = program_of({
+      {"a.cpp",
+       "int f(int a) { return a; }\n"
+       "int f(int a, int b) { return a + b; }\n"
+       "int drive() { return f(1, 2, 3); }\n"},
+  });
+  EXPECT_EQ(callees_of(p, "f").size(), 2u);
+}
+
+TEST(LintCallGraph, QualifierSuffixFilterDisambiguates) {
+  const auto p = program_of({
+      {"a.cpp",
+       "namespace la { void gemv() {} }\n"
+       "namespace fft { void gemv() {} }\n"
+       "void drive() { la::gemv(); }\n"},
+  });
+  const auto callees = callees_of(p, "gemv");
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(p.index.fns[static_cast<std::size_t>(callees[0])].qualified,
+            "la::gemv");
+}
+
+TEST(LintCallGraph, UnqualifiedCallPrefersTheCallersOwnScope) {
+  // `size()` inside Plan::run is an implicit-this call: it must resolve to
+  // Plan::size, not to every size() in the program.
+  const auto p = program_of({
+      {"a.cpp",
+       "struct Plan {\n"
+       "  int size() { return 1; }\n"
+       "  int run() { return size(); }\n"
+       "};\n"
+       "struct Cache {\n"
+       "  int size() { return 2; }\n"
+       "};\n"},
+  });
+  const auto callees = callees_of(p, "size");
+  ASSERT_EQ(callees.size(), 1u);
+  EXPECT_EQ(p.index.fns[static_cast<std::size_t>(callees[0])].qualified,
+            "Plan::size");
+}
+
+TEST(LintCallGraph, ConstructionEdgesResolveToTheCtor) {
+  const auto p = program_of({
+      {"a.cpp",
+       "struct Guard {\n"
+       "  Guard(int n) : n_(n) {}\n"
+       "  int n_;\n"
+       "};\n"
+       "void drive() { Guard g(3); (void)g; }\n"},
+  });
+  bool found = false;
+  for (const auto& s : p.graph.sites)
+    if (s.construct && s.name == "Guard") {
+      found = true;
+      ASSERT_EQ(s.callees.size(), 1u);
+      EXPECT_TRUE(
+          p.index.fns[static_cast<std::size_t>(s.callees[0])].is_ctor);
+    }
+  EXPECT_TRUE(found);
+}
+
+TEST(LintCallGraph, StdVocabularyMemberCallsProduceNoSites) {
+  const auto p = program_of({
+      {"a.cpp",
+       "struct S { int size() { return 0; } };\n"
+       "int drive(S& v) { return v.size(); }\n"},
+  });
+  // `v.size()` matches the std vocabulary whitelist (size/empty/begin/...):
+  // no edge, and -- crucially -- no unresolved-call noise later.
+  for (const auto& s : p.graph.sites) EXPECT_NE(s.name, "size");
+}
+
+// ---------------------------------------------------------------------------
+// Hot propagation: shapes that must terminate and chains that must be exact
+// ---------------------------------------------------------------------------
+
+TEST(LintCallGraph, TwoHopChainIsReportedWithExactPath) {
+  SourceFile sf;
+  ASSERT_TRUE(load_source_file(fixture("chain_hot.cpp"), sf));
+  const auto rep = analyze_program({sf}, ProgramOptions{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {7, "hot-alloc"}};
+  EXPECT_EQ(violations(rep), expected);
+  ASSERT_FALSE(rep.findings.empty());
+  EXPECT_EQ(rep.findings[0].message,
+            "container grow (push_back) in 'demo::helper_two', reachable "
+            "from hot region at " +
+                fixture("chain_hot.cpp") + ":12 -> helper_one (called at " +
+                fixture("chain_hot.cpp") + ":13) -> helper_two (called at " +
+                fixture("chain_hot.cpp") + ":9)");
+}
+
+TEST(LintCallGraph, AllowedEquivalentPassesWithAuditEntry) {
+  SourceFile sf;
+  ASSERT_TRUE(load_source_file(fixture("chain_hot_allowed.cpp"), sf));
+  const auto rep = analyze_program({sf}, ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+  std::size_t suppressed = 0;
+  for (const auto& f : rep.findings)
+    if (f.suppressed) {
+      ++suppressed;
+      EXPECT_EQ(f.rule, "hot-alloc");
+      EXPECT_EQ(f.line, 9);
+    }
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintCallGraph, CyclesTerminateAndStayHot) {
+  const auto p = program_of({
+      {"a.cpp",
+       "#include <vector>\n"
+       "void pong(std::vector<int>& v, int n);\n"
+       "void ping(std::vector<int>& v, int n) {\n"
+       "  v.push_back(n);\n"
+       "  if (n > 0) pong(v, n - 1);\n"
+       "}\n"
+       "void pong(std::vector<int>& v, int n) { if (n > 0) ping(v, n); }\n"
+       "void drive(std::vector<int>& v) {\n"
+       "  // eroof: hot-begin (cycle fixture)\n"
+       "  ping(v, 3);\n"
+       "  // eroof: hot-end\n"
+       "}\n"},
+  });
+  std::vector<FileAnalysis> analyses;
+  for (const auto& sf : p.sources) analyses.emplace_back(sf, Options{});
+  const auto hr = propagate_hot(p.index, p.graph, p.sources, analyses);
+  const int ping = p.index.find("ping");
+  const int pong = p.index.find("pong");
+  ASSERT_GE(ping, 0);
+  ASSERT_GE(pong, 0);
+  EXPECT_TRUE(hr.hot[static_cast<std::size_t>(ping)]);
+  EXPECT_TRUE(hr.hot[static_cast<std::size_t>(pong)]);
+  // Both chains trace back to the region, and chain() terminates too.
+  const auto chain = hr.chain(p.index, p.graph, p.sources, pong);
+  EXPECT_NE(chain.find("hot region at a.cpp:9"), std::string::npos);
+}
+
+TEST(LintCallGraph, RecursionFromHotRegionIsFlagged) {
+  const auto p = program_of({
+      {"a.cpp",
+       "#include <vector>\n"
+       "void grow(std::vector<int>& v, int n) {\n"
+       "  if (n == 0) return;\n"
+       "  v.push_back(n);\n"
+       "  grow(v, n - 1);\n"
+       "}\n"
+       "void drive(std::vector<int>& v) {\n"
+       "  // eroof: hot-begin (recursion fixture)\n"
+       "  grow(v, 8);\n"
+       "  // eroof: hot-end\n"
+       "}\n"},
+  });
+  const auto rep = analyze_program(p.sources, ProgramOptions{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {4, "hot-alloc"}};
+  EXPECT_EQ(violations(rep), expected);
+}
+
+TEST(LintCallGraph, ColdCallSiteLineSeversPropagation) {
+  const auto rep = analyze_program(
+      {load_source(
+          "a.cpp",
+          "#include <vector>\n"
+          "void slow(std::vector<int>& v) { v.push_back(1); }\n"
+          "void drive(std::vector<int>& v) {\n"
+          "  // eroof: hot-begin (cold barrier fixture)\n"
+          "  // eroof: cold (rebuild slow path, amortized)\n"
+          "  slow(v);\n"
+          "  // eroof: hot-end\n"
+          "}\n")},
+      ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+}
+
+TEST(LintCallGraph, ColdFunctionIsNeitherEnteredNorChecked) {
+  const auto rep = analyze_program(
+      {load_source(
+          "a.cpp",
+          "#include <vector>\n"
+          "// eroof: cold (trace emission: only runs with a session)\n"
+          "void emit(std::vector<int>& v) { v.push_back(1); }\n"
+          "void drive(std::vector<int>& v) {\n"
+          "  // eroof: hot-begin (cold function fixture)\n"
+          "  emit(v);\n"
+          "  // eroof: hot-end\n"
+          "}\n")},
+      ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+}
+
+TEST(LintCallGraph, HotBodyOutsideTheRegionIsStillChecked) {
+  // The per-file pass only sees lines lexically inside hot ranges; the
+  // transitive pass must cover a hot-reachable callee's whole body.
+  const auto rep = analyze_program(
+      {load_source("a.cpp",
+                   "#include <vector>\n"
+                   "void helper(std::vector<int>& v) {\n"
+                   "  v.push_back(1);\n"
+                   "  v.push_back(2);\n"
+                   "}\n"
+                   "void drive(std::vector<int>& v) {\n"
+                   "  // eroof: hot-begin (body coverage fixture)\n"
+                   "  helper(v);\n"
+                   "  // eroof: hot-end\n"
+                   "}\n")},
+      ProgramOptions{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {3, "hot-alloc"}, {4, "hot-alloc"}};
+  EXPECT_EQ(violations(rep), expected);
+}
+
+// ---------------------------------------------------------------------------
+// Conservative degradation: unresolved calls are notes, never failures
+// ---------------------------------------------------------------------------
+
+TEST(LintCallGraph, UnresolvableCalleeFromHotCodeGetsANote) {
+  const auto rep = analyze_program(
+      {load_source("a.cpp",
+                   "void external_solver(double* x);\n"
+                   "void drive(double* x) {\n"
+                   "  // eroof: hot-begin (unresolved fixture)\n"
+                   "  external_solver(x);\n"
+                   "  // eroof: hot-end\n"
+                   "}\n")},
+      ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+  bool noted = false;
+  for (const auto& n : rep.notes)
+    noted |= n.line == 4 &&
+             n.text.find("'external_solver'") != std::string::npos &&
+             n.text.find("cannot be resolved") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
+TEST(LintCallGraph, UnresolvedCallsOutsideHotCodeAreSilent) {
+  const auto rep = analyze_program(
+      {load_source("a.cpp",
+                   "void external_solver(double* x);\n"
+                   "void drive(double* x) { external_solver(x); }\n")},
+      ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+  EXPECT_TRUE(rep.notes.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Program-level suppression audit
+// ---------------------------------------------------------------------------
+
+TEST(LintCallGraph, StaleAllowIsANoteByDefault) {
+  const auto rep = analyze_program(
+      {load_source("a.cpp",
+                   "int f() { return 1; }  // eroof-lint: allow(hot-alloc)\n")},
+      ProgramOptions{});
+  EXPECT_TRUE(violations(rep).empty());
+  bool noted = false;
+  for (const auto& n : rep.notes)
+    noted |= n.text.find("unused suppression") != std::string::npos;
+  EXPECT_TRUE(noted);
+}
+
+TEST(LintCallGraph, StrictAllowsPromotesStaleSuppressionsToFindings) {
+  ProgramOptions opt;
+  opt.strict_allows = true;
+  const auto rep = analyze_program(
+      {load_source("a.cpp",
+                   "int f() { return 1; }  // eroof-lint: allow(hot-alloc)\n")},
+      opt);
+  const std::vector<std::pair<int, std::string>> expected = {
+      {1, "stale-allow"}};
+  EXPECT_EQ(violations(rep), expected);
+}
+
+TEST(LintCallGraph, StrictAllowsKeepsUsedSuppressionsQuiet) {
+  ProgramOptions opt;
+  opt.strict_allows = true;
+  SourceFile sf;
+  ASSERT_TRUE(load_source_file(fixture("chain_hot_allowed.cpp"), sf));
+  const auto rep = analyze_program({sf}, opt);
+  EXPECT_TRUE(violations(rep).empty());
+}
+
+}  // namespace
+}  // namespace eroof::lint

@@ -1,0 +1,192 @@
+// Tests for tools/lint/index: the tokenizer, the shared token utilities,
+// and the cross-TU function indexer (qualified names, arities, body
+// extents) that the call-graph layer is built on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace eroof::lint {
+namespace {
+
+FunctionIndex index_of(const std::string& src) {
+  std::vector<SourceFile> sources;
+  sources.push_back(load_source("t.cpp", src));
+  return build_index(sources);
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer
+// ---------------------------------------------------------------------------
+
+TEST(LintTokenize, KeepsScopeAndArrowTogether) {
+  const auto sf = load_source("t.cpp", "a::b()->c();\n");
+  const auto toks = tokenize(sf.lines);
+  std::vector<std::string> texts;
+  for (const auto& t : toks) texts.push_back(t.text);
+  const std::vector<std::string> expected = {"a", "::", "b", "(", ")",
+                                             "->", "c", "(", ")", ";"};
+  EXPECT_EQ(texts, expected);
+}
+
+TEST(LintTokenize, SkipsPreprocessorLinesAndContinuations) {
+  const auto sf = load_source("t.cpp",
+                              "#define M(x) \\\n"
+                              "  do_thing(x)\n"
+                              "int y;\n");
+  const auto toks = tokenize(sf.lines);
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[0].text, "int");
+  EXPECT_EQ(toks[1].text, "y");
+  EXPECT_EQ(toks[0].line, 3);
+}
+
+TEST(LintTokenize, CommentsAndStringsAreNotTokens) {
+  const auto sf = load_source(
+      "t.cpp", "int a = 1; // call_me()\nconst char* s = \"f(x, y)\";\n");
+  const auto toks = tokenize(sf.lines);
+  for (const auto& t : toks) {
+    EXPECT_NE(t.text, "call_me");
+    EXPECT_NE(t.text, "f");
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Shared token utilities
+// ---------------------------------------------------------------------------
+
+TEST(LintTokenUtil, ParsesQualifiedTemplatedIdChains) {
+  const auto sf = load_source("t.cpp", "a::b<int, c<d>>::e f;\n");
+  const auto toks = tokenize(sf.lines);
+  const IdChain chain = parse_id_chain(toks, 0);
+  const std::vector<std::string> expected = {"a", "b", "e"};
+  EXPECT_EQ(chain.parts, expected);
+  ASSERT_LT(chain.end, toks.size());
+  EXPECT_EQ(toks[chain.end].text, "f");
+}
+
+TEST(LintTokenUtil, CallArityCountsTopLevelCommasOnly) {
+  const auto sf = load_source("t.cpp", "g(a, h(b, c), d<e, f>(x));\n");
+  const auto toks = tokenize(sf.lines);
+  ASSERT_EQ(toks[1].text, "(");
+  const ArgScan sc = scan_call_args(toks, 1);
+  EXPECT_TRUE(sc.ok);
+  EXPECT_EQ(sc.arity, 3);
+}
+
+TEST(LintTokenUtil, EmptyArgListIsArityZero) {
+  const auto sf = load_source("t.cpp", "g();\n");
+  const auto toks = tokenize(sf.lines);
+  const ArgScan sc = scan_call_args(toks, 1);
+  EXPECT_TRUE(sc.ok);
+  EXPECT_EQ(sc.arity, 0);
+}
+
+// ---------------------------------------------------------------------------
+// Function indexing
+// ---------------------------------------------------------------------------
+
+TEST(LintIndex, QualifiesNestedNamespacesAndClasses) {
+  const auto idx = index_of(
+      "namespace outer { namespace inner {\n"
+      "struct Widget {\n"
+      "  int measure(int a) { return a; }\n"
+      "};\n"
+      "int helper() { return 0; }\n"
+      "}  }\n");
+  EXPECT_GE(idx.find("outer::inner::Widget::measure"), 0);
+  EXPECT_GE(idx.find("outer::inner::helper"), 0);
+  EXPECT_EQ(idx.find("outer::Widget::helper"), -1);
+}
+
+TEST(LintIndex, OutOfLineMethodDefinitionsAreQualified) {
+  const auto idx = index_of(
+      "struct Queue { int pop(); };\n"
+      "int Queue::pop() { return 1; }\n");
+  const int id = idx.find("Queue::pop");
+  ASSERT_GE(id, 0);
+  EXPECT_EQ(idx.fns[static_cast<std::size_t>(id)].name, "pop");
+  EXPECT_EQ(idx.fns[static_cast<std::size_t>(id)].name_line, 2);
+}
+
+TEST(LintIndex, RecordsBodyExtentsInLines) {
+  const auto idx = index_of(
+      "int f() {\n"
+      "  int x = 1;\n"
+      "  return x;\n"
+      "}\n");
+  const int id = idx.find("f");
+  ASSERT_GE(id, 0);
+  const FunctionDef& fd = idx.fns[static_cast<std::size_t>(id)];
+  EXPECT_EQ(fd.body_begin_line, 1);
+  EXPECT_EQ(fd.body_end_line, 4);
+}
+
+TEST(LintIndex, ArityTracksDefaultsAndVariadics) {
+  const auto idx = index_of(
+      "void fixed(int a, int b) { (void)a; (void)b; }\n"
+      "void dflt(int a, int b = 2, int c = 3) { (void)a; (void)b; (void)c; }\n"
+      "void var(int a, ...) { (void)a; }\n");
+  const FunctionDef& fixed =
+      idx.fns[static_cast<std::size_t>(idx.find("fixed"))];
+  EXPECT_EQ(fixed.min_arity, 2);
+  EXPECT_EQ(fixed.arity, 2);
+  EXPECT_FALSE(fixed.accepts_arity(1));
+  EXPECT_TRUE(fixed.accepts_arity(2));
+
+  const FunctionDef& dflt = idx.fns[static_cast<std::size_t>(idx.find("dflt"))];
+  EXPECT_EQ(dflt.min_arity, 1);
+  EXPECT_EQ(dflt.arity, 3);
+  EXPECT_TRUE(dflt.accepts_arity(1));
+  EXPECT_TRUE(dflt.accepts_arity(3));
+  EXPECT_FALSE(dflt.accepts_arity(4));
+
+  const FunctionDef& var = idx.fns[static_cast<std::size_t>(idx.find("var"))];
+  EXPECT_TRUE(var.variadic);
+  EXPECT_TRUE(var.accepts_arity(7));
+  EXPECT_FALSE(var.accepts_arity(0));
+}
+
+TEST(LintIndex, ConstructorsAreMarked) {
+  const auto idx = index_of(
+      "struct Plan {\n"
+      "  Plan(int n) : n_(n) {}\n"
+      "  int n_;\n"
+      "};\n");
+  const int id = idx.find("Plan::Plan");
+  ASSERT_GE(id, 0);
+  EXPECT_TRUE(idx.fns[static_cast<std::size_t>(id)].is_ctor);
+}
+
+TEST(LintIndex, DeclarationsAreNotIndexed) {
+  const auto idx = index_of(
+      "int declared_only(int a);\n"
+      "int defined(int a) { return a; }\n");
+  EXPECT_EQ(idx.find("declared_only"), -1);
+  EXPECT_GE(idx.find("defined"), 0);
+}
+
+TEST(LintIndex, CandidatesGroupOverloadsAcrossFiles) {
+  std::vector<SourceFile> sources;
+  sources.push_back(load_source("a.cpp", "int f(int x) { return x; }\n"));
+  sources.push_back(
+      load_source("b.cpp", "int f(int x, int y) { return x + y; }\n"));
+  const auto idx = build_index(sources);
+  EXPECT_EQ(idx.candidates("f").size(), 2u);
+  EXPECT_EQ(idx.candidates("g").size(), 0u);
+  for (const int id : idx.candidates("f"))
+    EXPECT_EQ(idx.fns[static_cast<std::size_t>(id)].name, "f");
+}
+
+TEST(LintIndex, TrailingReturnAndNoexceptBodiesAreFound) {
+  const auto idx = index_of(
+      "auto getter() noexcept -> int { return 3; }\n"
+      "int stable() const;\n");  // stray const decl: must not confuse parse
+  EXPECT_GE(idx.find("getter"), 0);
+}
+
+}  // namespace
+}  // namespace eroof::lint

@@ -208,6 +208,152 @@ TEST(LintScanner, MemberCallsNamedTimeAreNotWallClockReads) {
 }
 
 // ---------------------------------------------------------------------------
+// Scanner robustness regressions. Each of these reproduced a concrete
+// mis-scan before the corresponding fix: treat them as pinned behavior.
+// ---------------------------------------------------------------------------
+
+TEST(LintScanner, BackslashSplicedLineCommentSwallowsTheNextLine) {
+  // Phase 2 of translation joins spliced lines before comments are
+  // recognized: the second physical line is comment text, not code.
+  const auto rep = lint_content("f.cpp",
+                                "// comment continued \\\n"
+                                "std::rand();\n"
+                                "int live = std::rand();\n",
+                                Options{});
+  const auto v = violations(rep);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].first, 3);
+  EXPECT_EQ(v[0].second, "nondet-rand");
+}
+
+TEST(LintScanner, EscapedNewlineInsideStringKeepsLineNumbersInSync) {
+  const auto rep = lint_content("f.cpp",
+                                "const char* s = \"split \\\n"
+                                "string std::rand()\";\n"
+                                "std::rand();\n",
+                                Options{});
+  const auto v = violations(rep);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].first, 3);
+}
+
+TEST(LintScanner, RawStringDelimitersAreHonored) {
+  // A plain `)"` inside an R"ab(...)ab" literal must not terminate it; only
+  // the exact `)ab"` closer does.
+  const auto rep = lint_content(
+      "f.cpp",
+      "const char* s = R\"ab(quote )\" std::rand() still inside)ab\";\n"
+      "std::rand();\n",
+      Options{});
+  const auto v = violations(rep);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].first, 2);
+}
+
+TEST(LintScanner, HotBeginInsideBlockCommentIsInert) {
+  // A hot-begin annotation nested in a /* */ block is commented-out comment
+  // text: it must open no region and trip no annotation-mismatch.
+  const auto rep = lint_content("f.cpp",
+                                "/* disabled:\n"
+                                "// eroof: hot-begin (dead)\n"
+                                "*/\n"
+                                "std::vector<int> v;\n"
+                                "void f() { v.push_back(1); }\n",
+                                Options{});
+  EXPECT_TRUE(violations(rep).empty());
+  EXPECT_TRUE(lint_content("f.cpp", "/* // eroof: hot-end */\n", Options{})
+                  .findings.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency rule family
+// ---------------------------------------------------------------------------
+
+TEST(LintConcurrency, FlagsEverySeededConcurrencyViolation) {
+  const auto rep = lint_file(fixture("bad_concurrency.cpp"), Options{});
+  const std::vector<std::pair<int, std::string>> expected = {
+      {14, "conc-blocking-under-lock"},
+      {19, "conc-detached-thread"},
+      {23, "relaxed-atomic"},
+      {29, "conc-unseeded-rng"},
+  };
+  EXPECT_EQ(violations(rep), expected);
+}
+
+TEST(LintConcurrency, UnlockBeforeBlockingCallIsClean) {
+  const auto rep = lint_content("f.cpp",
+                                "void f(std::unique_lock<std::mutex>& lk,\n"
+                                "       std::condition_variable& cv) {\n"
+                                "  lk.unlock();\n"
+                                "  cv.notify_one();\n"
+                                "}\n",
+                                Options{});
+  EXPECT_TRUE(violations(rep).empty());
+}
+
+TEST(LintConcurrency, RelaxedAtomicAllowIsAnAuditedSuppression) {
+  const auto rep = lint_content(
+      "f.cpp",
+      "int f(std::atomic<int>& a) {\n"
+      "  return a.load(std::memory_order_relaxed);  "
+      "// eroof-lint: allow(relaxed-atomic) monotonic tally\n"
+      "}\n",
+      Options{});
+  EXPECT_TRUE(violations(rep).empty());
+  std::size_t suppressed = 0;
+  for (const auto& f : rep.findings) suppressed += f.suppressed ? 1 : 0;
+  EXPECT_EQ(suppressed, 1u);
+}
+
+TEST(LintConcurrency, SeededEngineInParallelRegionIsClean) {
+  const auto rep = lint_content("f.cpp",
+                                "void f(double* out, int n) {\n"
+                                "#pragma omp parallel for\n"
+                                "  for (int i = 0; i < n; ++i) {\n"
+                                "    std::mt19937 gen(42u + i);\n"
+                                "    out[i] = gen();\n"
+                                "  }\n"
+                                "}\n",
+                                Options{});
+  EXPECT_TRUE(violations(rep).empty());
+}
+
+// ---------------------------------------------------------------------------
+// Cold annotations
+// ---------------------------------------------------------------------------
+
+TEST(LintCold, ColdLineSkipsHotContractChecks) {
+  const auto rep = lint_content(
+      "f.cpp",
+      "void f(std::vector<int>& v) {\n"
+      "  // eroof: hot-begin (cold-line fixture)\n"
+      "  // eroof: cold (rebuild slow path, amortized)\n"
+      "  v.push_back(1);\n"
+      "  v.push_back(2);\n"
+      "  // eroof: hot-end\n"
+      "}\n",
+      Options{});
+  const auto v = violations(rep);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].first, 5);  // only the line without the barrier above it
+}
+
+TEST(LintCold, ColdExemptsAnOpenMPRegionFromFixAnnotations) {
+  Options opt;
+  opt.fix_annotations = true;
+  const auto rep = lint_content(
+      "f.cpp",
+      "void f(double* out, int n) {\n"
+      "  // eroof: cold (setup pass, allocates by design)\n"
+      "#pragma omp parallel for\n"
+      "  for (int i = 0; i < n; ++i) out[i] = i;\n"
+      "}\n",
+      opt);
+  for (const auto& n : rep.notes)
+    EXPECT_EQ(n.text.find("unannotated OpenMP"), std::string::npos) << n.text;
+}
+
+// ---------------------------------------------------------------------------
 // Path policy
 // ---------------------------------------------------------------------------
 
@@ -331,6 +477,26 @@ TEST(LintBinary, RealTreeIsInvariantClean) {
       std::string(EROOF_LINT_FIXTURES) + "/../../..";
   const auto r = run_lint("--root " + repo_root);
   EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+TEST(LintBinary, RealTreeHasNoStaleAllowsUnderStrict) {
+  const std::string repo_root =
+      std::string(EROOF_LINT_FIXTURES) + "/../../..";
+  const auto r = run_lint("--strict-allows --root " + repo_root);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+}
+
+TEST(LintBinary, ScheduleMemoStaysFreeOfBlockingUnderLock) {
+  // Pins the fix for the genuine finding the whole-program pass surfaced:
+  // ScheduleMemo::schedule_for_plan used to call trace::counter_add (which
+  // acquires the process-wide trace mutex) while holding its own memo lock.
+  // The counters are now bumped outside the critical section; this gate
+  // keeps the pattern from coming back.
+  const std::string schedule =
+      std::string(EROOF_LINT_FIXTURES) + "/../../../src/core/schedule.cpp";
+  const auto r = run_lint(schedule);
+  EXPECT_EQ(count_lines_containing(r.out, "conc-blocking-under-lock"), 0u)
+      << r.out;
 }
 
 }  // namespace

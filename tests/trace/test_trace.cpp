@@ -151,6 +151,8 @@ TEST(Trace, ConcurrentEmissionFromOpenMPThreads) {
   TraceSession s;
   {
     SessionGuard guard(s);
+    // eroof: cold (test exercises concurrent span/counter emission, which
+    // allocates trace records by design)
 #pragma omp parallel for schedule(dynamic)
     for (int i = 0; i < kIters; ++i) {
       ScopedSpan span("work", "test.parallel");

@@ -1,0 +1,490 @@
+#include "callgraph.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace eroof::lint {
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Token::Kind::Punct && t.text == s;
+}
+
+/// Member-call names that are overwhelmingly standard-library vocabulary
+/// (containers, atomics, futures, chrono). Calls to them are not worth an
+/// edge -- the lexical pattern tables already flag the allocating ones
+/// (push_back & co.) on the line itself -- and an unresolved note for every
+/// `v.size()` in a hot loop would drown the real findings.
+const std::set<std::string>& common_std_members() {
+  static const std::set<std::string> names = {
+      "size",       "empty",      "begin",       "end",
+      "cbegin",     "cend",       "rbegin",      "rend",
+      "data",       "front",      "back",        "at",
+      "clear",      "find",       "count",       "c_str",
+      "str",        "substr",     "length",      "swap",
+      "get",        "reset",      "release",     "valid",
+      "load",       "store",      "exchange",    "fetch_add",
+      "fetch_sub",  "fetch_or",   "fetch_and",   "compare_exchange_weak",
+      "compare_exchange_strong",  "notify_one",  "notify_all",
+      "join",       "detach",     "joinable",    "lock",
+      "unlock",     "try_lock",   "owns_lock",   "wait",
+      "wait_for",   "wait_until", "set_value",   "get_future",
+      "push_back",  "emplace_back", "pop_back",  "resize",
+      "reserve",    "insert",     "emplace",     "erase",
+      "append",     "assign",     "fill",        "time_since_epoch",
+      "first",      "second",     "push",        "top",
+  };
+  return names;
+}
+
+struct Extractor {
+  const FunctionIndex& index;
+  const std::vector<SourceFile>& sources;
+  CallGraph& graph;
+
+  /// Resolution: short name -> qualifier suffix filter -> internal-linkage
+  /// same-file tie-break -> arity filter with fallback.
+  std::vector<int> resolve(const CallSite& cs) const {
+    std::vector<int> cands = index.candidates(cs.name);
+    if (cands.empty()) return cands;
+
+    if (!cs.qualifier.empty()) {
+      std::vector<int> kept;
+      for (int id : cands) {
+        const FunctionDef& fd = index.fns[id];
+        std::string scopes_joined;
+        for (const auto& s : fd.scopes) {
+          scopes_joined += "::";
+          scopes_joined += s;
+        }
+        const std::string want = "::" + cs.qualifier;
+        if (scopes_joined.size() >= want.size() &&
+            scopes_joined.compare(scopes_joined.size() - want.size(),
+                                  want.size(), want) == 0)
+          kept.push_back(id);
+      }
+      if (!kept.empty()) cands = std::move(kept);
+    }
+
+    // Implicit-this calls: an unqualified non-member call inside a member
+    // function resolves to the caller's own class first (`size()` inside
+    // Plan3::inverse means Plan3::size, not every size() in the program).
+    if (cs.qualifier.empty() && !cs.member && cs.caller >= 0) {
+      const std::vector<std::string>& caller_scopes =
+          index.fns[cs.caller].scopes;
+      std::vector<int> same_scope;
+      for (int id : cands)
+        if (index.fns[id].scopes == caller_scopes) same_scope.push_back(id);
+      if (!same_scope.empty()) cands = std::move(same_scope);
+    }
+
+    // File-local helpers: identical qualified names in several files are
+    // internal-linkage duplicates; keep the caller's own file's copy.
+    if (cs.caller >= 0) {
+      const int caller_file = index.fns[cs.caller].file_id;
+      std::map<std::string, std::vector<int>> by_qualified;
+      for (int id : cands) by_qualified[index.fns[id].qualified].push_back(id);
+      std::vector<int> kept;
+      for (auto& [q, ids] : by_qualified) {
+        (void)q;
+        if (ids.size() > 1) {
+          std::vector<int> same_file;
+          for (int id : ids)
+            if (index.fns[id].file_id == caller_file) same_file.push_back(id);
+          if (!same_file.empty()) {
+            kept.insert(kept.end(), same_file.begin(), same_file.end());
+            continue;
+          }
+        }
+        kept.insert(kept.end(), ids.begin(), ids.end());
+      }
+      cands = std::move(kept);
+    }
+
+    // Arity filter, with fallback to the pre-arity set when it empties
+    // (defaulted params miscounted lexically, parameter packs, ...).
+    std::vector<int> arity_kept;
+    for (int id : cands)
+      if (index.fns[id].accepts_arity(cs.arity)) arity_kept.push_back(id);
+    if (!arity_kept.empty()) cands = std::move(arity_kept);
+
+    std::sort(cands.begin(), cands.end());
+    cands.erase(std::unique(cands.begin(), cands.end()), cands.end());
+    return cands;
+  }
+
+  void add_site(int caller, int file_id, int line, std::string name,
+                std::string qualifier, int arity, bool member,
+                bool construct) {
+    CallSite cs;
+    cs.caller = caller;
+    cs.file_id = file_id;
+    cs.line = line;
+    cs.name = std::move(name);
+    cs.qualifier = std::move(qualifier);
+    cs.arity = arity;
+    cs.member = member;
+    cs.construct = construct;
+    cs.callees = resolve(cs);
+    graph.calls_of[caller].push_back(static_cast<int>(graph.sites.size()));
+    graph.sites.push_back(std::move(cs));
+  }
+
+  /// Adds a construction edge for type chain `type` (ctor candidates share
+  /// the class name; the paired destructor propagates RAII work).
+  void add_construct(int caller, int file_id, int line,
+                     const IdChain& type, int arity) {
+    if (type.parts.empty()) return;
+    if (type.parts.front() == "std") return;
+    const std::string& cls = type.parts.back();
+    if (is_all_caps_macro(cls)) return;
+    std::string qual;
+    for (std::size_t p = 0; p + 1 < type.parts.size(); ++p) {
+      if (!qual.empty()) qual += "::";
+      qual += type.parts[p];
+    }
+    add_site(caller, file_id, line, cls, qual, arity, false, true);
+    // Destructor: only when indexed (no note spam for by-value aggregates).
+    if (!index.candidates("~" + cls).empty())
+      add_site(caller, file_id, line, "~" + cls, qual, 0, false, true);
+  }
+
+  void extract_function(int fn_id) {
+    const FunctionDef& fd = index.fns[fn_id];
+    const std::vector<Token>& toks = index.file_tokens[fd.file_id];
+    const std::size_t begin = static_cast<std::size_t>(fd.body_begin_tok) + 1;
+    const std::size_t end = static_cast<std::size_t>(fd.body_end_tok);
+
+    // For `Type var(args)` declarations: the chain of the type just parsed,
+    // valid only when the next chain starts exactly where it ended.
+    IdChain pending_type;
+    bool pending_valid = false;
+
+    std::size_t j = begin;
+    while (j < end && j < toks.size()) {
+      const Token& t = toks[j];
+      if (t.kind != Token::Kind::Ident) {
+        ++j;
+        continue;
+      }
+      if (t.text == "new") {
+        const IdChain ty = parse_id_chain(toks, j + 1);
+        if (!ty.parts.empty()) {
+          int arity = 0;
+          if (ty.end < toks.size() && is_punct(toks[ty.end], "(")) {
+            const ArgScan a = scan_call_args(toks, ty.end);
+            if (a.ok) arity = a.arity;
+          }
+          add_construct(fn_id, fd.file_id, t.line, ty, arity);
+          pending_valid = false;
+          j = ty.end;
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (is_cpp_keyword(t.text)) {
+        pending_valid = false;
+        ++j;
+        continue;
+      }
+
+      const IdChain ch = parse_id_chain(toks, j);
+      if (ch.parts.empty() || ch.has_operator) {
+        pending_valid = false;
+        j = std::max(ch.end, j + 1);
+        continue;
+      }
+      const bool next_is_call =
+          ch.end < toks.size() && is_punct(toks[ch.end], "(");
+
+      if (next_is_call) {
+        const ArgScan a = scan_call_args(toks, ch.end);
+        const int arity = a.ok ? a.arity : 0;
+
+        if (pending_valid && pending_type.end == ch.begin &&
+            ch.parts.size() == 1) {
+          // `Type var(args)` -- a declaration constructing Type.
+          add_construct(fn_id, fd.file_id, toks[ch.begin].line, pending_type,
+                        arity);
+        } else {
+          const bool member =
+              ch.begin > 0 && (is_punct(toks[ch.begin - 1], ".") ||
+                               is_punct(toks[ch.begin - 1], "->"));
+          const std::string& name = ch.parts.back();
+          const bool skip =
+              ch.parts.front() == "std" ||
+              (ch.parts.size() == 1 && is_all_caps_macro(name)) ||
+              (member && common_std_members().count(name) != 0);
+          if (!skip) {
+            std::string qual;
+            for (std::size_t p = 0; p + 1 < ch.parts.size(); ++p) {
+              if (!qual.empty()) qual += "::";
+              qual += ch.parts[p];
+            }
+            add_site(fn_id, fd.file_id, toks[ch.begin].line, name, qual,
+                     arity, member, false);
+          }
+        }
+        pending_valid = false;
+        j = a.ok ? a.after : ch.end + 1;
+        continue;
+      }
+
+      // Chain not followed by '(': it may be the *type* of a declaration
+      // whose variable name (and constructor call) comes next, or a braced
+      // / default construction `Type var{...};` / `Type var;`.
+      if (pending_valid && pending_type.end == ch.begin &&
+          ch.parts.size() == 1 && ch.end < toks.size() &&
+          (is_punct(toks[ch.end], ";") || is_punct(toks[ch.end], "{") ||
+           is_punct(toks[ch.end], "="))) {
+        int arity = 0;
+        if (is_punct(toks[ch.end], "{")) {
+          // Count braced-init args like call args.
+          int depth = 0, commas = 0;
+          bool any = false;
+          for (std::size_t k = ch.end; k < toks.size(); ++k) {
+            if (is_punct(toks[k], "{")) ++depth;
+            else if (is_punct(toks[k], "}")) {
+              if (--depth == 0) break;
+            } else if (depth == 1) {
+              any = true;
+              if (is_punct(toks[k], ",")) ++commas;
+            }
+          }
+          arity = any ? commas + 1 : 0;
+        }
+        add_construct(fn_id, fd.file_id, toks[ch.begin].line, pending_type,
+                      arity);
+        pending_valid = false;
+        j = ch.end;
+        continue;
+      }
+
+      pending_type = ch;
+      pending_valid = true;
+      j = ch.end;
+    }
+  }
+};
+
+}  // namespace
+
+CallGraph build_call_graph(const FunctionIndex& index,
+                           const std::vector<SourceFile>& sources) {
+  CallGraph graph;
+  graph.calls_of.resize(index.fns.size());
+  Extractor ex{index, sources, graph};
+  for (std::size_t f = 0; f < index.fns.size(); ++f)
+    ex.extract_function(static_cast<int>(f));
+  return graph;
+}
+
+std::string HotReachability::chain(const FunctionIndex& index,
+                                   const CallGraph& graph,
+                                   const std::vector<SourceFile>& sources,
+                                   int fn) const {
+  if (fn < 0 || !hot[static_cast<std::size_t>(fn)]) return "";
+  // Walk predecessors back to the region, then print forward. BFS parents
+  // cannot cycle, so this terminates.
+  std::vector<int> on_path;
+  for (int cur = fn; cur >= 0;
+       cur = path[static_cast<std::size_t>(cur)].pred_fn)
+    on_path.push_back(cur);
+  std::reverse(on_path.begin(), on_path.end());
+
+  const HotPath& root = path[static_cast<std::size_t>(on_path.front())];
+  std::string out = "hot region at ";
+  out += sources[static_cast<std::size_t>(root.root_file)].path;
+  out += ":";
+  out += std::to_string(root.root_line);
+  for (int f : on_path) {
+    const HotPath& hp = path[static_cast<std::size_t>(f)];
+    const CallSite& s = graph.sites[static_cast<std::size_t>(hp.via_site)];
+    out += " -> ";
+    out += index.fns[static_cast<std::size_t>(f)].name;
+    out += " (called at ";
+    out += sources[static_cast<std::size_t>(s.file_id)].path;
+    out += ":";
+    out += std::to_string(s.line);
+    out += ")";
+  }
+  return out;
+}
+
+HotReachability propagate_hot(const FunctionIndex& index,
+                              const CallGraph& graph,
+                              const std::vector<SourceFile>& sources,
+                              const std::vector<FileAnalysis>& analyses) {
+  HotReachability hr;
+  hr.hot.assign(index.fns.size(), false);
+  hr.path.assign(index.fns.size(), HotPath{});
+
+  std::vector<bool> cold_fn(index.fns.size(), false);
+  for (std::size_t f = 0; f < index.fns.size(); ++f) {
+    const FunctionDef& fd = index.fns[f];
+    cold_fn[f] = analyses[static_cast<std::size_t>(fd.file_id)].cold_at(
+        fd.name_line);
+  }
+
+  const auto root_line_of = [](const SourceFile& sf, int line) {
+    for (const HotRange& r : sf.hot_ranges)
+      if (line >= r.begin && line <= r.end) return r.begin;
+    return line;
+  };
+
+  std::deque<int> queue;
+  for (std::size_t si = 0; si < graph.sites.size(); ++si) {
+    const CallSite& s = graph.sites[si];
+    const SourceFile& sf = sources[static_cast<std::size_t>(s.file_id)];
+    if (!sf.in_hot(s.line)) continue;
+    if (analyses[static_cast<std::size_t>(s.file_id)].cold_at(s.line))
+      continue;
+    for (int callee : s.callees) {
+      if (cold_fn[static_cast<std::size_t>(callee)]) continue;
+      if (hr.hot[static_cast<std::size_t>(callee)]) continue;
+      hr.hot[static_cast<std::size_t>(callee)] = true;
+      hr.path[static_cast<std::size_t>(callee)] =
+          HotPath{-1, static_cast<int>(si), s.file_id,
+                  root_line_of(sf, s.line)};
+      queue.push_back(callee);
+    }
+  }
+  while (!queue.empty()) {
+    const int f = queue.front();
+    queue.pop_front();
+    for (int si : graph.calls_of[static_cast<std::size_t>(f)]) {
+      const CallSite& s = graph.sites[static_cast<std::size_t>(si)];
+      if (analyses[static_cast<std::size_t>(s.file_id)].cold_at(s.line))
+        continue;
+      for (int callee : s.callees) {
+        if (cold_fn[static_cast<std::size_t>(callee)]) continue;
+        if (hr.hot[static_cast<std::size_t>(callee)]) continue;
+        hr.hot[static_cast<std::size_t>(callee)] = true;
+        hr.path[static_cast<std::size_t>(callee)] =
+            HotPath{f, si, hr.path[static_cast<std::size_t>(f)].root_file,
+                    hr.path[static_cast<std::size_t>(f)].root_line};
+        queue.push_back(callee);
+      }
+    }
+  }
+  return hr;
+}
+
+ProgramReport analyze_program(const std::vector<SourceFile>& sources,
+                              const ProgramOptions& opt) {
+  ProgramReport out;
+
+  std::vector<FileAnalysis> analyses;
+  analyses.reserve(sources.size());
+  for (const SourceFile& sf : sources) analyses.emplace_back(sf, opt.file);
+
+  const FunctionIndex index = build_index(sources);
+  const CallGraph graph = build_call_graph(index, sources);
+  const HotReachability hr = propagate_hot(index, graph, sources, analyses);
+
+  // Transitive findings: the whole body of every hot-reachable function is
+  // held to the in-region contract. Lines lexically inside a hot region of
+  // the same file are skipped -- the per-file pass already flagged them.
+  for (std::size_t f = 0; f < index.fns.size(); ++f) {
+    if (!hr.hot[f]) continue;
+    const FunctionDef& fd = index.fns[f];
+    const SourceFile& sf = sources[static_cast<std::size_t>(fd.file_id)];
+    FileAnalysis& fa = analyses[static_cast<std::size_t>(fd.file_id)];
+    const std::string chain =
+        hr.chain(index, graph, sources, static_cast<int>(f));
+    for (int ln = fd.body_begin_line; ln <= fd.body_end_line; ++ln) {
+      if (ln < 1 || static_cast<std::size_t>(ln) > sf.lines.size()) continue;
+      if (sf.in_hot(ln)) continue;
+      if (fa.cold_at(ln)) continue;
+      for (const PatternHit& hit : hot_contract_hits(
+               sf.lines[static_cast<std::size_t>(ln) - 1].code,
+               sf.det_exempt)) {
+        fa.emit(ln, hit.rule,
+                hit.what + " in '" + fd.qualified +
+                    "', reachable from " + chain);
+      }
+    }
+  }
+
+  // Unresolved calls from hot contexts: conservative notes, never failures.
+  {
+    std::set<std::pair<int, std::string>> noted;
+    for (std::size_t si = 0; si < graph.sites.size(); ++si) {
+      const CallSite& s = graph.sites[si];
+      if (!s.callees.empty()) continue;
+      const bool hot_context =
+          (s.caller >= 0 && hr.hot[static_cast<std::size_t>(s.caller)]) ||
+          sources[static_cast<std::size_t>(s.file_id)].in_hot(s.line);
+      if (!hot_context) continue;
+      if (analyses[static_cast<std::size_t>(s.file_id)].cold_at(s.line))
+        continue;
+      if (!noted.insert({s.file_id, s.name}).second) continue;
+      analyses[static_cast<std::size_t>(s.file_id)].report().notes.push_back(
+          Note{sources[static_cast<std::size_t>(s.file_id)].path, s.line,
+               "call to '" + s.name +
+                   "' from hot-reachable code cannot be resolved (virtual, "
+                   "function pointer, or external) -- the no-allocation "
+                   "contract is not checked past this point"});
+    }
+  }
+
+  // Program-level suppression audit: an allow() is stale only if nothing --
+  // per-file or transitive -- used it.
+  for (FileAnalysis& fa : analyses) {
+    const std::string& path = fa.source().path;
+    for (const AllowSite& as : fa.allow_sites()) {
+      bool known = false;
+      for (const auto& id : rule_ids()) known = known || id == as.rule;
+      if (!as.used) {
+        if (opt.strict_allows) {
+          Finding f{path, as.line, "stale-allow",
+                    "unused suppression: allow(" + as.rule +
+                        ") matched no finding -- remove it or fix the rule id",
+                    false, std::string()};
+          const std::size_t li = static_cast<std::size_t>(as.line) - 1;
+          if (li < fa.source().lines.size())
+            f.context = fa.source().lines[li].code;
+          fa.report().findings.push_back(std::move(f));
+        } else {
+          fa.report().notes.push_back(
+              Note{path, as.line, "unused suppression: allow(" + as.rule +
+                                      ") matched no finding"});
+        }
+      }
+      if (!known) {
+        if (opt.strict_allows) {
+          fa.report().findings.push_back(
+              Finding{path, as.line, "stale-allow",
+                      "unknown rule id in allow(" + as.rule + ")", false,
+                      std::string()});
+        } else {
+          fa.report().notes.push_back(Note{
+              path, as.line, "unknown rule id in allow(" + as.rule + ")"});
+        }
+      }
+    }
+  }
+
+  // Merge, ordered by file (input order) then line.
+  for (FileAnalysis& fa : analyses) {
+    std::stable_sort(fa.report().findings.begin(),
+                     fa.report().findings.end(),
+                     [](const Finding& a, const Finding& b) {
+                       return a.line < b.line;
+                     });
+    std::stable_sort(fa.report().notes.begin(), fa.report().notes.end(),
+                     [](const Note& a, const Note& b) {
+                       return a.line < b.line;
+                     });
+    for (Finding& f : fa.report().findings)
+      out.findings.push_back(std::move(f));
+    for (Note& n : fa.report().notes) out.notes.push_back(std::move(n));
+  }
+  return out;
+}
+
+}  // namespace eroof::lint

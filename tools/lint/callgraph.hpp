@@ -1,0 +1,111 @@
+// Call graph + transitive hot-region reachability for eroof-lint's
+// whole-program pass.
+//
+// Call sites are extracted from the token streams the indexer already
+// produced: free calls (`f(...)`, `ns::f(...)`), member calls
+// (`obj.f(...)`, `p->f(...)`), and constructions (`Type var(args)`,
+// `Type var{...}`, `new Type(...)` -- with a matching edge to `~Type` so
+// RAII pairs propagate). Resolution is deliberately conservative:
+//
+//   1. candidates = every indexed definition with the call's short name;
+//   2. qualifier filter -- the call's explicit qualifiers must be a suffix
+//      of the candidate's scope chain (`la::gemv_add` matches
+//      `eroof::la::gemv_add`);
+//   3. internal-linkage tie-break -- among candidates with *identical*
+//      qualified names in different files (file-local helpers), prefer the
+//      caller's own file;
+//   4. arity filter -- keep candidates whose [min_arity, arity] range (or
+//      variadic tail) admits the call's argument count; if that empties the
+//      set (lexical arg-count miscounts, defaulted callables), fall back to
+//      the pre-arity candidates.
+//
+// Surviving candidates all get edges (virtual dispatch becomes edges to
+// every override). Unresolvable calls from hot-reachable code degrade to a
+// note, never a failure.
+//
+// Hot propagation is a BFS from every call site lexically inside a
+// `// eroof: hot` region. A function reached this way has its whole body
+// checked with the same pattern tables as the in-region rules (hot-alloc,
+// hot-lock, nondet-rand), each finding reported with the full call chain
+// back to the region. `// eroof: cold (reason)` stops propagation: on a
+// call-site line it severs that line's edges; above a function definition
+// it makes the function a cold boundary (not entered, not checked).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "index.hpp"
+#include "lint.hpp"
+
+namespace eroof::lint {
+
+struct CallSite {
+  int caller = -1;  ///< FunctionIndex::fns id of the enclosing definition
+  int file_id = 0;
+  int line = 0;
+  std::string name;      ///< callee short name
+  std::string qualifier; ///< explicit qualifiers joined with :: ("" if none)
+  int arity = 0;
+  bool member = false;   ///< obj.name(...) / p->name(...)
+  bool construct = false;///< Type var(...) / new Type(...)
+  std::vector<int> callees;  ///< resolved definition ids (possibly several)
+};
+
+struct CallGraph {
+  std::vector<CallSite> sites;
+  /// Per function id: indices into `sites` of the calls inside its body.
+  std::vector<std::vector<int>> calls_of;
+};
+
+/// Extracts and resolves every call site in the indexed function bodies.
+CallGraph build_call_graph(const FunctionIndex& index,
+                           const std::vector<SourceFile>& sources);
+
+/// How a function became hot-reachable: the predecessor chain back to the
+/// originating `// eroof: hot` region.
+struct HotPath {
+  int pred_fn = -1;    ///< -1: called directly from a hot region
+  int via_site = -1;   ///< index into CallGraph::sites
+  int root_file = 0;   ///< file id of the originating hot region
+  int root_line = 0;   ///< hot-begin line of the originating region
+};
+
+/// Per function id: hot-reachability marks (empty HotPath list == not hot).
+struct HotReachability {
+  std::vector<bool> hot;
+  std::vector<HotPath> path;  // parallel to `hot`, valid where hot[i]
+
+  /// Human-readable chain "hot region at f.cpp:3 -> a (called at f.cpp:10)
+  /// -> b (called at f.cpp:20)" ending at `fn`. Empty if `fn` is not hot.
+  std::string chain(const FunctionIndex& index, const CallGraph& graph,
+                    const std::vector<SourceFile>& sources, int fn) const;
+};
+
+/// BFS from every call site lexically inside a hot region, stopping at cold
+/// barriers (cold call-site lines sever edges; cold functions are neither
+/// entered nor checked). `analyses` supplies cold_at(); parallel to sources.
+HotReachability propagate_hot(const FunctionIndex& index,
+                              const CallGraph& graph,
+                              const std::vector<SourceFile>& sources,
+                              const std::vector<FileAnalysis>& analyses);
+
+struct ProgramOptions {
+  Options file;
+  /// Promote stale allow() suppressions (and unknown rule ids) from audit
+  /// notes to gating findings (rule "stale-allow").
+  bool strict_allows = false;
+};
+
+struct ProgramReport {
+  std::vector<Finding> findings;  // all files, file order then line order
+  std::vector<Note> notes;
+};
+
+/// The whole-program pass: per-file rules on every source, then the
+/// indexer, the call graph, hot propagation with chain-bearing transitive
+/// findings, unresolved-call notes, and program-level suppression audit.
+ProgramReport analyze_program(const std::vector<SourceFile>& sources,
+                              const ProgramOptions& opt);
+
+}  // namespace eroof::lint

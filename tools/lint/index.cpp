@@ -1,0 +1,666 @@
+#include "index.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <initializer_list>
+#include <set>
+
+namespace eroof::lint {
+namespace {
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+const std::set<std::string>& keywords() {
+  static const std::set<std::string> kw = {
+      "alignas",      "alignof",   "asm",           "auto",
+      "bool",         "break",     "case",          "catch",
+      "char",         "char16_t",  "char32_t",      "class",
+      "const",        "constexpr", "const_cast",    "continue",
+      "decltype",     "default",   "delete",        "do",
+      "double",       "dynamic_cast", "else",       "enum",
+      "explicit",     "export",    "extern",        "false",
+      "final",        "float",     "for",           "friend",
+      "goto",         "if",        "inline",        "int",
+      "long",         "mutable",   "namespace",     "new",
+      "noexcept",     "nullptr",   "operator",      "override",
+      "private",      "protected", "public",        "register",
+      "reinterpret_cast", "return", "short",        "signed",
+      "sizeof",       "static",    "static_assert", "static_cast",
+      "struct",       "switch",    "template",      "this",
+      "thread_local", "throw",     "true",          "try",
+      "typedef",      "typeid",    "typename",      "union",
+      "unsigned",     "using",     "virtual",       "void",
+      "volatile",     "wchar_t",   "while",
+  };
+  return kw;
+}
+
+}  // namespace
+
+bool is_cpp_keyword(const std::string& s) { return keywords().count(s) != 0; }
+
+bool is_all_caps_macro(const std::string& s) {
+  bool has_alpha = false;
+  for (char c : s) {
+    if (std::islower(static_cast<unsigned char>(c))) return false;
+    if (std::isalpha(static_cast<unsigned char>(c))) has_alpha = true;
+  }
+  return has_alpha;
+}
+
+namespace {
+
+bool is_keyword(const std::string& s) { return is_cpp_keyword(s); }
+bool all_caps(const std::string& s) { return is_all_caps_macro(s); }
+
+}  // namespace
+
+std::vector<Token> tokenize(const std::vector<ScannedLine>& lines) {
+  std::vector<Token> toks;
+  bool pp_continuation = false;
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& code = lines[li].code;
+    const int ln = static_cast<int>(li) + 1;
+    // Preprocessor lines (and their backslash continuations) carry no
+    // function definitions and would only confuse the parser.
+    const std::size_t first = code.find_first_not_of(" \t");
+    const bool is_pp =
+        pp_continuation ||
+        (first != std::string::npos && code[first] == '#');
+    if (is_pp) {
+      pp_continuation = !code.empty() && code.back() == '\\';
+      continue;
+    }
+    for (std::size_t i = 0; i < code.size();) {
+      const char c = code[i];
+      if (c == ' ' || c == '\t') {
+        ++i;
+        continue;
+      }
+      if (ident_start(c)) {
+        std::size_t b = i;
+        while (i < code.size() && ident_char(code[i])) ++i;
+        toks.push_back(Token{Token::Kind::Ident, code.substr(b, i - b), ln});
+        continue;
+      }
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        // pp-number approximation: digits, idents, dots, digit separators,
+        // exponent signs.
+        std::size_t b = i;
+        while (i < code.size() &&
+               (ident_char(code[i]) || code[i] == '.' || code[i] == '\'' ||
+                ((code[i] == '+' || code[i] == '-') && i > b &&
+                 (code[i - 1] == 'e' || code[i - 1] == 'E' ||
+                  code[i - 1] == 'p' || code[i - 1] == 'P'))))
+          ++i;
+        toks.push_back(Token{Token::Kind::Num, code.substr(b, i - b), ln});
+        continue;
+      }
+      // Multi-char punctuators the parser cares about. `>>` is *not* fused
+      // so nested template argument lists close one level per token.
+      if (c == ':' && i + 1 < code.size() && code[i + 1] == ':') {
+        toks.push_back(Token{Token::Kind::Punct, "::", ln});
+        i += 2;
+        continue;
+      }
+      if (c == '-' && i + 1 < code.size() && code[i + 1] == '>') {
+        toks.push_back(Token{Token::Kind::Punct, "->", ln});
+        i += 2;
+        continue;
+      }
+      toks.push_back(Token{Token::Kind::Punct, std::string(1, c), ln});
+      ++i;
+    }
+  }
+  return toks;
+}
+
+namespace {
+
+bool is_punct(const Token& t, const char* s) {
+  return t.kind == Token::Kind::Punct && t.text == s;
+}
+bool is_ident(const Token& t, const char* s) {
+  return t.kind == Token::Kind::Ident && t.text == s;
+}
+
+/// Skips a balanced <...> starting at `i` (toks[i] must be `<`). Returns the
+/// index one past the matching `>`, or `i` unchanged if the list is not
+/// balanced before a `;`, `{`, or `}` (then it was a comparison, not
+/// template arguments).
+std::size_t skip_angles(const std::vector<Token>& toks, std::size_t i) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != Token::Kind::Punct) continue;
+    if (t.text == "<") ++depth;
+    else if (t.text == ">") {
+      if (--depth == 0) return j + 1;
+    } else if (t.text == ";" || t.text == "{" || t.text == "}") {
+      return i;
+    } else if (t.text == "(") {
+      // Parenthesized comparisons inside template args are rare enough to
+      // punt on; a '(' at angle depth 1+ is tolerated (function types).
+    }
+  }
+  return i;
+}
+
+std::size_t skip_balanced(const std::vector<Token>& toks, std::size_t i,
+                          const char* open, const char* close) {
+  return skip_balanced_tokens(toks, i, open, close);
+}
+
+using Chain = IdChain;
+
+Chain parse_chain(const std::vector<Token>& toks, std::size_t i) {
+  return parse_id_chain(toks, i);
+}
+
+}  // namespace
+
+std::size_t skip_balanced_tokens(const std::vector<Token>& toks,
+                                 std::size_t i, const char* open,
+                                 const char* close) {
+  int depth = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    if (is_punct(toks[j], open)) ++depth;
+    else if (is_punct(toks[j], close)) {
+      if (--depth == 0) return j + 1;
+    }
+  }
+  return toks.size();
+}
+
+/// Parses a (possibly qualified, possibly templated) id-expression starting
+/// at `i`: `[~] Ident [<...>] (:: [~] Ident [<...>])*`, or a leading `::`.
+/// Returns a chain with empty parts if toks[i] does not start one.
+IdChain parse_id_chain(const std::vector<Token>& toks, std::size_t i) {
+  IdChain ch;
+  ch.begin = i;
+  std::size_t j = i;
+  if (j < toks.size() && is_punct(toks[j], "::")) ++j;  // global qualifier
+  while (j < toks.size()) {
+    bool tilde = false;
+    if (is_punct(toks[j], "~")) {
+      tilde = true;
+      ++j;
+    }
+    if (j >= toks.size()) break;
+    if (toks[j].kind == Token::Kind::Ident && is_ident(toks[j], "operator")) {
+      // operator id: consume the operator symbol tokens up to the '('.
+      ch.has_operator = true;
+      ++j;
+      while (j < toks.size() && !is_punct(toks[j], "(")) {
+        // operator() and operator[] carry their brackets before the
+        // parameter list.
+        if (is_punct(toks[j], "[")) {
+          ++j;
+          if (j < toks.size() && is_punct(toks[j], "]")) ++j;
+          break;
+        }
+        if (toks[j].kind != Token::Kind::Punct) break;
+        ++j;
+      }
+      ch.parts.push_back("(operator)");
+      break;
+    }
+    if (toks[j].kind != Token::Kind::Ident || is_keyword(toks[j].text)) break;
+    ch.parts.push_back((tilde ? "~" : "") + toks[j].text);
+    ++j;
+    if (j < toks.size() && is_punct(toks[j], "<")) {
+      const std::size_t after = skip_angles(toks, j);
+      if (after != j) j = after;
+    }
+    if (j < toks.size() && is_punct(toks[j], "::")) {
+      ++j;
+      continue;
+    }
+    break;
+  }
+  ch.end = j;
+  if (!ch.parts.empty() && ch.parts.front().empty()) ch.parts.clear();
+  return ch;
+}
+
+ArgScan scan_call_args(const std::vector<Token>& toks, std::size_t i) {
+  ArgScan a;
+  if (i >= toks.size() || !is_punct(toks[i], "(")) return a;
+  int depth = 0;
+  int angle = 0;
+  int commas = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind != Token::Kind::Punct) continue;
+    if (t.text == "(" || t.text == "[" || t.text == "{") {
+      ++depth;
+    } else if (t.text == ")" || t.text == "]" || t.text == "}") {
+      --depth;
+      if (depth == 0 && t.text == ")") {
+        a.after = j + 1;
+        a.ok = true;
+        break;
+      }
+    } else if (depth == 1) {
+      if (t.text == "<") ++angle;
+      else if (t.text == ">") angle = std::max(0, angle - 1);
+      else if (angle == 0 && t.text == ",") ++commas;
+    }
+  }
+  if (!a.ok) return a;
+  a.arity = (a.after - 1 == i + 1) ? 0 : commas + 1;
+  return a;
+}
+
+namespace {
+
+struct ParamInfo {
+  int min_arity = 0;
+  int arity = 0;
+  bool variadic = false;
+  std::size_t after = 0;  // one past the closing ')'
+  bool ok = false;
+};
+
+/// Scans a balanced parameter list starting at the '(' at `i`.
+ParamInfo scan_params(const std::vector<Token>& toks, std::size_t i) {
+  ParamInfo pi;
+  if (i >= toks.size() || !is_punct(toks[i], "(")) return pi;
+  int depth = 0;
+  int angle = 0;
+  int commas = 0;
+  bool any_tokens = false;
+  bool saw_default = false;
+  int params_before_default = 0;
+  for (std::size_t j = i; j < toks.size(); ++j) {
+    const Token& t = toks[j];
+    if (t.kind == Token::Kind::Punct) {
+      if (t.text == "(" || t.text == "[" || t.text == "{") ++depth;
+      else if (t.text == ")" || t.text == "]" || t.text == "}") {
+        --depth;
+        if (depth == 0 && t.text == ")") {
+          pi.after = j + 1;
+          pi.ok = true;
+          break;
+        }
+      } else if (depth == 1) {
+        if (t.text == "<") ++angle;
+        else if (t.text == ">") angle = std::max(0, angle - 1);
+        else if (angle == 0 && t.text == ",") ++commas;
+        else if (angle == 0 && t.text == "=" && !saw_default) {
+          saw_default = true;
+          params_before_default = commas;
+        } else if (t.text == ".") {
+          // "..." arrives as three '.' puncts.
+          pi.variadic = true;
+        }
+      }
+    }
+    if (depth >= 1 && !(depth == 1 && t.text == "(")) any_tokens = true;
+    if (depth == 1 && j > i) any_tokens = any_tokens || j > i;
+  }
+  if (!pi.ok) return pi;
+  // Count parameters: empty list or lone `void` is zero.
+  const std::size_t inner_first = i + 1;
+  if (pi.after - 1 == inner_first) {
+    pi.arity = 0;
+  } else if (pi.after - 2 == inner_first && is_ident(toks[inner_first], "void")) {
+    pi.arity = 0;
+  } else {
+    pi.arity = commas + 1;
+  }
+  pi.min_arity = saw_default ? params_before_default : pi.arity;
+  if (pi.variadic) pi.min_arity = std::min(pi.min_arity, pi.arity);
+  (void)any_tokens;
+  return pi;
+}
+
+struct Scope {
+  enum class Kind { Namespace, Class, Block };
+  Kind kind = Kind::Block;
+  std::string name;  // for Namespace/Class
+};
+
+}  // namespace
+
+std::vector<int> FunctionIndex::candidates(const std::string& name) const {
+  std::vector<int> ids;
+  const auto range = by_name_.equal_range(name);
+  for (auto it = range.first; it != range.second; ++it)
+    ids.push_back(it->second);
+  return ids;
+}
+
+int FunctionIndex::find(const std::string& suffix) const {
+  for (std::size_t i = 0; i < fns.size(); ++i) {
+    const std::string& q = fns[i].qualified;
+    if (q == suffix) return static_cast<int>(i);
+    if (q.size() > suffix.size() + 2 &&
+        q.compare(q.size() - suffix.size(), suffix.size(), suffix) == 0 &&
+        q.compare(q.size() - suffix.size() - 2, 2, "::") == 0)
+      return static_cast<int>(i);
+  }
+  return -1;
+}
+
+FunctionIndex build_index(const std::vector<SourceFile>& sources) {
+  FunctionIndex index;
+  index.file_tokens.resize(sources.size());
+
+  for (std::size_t fid = 0; fid < sources.size(); ++fid) {
+    const SourceFile& sf = sources[fid];
+    std::vector<Token>& toks = index.file_tokens[fid];
+    toks = tokenize(sf.lines);
+
+    std::vector<Scope> scopes;
+    const auto at_indexable_scope = [&] {
+      for (const Scope& s : scopes)
+        if (s.kind == Scope::Kind::Block) return false;
+      return true;
+    };
+
+    std::size_t i = 0;
+    while (i < toks.size()) {
+      const Token& t = toks[i];
+
+      if (is_punct(t, "{")) {
+        scopes.push_back(Scope{Scope::Kind::Block, ""});
+        ++i;
+        continue;
+      }
+      if (is_punct(t, "}")) {
+        if (!scopes.empty()) scopes.pop_back();
+        ++i;
+        continue;
+      }
+      if (t.kind != Token::Kind::Ident) {
+        ++i;
+        continue;
+      }
+
+      if (t.text == "template") {
+        // Skip the template header; the function/class after it is indexed
+        // like a non-template.
+        if (i + 1 < toks.size() && is_punct(toks[i + 1], "<")) {
+          const std::size_t after = skip_angles(toks, i + 1);
+          i = after != i + 1 ? after : i + 1;
+        } else {
+          ++i;
+        }
+        continue;
+      }
+
+      if (t.text == "namespace") {
+        // `namespace a::b {`, `namespace {`, or `namespace x = y;`.
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < toks.size() && toks[j].kind == Token::Kind::Ident) {
+          if (!name.empty()) name += "::";
+          name += toks[j].text;
+          ++j;
+          if (j < toks.size() && is_punct(toks[j], "::"))
+            ++j;
+          else
+            break;
+        }
+        if (j < toks.size() && is_punct(toks[j], "{")) {
+          scopes.push_back(Scope{Scope::Kind::Namespace, name});
+          i = j + 1;
+        } else {
+          // Alias or ill-formed: skip to ';'.
+          while (j < toks.size() && !is_punct(toks[j], ";")) ++j;
+          i = j + 1;
+        }
+        continue;
+      }
+
+      if ((t.text == "class" || t.text == "struct" || t.text == "union") &&
+          at_indexable_scope()) {
+        // Find the tag name, then the '{' (definition) or ';' (forward
+        // declaration / member-pointer-ish use).
+        std::size_t j = i + 1;
+        std::string name;
+        while (j < toks.size()) {
+          if (toks[j].kind == Token::Kind::Ident &&
+              !is_keyword(toks[j].text) && !all_caps(toks[j].text)) {
+            name = toks[j].text;
+            ++j;
+            if (j < toks.size() && is_punct(toks[j], "<")) {
+              const std::size_t after = skip_angles(toks, j);
+              if (after != j) j = after;
+            }
+            break;
+          }
+          if (toks[j].kind == Token::Kind::Punct &&
+              (is_punct(toks[j], "[") || all_caps(toks[j].text))) {
+            // Attributes: skip [[...]] blocks and ALLCAPS export macros.
+            if (is_punct(toks[j], "[")) {
+              j = skip_balanced(toks, j, "[", "]");
+              continue;
+            }
+          }
+          if (toks[j].kind == Token::Kind::Ident && all_caps(toks[j].text)) {
+            ++j;
+            continue;
+          }
+          break;
+        }
+        // Scan to '{' or ';' (base clause may intervene).
+        std::size_t k = j;
+        int angle = 0;
+        while (k < toks.size()) {
+          if (is_punct(toks[k], "<")) ++angle;
+          if (is_punct(toks[k], ">")) angle = std::max(0, angle - 1);
+          if (angle == 0 && (is_punct(toks[k], "{") || is_punct(toks[k], ";") ||
+                             is_punct(toks[k], "(")))
+            break;
+          ++k;
+        }
+        if (k < toks.size() && is_punct(toks[k], "{") && !name.empty()) {
+          scopes.push_back(Scope{Scope::Kind::Class, name});
+          i = k + 1;
+        } else if (k < toks.size() && is_punct(toks[k], "{")) {
+          scopes.push_back(Scope{Scope::Kind::Block, ""});  // anonymous
+          i = k + 1;
+        } else {
+          i = k < toks.size() ? k + 1 : k;
+        }
+        continue;
+      }
+
+      if (t.text == "using" || t.text == "typedef" ||
+          t.text == "static_assert") {
+        while (i < toks.size() && !is_punct(toks[i], ";")) ++i;
+        ++i;
+        continue;
+      }
+
+      if (t.text == "enum") {
+        // enum [class] Name [: base] { ... } -- no functions inside.
+        std::size_t j = i + 1;
+        while (j < toks.size() && !is_punct(toks[j], "{") &&
+               !is_punct(toks[j], ";"))
+          ++j;
+        if (j < toks.size() && is_punct(toks[j], "{"))
+          j = skip_balanced(toks, j, "{", "}");
+        i = j;
+        continue;
+      }
+
+      if (is_keyword(t.text)) {
+        ++i;
+        continue;
+      }
+
+      if (!at_indexable_scope()) {
+        ++i;
+        continue;
+      }
+
+      // Candidate function definition: a qualified id followed by a
+      // parameter list and eventually '{'.
+      Chain ch = parse_chain(toks, i);
+      if (ch.parts.empty()) {
+        ++i;
+        continue;
+      }
+      if (ch.parts.size() == 1 && all_caps(ch.parts[0])) {
+        // Macro invocation (EROOF_REQUIRE, TEST, ...). Skip its argument
+        // list so a following '{' is treated as a plain block.
+        std::size_t j = ch.end;
+        if (j < toks.size() && is_punct(toks[j], "("))
+          j = skip_balanced(toks, j, "(", ")");
+        i = j;
+        continue;
+      }
+      if (ch.end >= toks.size() || !is_punct(toks[ch.end], "(")) {
+        i = ch.end > i ? ch.end : i + 1;
+        continue;
+      }
+      const ParamInfo pi = scan_params(toks, ch.end);
+      if (!pi.ok) {
+        i = ch.end + 1;
+        continue;
+      }
+
+      // Walk the post-parameter specifiers to decide declaration vs
+      // definition.
+      std::size_t j = pi.after;
+      bool is_def = false;
+      bool bail = false;
+      while (j < toks.size() && !bail) {
+        const Token& s = toks[j];
+        if (is_punct(s, "{")) {
+          is_def = true;
+          break;
+        }
+        if (is_punct(s, ";")) break;  // declaration
+        if (s.kind == Token::Kind::Ident &&
+            (s.text == "const" || s.text == "noexcept" ||
+             s.text == "override" || s.text == "final" ||
+             s.text == "mutable" || s.text == "try")) {
+          ++j;
+          if (s.text == "noexcept" && j < toks.size() &&
+              is_punct(toks[j], "("))
+            j = skip_balanced(toks, j, "(", ")");
+          continue;
+        }
+        if (is_punct(s, "&")) {
+          ++j;
+          if (j < toks.size() && is_punct(toks[j], "&")) ++j;
+          continue;
+        }
+        if (is_punct(s, "->")) {
+          // Trailing return type: consume to '{' or ';' at bracket depth 0.
+          ++j;
+          int angle = 0;
+          while (j < toks.size()) {
+            if (is_punct(toks[j], "<")) ++angle;
+            if (is_punct(toks[j], ">")) angle = std::max(0, angle - 1);
+            if (is_punct(toks[j], "(")) {
+              j = skip_balanced(toks, j, "(", ")");
+              continue;
+            }
+            if (angle == 0 &&
+                (is_punct(toks[j], "{") || is_punct(toks[j], ";")))
+              break;
+            ++j;
+          }
+          continue;
+        }
+        if (is_punct(s, ":") ) {
+          // Constructor initializer list: Ident[<...>] ( ... ) or { ... },
+          // comma-separated, then the body '{'.
+          ++j;
+          while (j < toks.size()) {
+            if (toks[j].kind == Token::Kind::Ident) {
+              ++j;
+              if (j < toks.size() && is_punct(toks[j], "<")) {
+                const std::size_t after = skip_angles(toks, j);
+                if (after != j) j = after;
+              }
+              if (j < toks.size() && is_punct(toks[j], "::")) {
+                ++j;
+                continue;
+              }
+            }
+            if (j < toks.size() && is_punct(toks[j], "("))
+              j = skip_balanced(toks, j, "(", ")");
+            else if (j < toks.size() && is_punct(toks[j], "{")) {
+              // Braced member init -- but a '{' directly after the ':'
+              // walk that is not preceded by an initializer is the body.
+              j = skip_balanced(toks, j, "{", "}");
+            }
+            if (j < toks.size() && is_punct(toks[j], ",")) {
+              ++j;
+              continue;
+            }
+            break;
+          }
+          continue;
+        }
+        if (is_punct(s, "=")) {
+          // `= default;` / `= delete;` / pure virtual: a declaration.
+          while (j < toks.size() && !is_punct(toks[j], ";")) ++j;
+          break;
+        }
+        bail = true;  // not a function after all (expression, declaration..)
+      }
+
+      if (!is_def) {
+        i = std::max(pi.after, ch.end + 1);
+        continue;
+      }
+
+      // Found the body '{' at j: brace-match it.
+      const std::size_t body_open = j;
+      const std::size_t after_body = skip_balanced(toks, body_open, "{", "}");
+      const std::size_t body_close =
+          after_body > body_open ? after_body - 1 : body_open;
+
+      FunctionDef fd;
+      fd.scopes.reserve(scopes.size() + ch.parts.size() - 1);
+      for (const Scope& s : scopes)
+        if (!s.name.empty()) fd.scopes.push_back(s.name);
+      for (std::size_t p = 0; p + 1 < ch.parts.size(); ++p)
+        fd.scopes.push_back(ch.parts[p]);
+      fd.name = ch.parts.back();
+      std::string q;
+      for (const auto& s : fd.scopes) {
+        q += s;
+        q += "::";
+      }
+      q += fd.name;
+      fd.qualified = q;
+      fd.min_arity = pi.min_arity;
+      fd.arity = pi.arity;
+      fd.variadic = pi.variadic;
+      fd.is_ctor = !fd.scopes.empty() && fd.scopes.back() == fd.name;
+      fd.file_id = static_cast<int>(fid);
+      fd.file = sf.path;
+      fd.name_line = toks[ch.begin].line;
+      fd.body_begin_line = toks[body_open].line;
+      fd.body_end_line =
+          body_close < toks.size() ? toks[body_close].line : toks.back().line;
+      fd.body_begin_tok = static_cast<int>(body_open);
+      fd.body_end_tok = static_cast<int>(body_close);
+
+      if (!ch.has_operator) {
+        index.by_name_.emplace(fd.name, static_cast<int>(index.fns.size()));
+      }
+      index.fns.push_back(std::move(fd));
+
+      // Continue from the body '{' so the scope stack tracks it as a block
+      // (suppressing definition detection inside the body).
+      i = body_open;
+    }
+  }
+  return index;
+}
+
+}  // namespace eroof::lint

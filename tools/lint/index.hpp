@@ -1,0 +1,113 @@
+// Cross-translation-unit function indexer for eroof-lint's whole-program
+// pass.
+//
+// Built on the same comment/string-aware scan as the per-file rules: the
+// tokenizer runs over SourceFile::lines (comments, strings, and preprocessor
+// directives already stripped or skipped), a scope-tracking parser recognizes
+// namespace/class nesting, and function *definitions* (qualified-id,
+// balanced parameter list, optional const/noexcept/ref-qualifier/trailing
+// return/ctor-init-list, then `{`) are recorded with their brace-matched
+// body extents -- in both line numbers (for findings) and token ranges (so
+// the call-graph layer never re-tokenizes).
+//
+// This is a lexical indexer, not a compiler: templates are indexed like
+// ordinary functions, `operator` overloads get bodies but no resolvable
+// name, macros and preprocessor lines are skipped, and local classes inside
+// function bodies are not descended into. The call-graph layer compensates
+// by resolving conservatively (edges to every surviving candidate) and
+// downgrading anything unresolvable to a note.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace eroof::lint {
+
+struct Token {
+  enum class Kind { Ident, Num, Punct };
+  Kind kind = Kind::Punct;
+  std::string text;
+  int line = 0;  // 1-based
+};
+
+/// Tokenizes blanked code lines. Multi-char punctuators kept together: `::`
+/// and `->` (the two the parser needs); everything else is single-char.
+/// Preprocessor lines (and their backslash continuations) are skipped.
+std::vector<Token> tokenize(const std::vector<ScannedLine>& lines);
+
+struct FunctionDef {
+  std::string qualified;            ///< e.g. "eroof::serve::Queue::pop"
+  std::vector<std::string> scopes;  ///< enclosing namespace/class components
+  std::string name;                 ///< last component ("pop")
+  int min_arity = 0;  ///< required args (params before the first default)
+  int arity = 0;      ///< total declared params
+  bool variadic = false;
+  bool is_ctor = false;
+  int file_id = 0;  ///< index into the SourceFile list given to build_index
+  std::string file;
+  int name_line = 0;
+  int body_begin_line = 0;
+  int body_end_line = 0;
+  int body_begin_tok = 0;  ///< token index of the body `{` in its file
+  int body_end_tok = 0;    ///< token index of the matching `}`
+
+  /// Does a call with `n` arguments fit this signature?
+  bool accepts_arity(int n) const {
+    return variadic ? n >= min_arity : (n >= min_arity && n <= arity);
+  }
+};
+
+struct FunctionIndex {
+  std::vector<FunctionDef> fns;
+  std::vector<std::vector<Token>> file_tokens;  // parallel to input sources
+
+  /// Ids of every definition whose short name is `name`.
+  std::vector<int> candidates(const std::string& name) const;
+
+  /// First definition whose qualified name ends with `suffix` (test helper;
+  /// "Queue::pop" matches "eroof::serve::Queue::pop"). Returns -1 if none.
+  int find(const std::string& suffix) const;
+
+ private:
+  friend FunctionIndex build_index(const std::vector<SourceFile>& sources);
+  std::multimap<std::string, int> by_name_;
+};
+
+/// Indexes every function definition in `sources`. Tokenizes each file once;
+/// the token streams are kept on the index for the call-graph layer.
+FunctionIndex build_index(const std::vector<SourceFile>& sources);
+
+// -- shared token utilities (used by the call-graph layer) ------------------
+
+bool is_cpp_keyword(const std::string& s);
+bool is_all_caps_macro(const std::string& s);
+
+/// A possibly qualified, possibly templated id-expression:
+/// `[~] Ident [<...>] (:: [~] Ident [<...>])*`. Empty `parts` means toks[i]
+/// does not start one. `end` is one past the last consumed token.
+struct IdChain {
+  std::vector<std::string> parts;
+  std::size_t begin = 0, end = 0;
+  bool has_operator = false;
+};
+IdChain parse_id_chain(const std::vector<Token>& toks, std::size_t i);
+
+/// Skips a balanced open/close pair starting at `i` (which must hold
+/// `open`). Returns one past the closer, or toks.size() if unbalanced.
+std::size_t skip_balanced_tokens(const std::vector<Token>& toks,
+                                 std::size_t i, const char* open,
+                                 const char* close);
+
+/// Argument count of a call whose `(` is at `i`: top-level commas + 1,
+/// zero for `()`. Angle-bracket aware so `f(a<b, c>(d))` counts one.
+struct ArgScan {
+  int arity = 0;
+  std::size_t after = 0;
+  bool ok = false;
+};
+ArgScan scan_call_args(const std::vector<Token>& toks, std::size_t i);
+
+}  // namespace eroof::lint

@@ -67,6 +67,42 @@ bool has_member_call(std::string_view code, std::string_view member) {
   return false;
 }
 
+/// Position of the first `.member(` match, or npos. Like has_member_call but
+/// positional, for the ordering checks in the lock-scope tracker.
+std::size_t find_member_call(std::string_view code, std::string_view member,
+                             std::size_t from = 0) {
+  const std::string needle = std::string(".") + std::string(member);
+  std::size_t pos = from;
+  while ((pos = code.find(needle, pos)) != std::string_view::npos) {
+    std::size_t p = pos + needle.size();
+    while (p < code.size() && code[p] == ' ') ++p;
+    if (p < code.size() && code[p] == '(') return pos;
+    pos += 1;
+  }
+  return std::string_view::npos;
+}
+
+/// Position of the first whole-word occurrence of `tok`, or npos.
+std::size_t find_token(std::string_view code, std::string_view tok,
+                       std::size_t from = 0) {
+  std::size_t pos = from;
+  while ((pos = code.find(tok, pos)) != std::string_view::npos) {
+    const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
+    const std::size_t end = pos + tok.size();
+    const bool right_ok = end >= code.size() || !ident_char(code[end]);
+    if (left_ok && right_ok) return pos;
+    pos += 1;
+  }
+  return std::string_view::npos;
+}
+
+std::string trimmed(std::string_view s) {
+  const auto b = s.find_first_not_of(" \t");
+  if (b == std::string_view::npos) return std::string();
+  const auto e = s.find_last_not_of(" \t");
+  return std::string(s.substr(b, e - b + 1));
+}
+
 // ---------------------------------------------------------------------------
 // Annotations
 // ---------------------------------------------------------------------------
@@ -74,13 +110,15 @@ bool has_member_call(std::string_view code, std::string_view member) {
 struct Annotations {
   bool hot_begin = false;
   bool hot_end = false;
+  bool cold = false;
   std::vector<std::string> allows;  // rule ids from allow(...)
 };
 
 Annotations parse_annotations(std::string_view comment) {
   Annotations a;
   // Region markers: "eroof: hot-begin" / "eroof: hot-end" (an optional
-  // "(label)" after hot-begin is tolerated and ignored).
+  // "(label)" after hot-begin is tolerated and ignored), and the
+  // "eroof: cold (reason)" propagation barrier.
   std::size_t pos = 0;
   while ((pos = comment.find("eroof:", pos)) != std::string_view::npos) {
     std::size_t p = pos + 6;
@@ -89,6 +127,9 @@ Annotations parse_annotations(std::string_view comment) {
       a.hot_begin = true;
     else if (comment.compare(p, 7, "hot-end") == 0)
       a.hot_end = true;
+    else if (comment.compare(p, 4, "cold") == 0 &&
+             (p + 4 >= comment.size() || !ident_char(comment[p + 4])))
+      a.cold = true;
     pos = p;
   }
   // Suppressions: "eroof-lint: allow(rule[, rule...])".
@@ -117,7 +158,7 @@ Annotations parse_annotations(std::string_view comment) {
 }
 
 // ---------------------------------------------------------------------------
-// Unordered-container declaration collection (for the iteration rule)
+// Declaration collection (unordered containers, futures)
 // ---------------------------------------------------------------------------
 
 /// Skips a balanced template argument list starting at the `<` at `pos`.
@@ -134,18 +175,21 @@ std::size_t skip_template_args(std::string_view code, std::size_t pos) {
   return std::string_view::npos;
 }
 
-/// Names of variables/members declared as std::unordered_{map,set} anywhere
-/// in the (comment-stripped, newline-joined) file.
-std::vector<std::string> unordered_decls(std::string_view code) {
+/// Names of variables/members declared as `kw<...>` for any of the given
+/// template names, anywhere in the (comment-stripped, newline-joined) file.
+std::vector<std::string> template_decls(
+    std::string_view code, std::initializer_list<std::string_view> kws) {
   std::vector<std::string> names;
-  for (const std::string_view kw : {"unordered_map", "unordered_set"}) {
+  for (const std::string_view kw : kws) {
     std::size_t pos = 0;
     while ((pos = code.find(kw, pos)) != std::string_view::npos) {
+      const bool left_ok = pos == 0 || !ident_char(code[pos - 1]);
       std::size_t p = pos + kw.size();
       pos += 1;
+      if (!left_ok) continue;
       while (p < code.size() && code[p] == ' ') ++p;
       if (p >= code.size() || code[p] != '<') continue;
-      p = skip_template_args(code, p);
+      p = skip_template_args(code, p - 0);
       if (p == std::string_view::npos) continue;
       while (p < code.size() &&
              (code[p] == ' ' || code[p] == '&' || code[p] == '\n'))
@@ -194,10 +238,48 @@ bool iterates_name(std::string_view code, const std::string& name) {
 // The rule table
 // ---------------------------------------------------------------------------
 
-const std::vector<std::string> kRuleIds = {
-    "nondet-rand",        "nondet-unordered-iter", "nondet-omp",
-    "hot-alloc",          "header-pragma-once",    "header-using-namespace",
-    "annotation-mismatch"};
+struct RuleDoc {
+  const char* id;
+  const char* doc;
+};
+
+const RuleDoc kRules[] = {
+    {"nondet-rand",
+     "Unseeded/wall-clock entropy source outside util::Rng / util::RngStream"},
+    {"nondet-unordered-iter",
+     "Iteration over a std::unordered container (hash-order dependent)"},
+    {"nondet-omp",
+     "OpenMP critical/atomic/reduction may reorder floating-point "
+     "accumulation"},
+    {"hot-alloc",
+     "Heap allocation, container growth, or thread spawn inside (or reachable "
+     "from) a // eroof: hot region"},
+    {"hot-lock",
+     "Mutex acquisition inside (or reachable from) a // eroof: hot region"},
+    {"conc-blocking-under-lock",
+     "Blocking call (condition wait, future::get, sleep, I/O, trace-registry "
+     "emission) while holding a mutex"},
+    {"conc-detached-thread",
+     "Detached std::thread outlives its owner and races shutdown"},
+    {"relaxed-atomic",
+     "Explicit std::memory_order_relaxed without an // eroof-lint: "
+     "allow(relaxed-atomic) audit"},
+    {"conc-unseeded-rng",
+     "Default-constructed RNG engine inside an OpenMP parallel region (every "
+     "thread gets the same stream)"},
+    {"header-pragma-once", "Header is missing #pragma once"},
+    {"header-using-namespace", "using-directive at namespace scope in a header"},
+    {"annotation-mismatch", "Unbalanced // eroof: hot-begin / hot-end markers"},
+    {"stale-allow",
+     "allow() suppression that matched no finding (gating under "
+     "--strict-allows)"},
+};
+
+const std::vector<std::string> kRuleIds = [] {
+  std::vector<std::string> ids;
+  for (const auto& r : kRules) ids.emplace_back(r.id);
+  return ids;
+}();
 
 struct BannedCall {
   const char* pattern;
@@ -245,9 +327,120 @@ const HotAlloc kHotAllocs[] = {
                           "allocation)"},
 };
 
+// Lock acquisitions that make a hot region (or a function reachable from
+// one) contend with other threads: RAII guard construction and explicit
+// mutex .lock() calls.
+struct HotLock {
+  const char* pattern;
+  bool member_call;
+  const char* what;
+};
+
+const HotLock kHotLocks[] = {
+    {"std::lock_guard", false, "std::lock_guard acquisition"},
+    {"std::unique_lock", false, "std::unique_lock acquisition"},
+    {"std::scoped_lock", false, "std::scoped_lock acquisition"},
+    {"std::shared_lock", false, "std::shared_lock acquisition"},
+    {"lock", true, "explicit .lock() acquisition"},
+};
+
+// Default-constructible standard RNG engines for the conc-unseeded-rng rule.
+const char* const kRngEngines[] = {
+    "mt19937",      "mt19937_64",           "minstd_rand", "minstd_rand0",
+    "ranlux24",     "ranlux48",             "knuth_b",     "ranlux24_base",
+    "ranlux48_base", "default_random_engine",
+};
+
+/// If `code` default-constructs one of the standard RNG engines
+/// (`std::mt19937 g;`, `g()`, or `g{}`), returns the engine name; else "".
+std::string unseeded_engine(std::string_view code) {
+  for (const char* eng : kRngEngines) {
+    std::size_t pos = find_token(code, eng);
+    if (pos == std::string_view::npos) continue;
+    std::size_t p = pos + std::string_view(eng).size();
+    while (p < code.size() && code[p] == ' ') ++p;
+    // Variable name.
+    std::size_t b = p;
+    while (p < code.size() && ident_char(code[p])) ++p;
+    if (p == b) continue;  // not a declaration (e.g. a cast or using-decl)
+    while (p < code.size() && code[p] == ' ') ++p;
+    if (p >= code.size() || code[p] == ';') return eng;
+    if (code[p] == '(' || code[p] == '{') {
+      const char close = code[p] == '(' ? ')' : '}';
+      std::size_t q = p + 1;
+      while (q < code.size() && code[q] == ' ') ++q;
+      if (q < code.size() && code[q] == close) return eng;
+    }
+  }
+  return std::string();
+}
+
+// Blocking operations for the mutex-held-across-blocking-call rule. The
+// trace-registry emitters count as blocking: they acquire the process-wide
+// trace mutex, so calling them under another lock nests two locks and
+// serializes every tracing thread behind the caller's critical section.
+struct BlockingOp {
+  const char* pattern;
+  enum Kind { Member, Call, Token } kind;
+  const char* what;
+};
+
+const BlockingOp kBlockingOps[] = {
+    {"wait", BlockingOp::Member, "condition/future wait"},
+    {"wait_for", BlockingOp::Member, "condition/future timed wait"},
+    {"wait_until", BlockingOp::Member, "condition/future timed wait"},
+    {"join", BlockingOp::Member, "thread join"},
+    {"sleep_for", BlockingOp::Call, "thread sleep"},
+    {"sleep_until", BlockingOp::Call, "thread sleep"},
+    {"getline", BlockingOp::Call, "stream input"},
+    {"printf", BlockingOp::Call, "stdio output"},
+    {"fprintf", BlockingOp::Call, "stdio output"},
+    {"fwrite", BlockingOp::Call, "stdio output"},
+    {"fflush", BlockingOp::Call, "stdio flush"},
+    {"system", BlockingOp::Call, "process spawn"},
+    {"std::cout", BlockingOp::Token, "iostream output"},
+    {"std::cerr", BlockingOp::Token, "iostream output"},
+    {"std::cin", BlockingOp::Token, "iostream input"},
+    {"counter_add", BlockingOp::Call, "trace-registry emission (acquires the "
+                                      "process-wide trace mutex)"},
+    {"emit_span", BlockingOp::Call, "trace-registry emission (acquires the "
+                                    "process-wide trace mutex)"},
+    {"emit_counter", BlockingOp::Call, "trace-registry emission (acquires "
+                                       "the process-wide trace mutex)"},
+};
+
 }  // namespace
 
 const std::vector<std::string>& rule_ids() { return kRuleIds; }
+
+std::vector<PatternHit> hot_contract_hits(std::string_view code,
+                                          bool det_exempt) {
+  std::vector<PatternHit> hits;
+  for (const auto& h : kHotAllocs) {
+    const bool hit = h.member_call ? has_member_call(code, h.pattern)
+                                   : has_token(code, h.pattern);
+    if (hit) hits.push_back(PatternHit{"hot-alloc", h.what});
+  }
+  for (const auto& h : kHotLocks) {
+    const bool hit = h.member_call ? has_member_call(code, h.pattern)
+                                   : has_token(code, h.pattern);
+    if (hit) hits.push_back(PatternHit{"hot-lock", h.what});
+  }
+  if (!det_exempt) {
+    for (const auto& b : kNondetCalls) {
+      const bool hit = b.call_only ? has_call(code, b.pattern)
+                                   : has_token(code, b.pattern);
+      if (hit) hits.push_back(PatternHit{"nondet-rand", b.what});
+    }
+  }
+  return hits;
+}
+
+std::string_view rule_description(std::string_view rule) {
+  for (const auto& r : kRules)
+    if (rule == r.id) return r.doc;
+  return "";
+}
 
 bool determinism_exempt(std::string_view path) {
   const std::string p = [&] {
@@ -280,17 +473,26 @@ std::vector<ScannedLine> scan_lines(std::string_view content) {
   ScannedLine cur;
   State st = State::Normal;
   std::string raw_delim;  // for RawStr: the ")delim\"" terminator
+  // Inside a /* */ block, text after a nested `//` is commented-out comment
+  // text (e.g. a disabled `// eroof: hot-begin`); it must not reach the
+  // annotation parser. The suppression ends at the next newline.
+  bool block_nested_line = false;
 
-  const auto newline = [&] {
+  const auto newline = [&](bool spliced_comment) {
     lines.push_back(cur);
     cur = ScannedLine{};
-    if (st == State::LineComment) st = State::Normal;
+    block_nested_line = false;
+    if (st == State::LineComment && !spliced_comment) st = State::Normal;
   };
 
   for (std::size_t i = 0; i < content.size(); ++i) {
     const char c = content[i];
     if (c == '\n') {
-      newline();
+      // A backslash immediately before the newline splices the lines: a
+      // spliced // comment swallows the next source line too.
+      const bool spliced = st == State::LineComment && i > 0 &&
+                           content[i - 1] == '\\';
+      newline(spliced);
       continue;
     }
     switch (st) {
@@ -321,10 +523,18 @@ std::vector<ScannedLine> scan_lines(std::string_view content) {
             while (p < content.size() && content[p] != '(' &&
                    content[p] != '\n')
               d += content[p++];
-            raw_delim = ")" + d + "\"";
-            st = State::RawStr;
-            cur.code += '"';
-            i = p;  // at the '('; loop ++i moves past it
+            if (p >= content.size() || content[p] != '(') {
+              // Ill-formed raw-string opener (newline or EOF before the
+              // '('). Degrade to an ordinary string so line numbers stay in
+              // sync instead of silently swallowing the newline.
+              st = State::Str;
+              cur.code += '"';
+            } else {
+              raw_delim = ")" + d + "\"";
+              st = State::RawStr;
+              cur.code += '"';
+              i = p;  // at the '('; loop ++i moves past it
+            }
           } else {
             st = State::Str;
             cur.code += '"';
@@ -345,16 +555,27 @@ std::vector<ScannedLine> scan_lines(std::string_view content) {
         if (c == '*' && next == '/') {
           st = State::Normal;
           cur.code += ' ';  // separate tokens the comment was between
+          block_nested_line = false;
           ++i;
-        } else {
+        } else if (c == '/' && next == '/') {
+          block_nested_line = true;
+          cur.comment += ' ';
+          ++i;
+        } else if (!block_nested_line) {
           cur.comment += c;
         }
         break;
       }
       case State::Str:
         if (c == '\\') {
-          ++i;  // skip escaped char (an escaped newline in a string is UB-ish
-                // in source anyway; keep it simple)
+          if (i + 1 < content.size() && content[i + 1] == '\n') {
+            // Escaped newline inside a string literal: the literal continues
+            // but the *source* line ends here -- keep line numbers in sync.
+            lines.push_back(cur);
+            cur = ScannedLine{};
+            block_nested_line = false;
+          }
+          ++i;  // skip the escaped char
         } else if (c == '"') {
           st = State::Normal;
           cur.code += '"';
@@ -362,6 +583,11 @@ std::vector<ScannedLine> scan_lines(std::string_view content) {
         break;
       case State::Chr:
         if (c == '\\') {
+          if (i + 1 < content.size() && content[i + 1] == '\n') {
+            lines.push_back(cur);
+            cur = ScannedLine{};
+            block_nested_line = false;
+          }
           ++i;
         } else if (c == '\'') {
           st = State::Normal;
@@ -383,65 +609,76 @@ std::vector<ScannedLine> scan_lines(std::string_view content) {
 }
 
 // ---------------------------------------------------------------------------
-// The lint pass
+// SourceFile loading
 // ---------------------------------------------------------------------------
 
-FileReport lint_content(const std::string& display_path,
-                        std::string_view content, const Options& opt) {
-  FileReport rep;
-  const std::vector<ScannedLine> lines = scan_lines(content);
-  const bool header = is_header(display_path);
-  const bool det_exempt = determinism_exempt(display_path);
-
-  // Joined code (newline-separated) for declarations that span lines.
-  std::string joined;
-  joined.reserve(content.size());
-  for (const auto& l : lines) {
-    joined += l.code;
-    joined += '\n';
+SourceFile load_source(const std::string& display_path,
+                       std::string_view content) {
+  SourceFile sf;
+  sf.path = display_path;
+  sf.lines = scan_lines(content);
+  sf.header = is_header(display_path);
+  sf.det_exempt = determinism_exempt(display_path);
+  sf.info.resize(sf.lines.size());
+  for (std::size_t li = 0; li < sf.lines.size(); ++li) {
+    const Annotations a = parse_annotations(sf.lines[li].comment);
+    sf.info[li].hot_begin = a.hot_begin;
+    sf.info[li].hot_end = a.hot_end;
+    sf.info[li].cold = a.cold;
+    sf.info[li].allows = a.allows;
+    sf.info[li].comment_only =
+        sf.lines[li].code.find_first_not_of(" \t") == std::string::npos;
   }
-  const std::vector<std::string> unordered = unordered_decls(joined);
-
-  // Pre-parse every line's annotations. A suppression applies to findings on
-  // its own line, or -- when the allow() sits on a comment-only line -- to
-  // the line directly below it (the NOLINTNEXTLINE pattern, needed for
-  // `#pragma` lines where a long trailing comment would be unreadable).
-  std::vector<Annotations> anns(lines.size());
-  std::vector<bool> comment_only(lines.size(), false);
-  for (std::size_t li = 0; li < lines.size(); ++li) {
-    anns[li] = parse_annotations(lines[li].comment);
-    comment_only[li] =
-        lines[li].code.find_first_not_of(" \t") == std::string::npos;
+  // Hot ranges: both marker lines are inside the region; a nested hot-begin
+  // continues the open region (and is reported as annotation-mismatch by the
+  // rule pass); an unclosed region extends to the last line.
+  int open = 0;
+  for (std::size_t li = 0; li < sf.lines.size(); ++li) {
+    if (sf.info[li].hot_begin && open == 0) open = static_cast<int>(li) + 1;
+    if (sf.info[li].hot_end && open != 0) {
+      sf.hot_ranges.push_back(HotRange{open, static_cast<int>(li) + 1});
+      open = 0;
+    }
   }
+  if (open != 0)
+    sf.hot_ranges.push_back(
+        HotRange{open, static_cast<int>(sf.lines.size())});
+  return sf;
+}
 
-  // Per-line allow() bookkeeping so unused suppressions can be audited.
-  struct PendingAllow {
-    int line;
-    std::string rule;
-    bool used = false;
-  };
-  std::vector<PendingAllow> allows;
-  for (std::size_t li = 0; li < lines.size(); ++li)
-    for (const auto& id : anns[li].allows)
-      allows.push_back(PendingAllow{static_cast<int>(li) + 1, id, false});
-  const auto mark_used = [&](int line, const std::string& rule) {
-    for (auto& pa : allows)
-      if (pa.line == line && pa.rule == rule) pa.used = true;
-  };
+bool load_source_file(const std::string& path, SourceFile& out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    out.path = path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  out = load_source(path, ss.str());
+  return true;
+}
 
-  bool in_hot = false;
-  int hot_begin_line = 0;
-  bool saw_pragma_once = false;
+// ---------------------------------------------------------------------------
+// FileAnalysis: per-file rule pass + shared emission machinery
+// ---------------------------------------------------------------------------
 
-  const auto emit = [&](int line, const std::string& rule,
+void FileAnalysis::emit(int line, const std::string& rule,
                         const std::string& message) {
-    // One finding per (line, rule): `srand(time(0))` is one nondet-rand
-    // violation, not two, which keeps counts stable for tests and humans.
-    for (const auto& prev : rep.findings)
-      if (prev.line == line && prev.rule == rule) return;
-    Finding f{display_path, line, rule, message, false};
-    const std::size_t li = static_cast<std::size_t>(line) - 1;
-    for (const auto& id : anns[li].allows) {
+  // One finding per (line, rule): `srand(time(0))` is one nondet-rand
+  // violation, not two, which keeps counts stable for tests and humans.
+  // The call-graph layer shares the dedupe: a lexical in-region finding
+  // wins over a later transitive finding for the same line.
+  for (const auto& prev : report_.findings)
+    if (prev.line == line && prev.rule == rule) return;
+  Finding f{sf_.path, line, rule, message, false, std::string()};
+  const std::size_t li = static_cast<std::size_t>(line) - 1;
+  if (li < sf_.lines.size()) f.context = trimmed(sf_.lines[li].code);
+  const auto mark_used = [&](int at, const std::string& r) {
+    for (auto& pa : allows_)
+      if (pa.line == at && pa.rule == r) pa.used = true;
+  };
+  if (li < sf_.info.size()) {
+    for (const auto& id : sf_.info[li].allows) {
       if (id == rule) {
         f.suppressed = true;
         mark_used(line, rule);
@@ -450,9 +687,9 @@ FileReport lint_content(const std::string& display_path,
     }
     // Walk up through the contiguous comment-only block above the line:
     // a multi-line justification can carry its allow() on any of its lines.
-    for (std::size_t j = li; !f.suppressed && j > 0 && comment_only[j - 1];
-         --j) {
-      for (const auto& id : anns[j - 1].allows) {
+    for (std::size_t j = li;
+         !f.suppressed && j > 0 && sf_.info[j - 1].comment_only; --j) {
+      for (const auto& id : sf_.info[j - 1].allows) {
         if (id == rule) {
           f.suppressed = true;
           mark_used(static_cast<int>(j), rule);
@@ -460,13 +697,81 @@ FileReport lint_content(const std::string& display_path,
         }
       }
     }
-    rep.findings.push_back(std::move(f));
+  }
+  report_.findings.push_back(std::move(f));
+}
+
+bool FileAnalysis::cold_at(int line) const {
+  const std::size_t li = static_cast<std::size_t>(line) - 1;
+  if (li >= sf_.info.size()) return false;
+  if (sf_.info[li].cold) return true;
+  for (std::size_t j = li; j > 0 && sf_.info[j - 1].comment_only; --j)
+    if (sf_.info[j - 1].cold) return true;
+  return false;
+}
+
+void FileAnalysis::finalize() {
+  // Audit: allow() annotations that suppressed nothing are stale and erode
+  // trust in the ones that matter.
+  for (const auto& pa : allows_) {
+    if (!pa.used)
+      report_.notes.push_back(Note{sf_.path, pa.line,
+                                   "unused suppression: allow(" + pa.rule +
+                                       ") matched no finding"});
+    bool known = false;
+    for (const auto& id : kRuleIds) known = known || id == pa.rule;
+    if (!known)
+      report_.notes.push_back(
+          Note{sf_.path, pa.line, "unknown rule id in allow(" + pa.rule + ")"});
+  }
+}
+
+FileAnalysis::FileAnalysis(SourceFile sf, const Options& opt)
+    : sf_(std::move(sf)) {
+  for (std::size_t li = 0; li < sf_.info.size(); ++li)
+    for (const auto& id : sf_.info[li].allows)
+      allows_.push_back(AllowSite{static_cast<int>(li) + 1, id, false});
+
+  const std::vector<ScannedLine>& lines = sf_.lines;
+
+  // Joined code (newline-separated) for declarations that span lines.
+  std::string joined;
+  for (const auto& l : lines) {
+    joined += l.code;
+    joined += '\n';
+  }
+  const std::vector<std::string> unordered =
+      template_decls(joined, {"unordered_map", "unordered_set"});
+  const std::vector<std::string> futures =
+      template_decls(joined, {"future", "shared_future"});
+
+  bool in_hot = false;
+  int hot_begin_line = 0;
+  bool saw_pragma_once = false;
+
+  // Lock-scope tracking for conc-blocking-under-lock. A scope opens at a
+  // RAII guard declaration and closes when brace depth drops below the
+  // depth at the declaration, or at an explicit `var.unlock()`. An explicit
+  // `var.lock()` on a known guard re-opens it (std::unique_lock round trip).
+  struct LockScope {
+    int decl_line;
+    int depth;  // brace depth at the declaration
+    std::string var;
+    bool active;
   };
+  std::vector<LockScope> lock_scopes;
+  int brace_depth = 0;
+
+  // OpenMP parallel-region tracking for conc-unseeded-rng: the pragma
+  // applies to the next block; the region spans until depth returns to the
+  // depth at its opening brace.
+  bool omp_pending = false;
+  std::vector<int> omp_regions;  // stack of depths at region entry
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const int ln = static_cast<int>(li) + 1;
     const std::string& code = lines[li].code;
-    const Annotations& ann = anns[li];
+    const LineInfo& ann = sf_.info[li];
 
     // -- annotation bookkeeping ------------------------------------------
     if (ann.hot_begin) {
@@ -495,7 +800,7 @@ FileReport lint_content(const std::string& display_path,
         has_token(pragma_code, "omp");
 
     // -- determinism ------------------------------------------------------
-    if (!det_exempt) {
+    if (!sf_.det_exempt) {
       for (const auto& b : kNondetCalls) {
         const bool hit = b.call_only ? has_call(code, b.pattern)
                                      : has_token(code, b.pattern);
@@ -523,11 +828,13 @@ FileReport lint_content(const std::string& display_path,
       }
     }
 
-    // -- hot-path allocation ---------------------------------------------
+    // -- hot-path allocation and locking ---------------------------------
     // The hot-begin line itself is inside the region; the hot-end line is
     // checked too (an allocation cannot share a line with hot-end in
-    // practice, and including it keeps the region definition simple).
-    if (in_hot) {
+    // practice, and including it keeps the region definition simple). A
+    // cold barrier on the line (or the comment block above it) exempts it,
+    // mirroring how the transitive pass treats cold lines in hot bodies.
+    if (in_hot && !cold_at(ln)) {
       for (const auto& h : kHotAllocs) {
         const bool hit = h.member_call ? has_member_call(code, h.pattern)
                                        : has_token(code, h.pattern);
@@ -537,10 +844,164 @@ FileReport lint_content(const std::string& display_path,
                                      "at line " +
                    std::to_string(hot_begin_line));
       }
+      for (const auto& h : kHotLocks) {
+        const bool hit = h.member_call ? has_member_call(code, h.pattern)
+                                       : has_token(code, h.pattern);
+        if (hit)
+          emit(ln, "hot-lock",
+               std::string(h.what) + " inside // eroof: hot region opened "
+                                     "at line " +
+                   std::to_string(hot_begin_line) +
+                   " -- steady-state phase loops must not contend on locks");
+      }
+    }
+
+    // -- concurrency discipline ------------------------------------------
+    if (has_member_call(code, "detach"))
+      emit(ln, "conc-detached-thread",
+           "detached thread outlives its owner and races shutdown -- join "
+           "it or hand it to a worker pool");
+
+    if (has_token(code, "memory_order_relaxed"))
+      emit(ln, "relaxed-atomic",
+           "explicit memory_order_relaxed -- audit required: justify with "
+           "// eroof-lint: allow(relaxed-atomic) why unordered access is "
+           "safe here");
+
+    if (!omp_regions.empty()) {
+      const std::string eng = unseeded_engine(code);
+      if (!eng.empty())
+        emit(ln, "conc-unseeded-rng",
+             "default-constructed std::" + eng +
+                 " inside an OpenMP parallel region gives every thread an "
+                 "identical stream -- derive a per-thread stream from "
+                 "util::RngStream instead");
+    }
+
+    // Blocking calls while a lock scope is active. Scopes declared earlier
+    // on the same line count if the declaration precedes the blocking call.
+    {
+      std::size_t decl_pos = std::string::npos;
+      std::string decl_var;
+      for (const auto& g : {"std::lock_guard", "std::unique_lock",
+                            "std::scoped_lock", "std::shared_lock"}) {
+        const std::size_t pos = find_token(code, g);
+        if (pos == std::string::npos) continue;
+        if (decl_pos == std::string::npos || pos < decl_pos) {
+          decl_pos = pos;
+          // Variable name: after the type (and optional template args).
+          std::size_t p = pos + std::string_view(g).size();
+          if (p < code.size() && code[p] == '<') {
+            const std::size_t q = skip_template_args(code, p);
+            if (q != std::string::npos) p = q;
+          }
+          while (p < code.size() && code[p] == ' ') ++p;
+          std::size_t b = p;
+          while (p < code.size() && ident_char(code[p])) ++p;
+          decl_var = std::string(code.substr(b, p - b));
+        }
+      }
+
+      const bool scope_active_at_entry = [&] {
+        for (const auto& s : lock_scopes)
+          if (s.active) return true;
+        return false;
+      }();
+
+      for (const auto& op : kBlockingOps) {
+        std::size_t pos = std::string::npos;
+        switch (op.kind) {
+          case BlockingOp::Member:
+            pos = find_member_call(code, op.pattern);
+            break;
+          case BlockingOp::Call: {
+            if (has_call(code, op.pattern)) pos = code.find(op.pattern);
+            break;
+          }
+          case BlockingOp::Token:
+            pos = find_token(code, op.pattern);
+            break;
+        }
+        if (pos == std::string::npos) continue;
+        const bool under_lock =
+            scope_active_at_entry ||
+            (decl_pos != std::string::npos && decl_pos < pos);
+        if (!under_lock) continue;
+        int at = ln;
+        for (const auto& s : lock_scopes)
+          if (s.active) at = s.decl_line;
+        if (decl_pos != std::string::npos && decl_pos < pos &&
+            !scope_active_at_entry)
+          at = ln;
+        emit(ln, "conc-blocking-under-lock",
+             std::string(op.what) + " while holding a mutex (lock acquired "
+                                    "at line " +
+                 std::to_string(at) +
+                 ") -- blocking under a lock stalls every contending "
+                 "thread; move it outside the critical section");
+      }
+
+      // Explicit unlock/relock round trips (std::unique_lock).
+      if (find_member_call(code, "unlock") != std::string::npos) {
+        const std::size_t upos = find_member_call(code, "unlock");
+        std::size_t b = upos;
+        while (b > 0 && ident_char(code[b - 1])) --b;
+        const std::string var(code.substr(b, upos - b));
+        bool matched = false;
+        for (auto it = lock_scopes.rbegin(); it != lock_scopes.rend(); ++it) {
+          if (it->active && (it->var == var || var.empty())) {
+            it->active = false;
+            matched = true;
+            break;
+          }
+        }
+        if (!matched && !lock_scopes.empty()) lock_scopes.back().active = false;
+      }
+      if (find_member_call(code, "lock") != std::string::npos) {
+        const std::size_t lpos = find_member_call(code, "lock");
+        std::size_t b = lpos;
+        while (b > 0 && ident_char(code[b - 1])) --b;
+        const std::string var(code.substr(b, lpos - b));
+        for (auto& s : lock_scopes)
+          if (!s.active && s.var == var && !var.empty()) s.active = true;
+      }
+
+      // Open the scope after the checks: its own declaration line was
+      // handled positionally above.
+      if (decl_pos != std::string::npos) {
+        int depth_at_decl = brace_depth;
+        for (std::size_t k = 0; k < decl_pos && k < code.size(); ++k) {
+          if (code[k] == '{') ++depth_at_decl;
+          if (code[k] == '}') --depth_at_decl;
+        }
+        lock_scopes.push_back(LockScope{ln, depth_at_decl, decl_var, true});
+      }
+    }
+
+    // -- brace depth / scope maintenance ---------------------------------
+    for (const char ch : code) {
+      if (ch == '{') {
+        ++brace_depth;
+        if (omp_pending) {
+          omp_regions.push_back(brace_depth);
+          omp_pending = false;
+        }
+      }
+      if (ch == '}') {
+        while (!omp_regions.empty() && omp_regions.back() == brace_depth)
+          omp_regions.pop_back();
+        --brace_depth;
+        lock_scopes.erase(
+            std::remove_if(lock_scopes.begin(), lock_scopes.end(),
+                           [&](const LockScope& s) {
+                             return s.depth > brace_depth;
+                           }),
+            lock_scopes.end());
+      }
     }
 
     // -- header hygiene ---------------------------------------------------
-    if (header) {
+    if (sf_.header) {
       if (code.find("#pragma") != std::string::npos &&
           has_token(code, "once"))
         saw_pragma_once = true;
@@ -551,13 +1012,16 @@ FileReport lint_content(const std::string& display_path,
 
     // -- --fix-annotations ------------------------------------------------
     if (opt.fix_annotations && is_omp_pragma && !in_hot &&
-        has_token(pragma_code, "parallel")) {
-      rep.notes.push_back(
-          Note{display_path, ln,
+        has_token(pragma_code, "parallel") && !cold_at(ln)) {
+      report_.notes.push_back(
+          Note{sf_.path, ln,
                "unannotated OpenMP parallel region -- wrap the phase loop "
                "in // eroof: hot-begin / // eroof: hot-end if it must not "
-               "allocate"});
+               "allocate, or mark it // eroof: cold (reason) if it may"});
     }
+
+    if (is_omp_pragma && has_token(pragma_code, "parallel"))
+      omp_pending = true;
 
     if (ann.hot_end) {
       if (!in_hot)
@@ -571,40 +1035,110 @@ FileReport lint_content(const std::string& display_path,
     emit(hot_begin_line, "annotation-mismatch",
          "hot-begin never closed (missing // eroof: hot-end)");
   }
-  if (header && !saw_pragma_once && !lines.empty()) {
+  if (sf_.header && !saw_pragma_once && !lines.empty()) {
     // Attach to line 1; a first-line allow() can suppress for generated
     // headers.
     emit(1, "header-pragma-once", "header is missing #pragma once");
   }
 
-  // Audit: allow() annotations that suppressed nothing are stale and erode
-  // trust in the ones that matter.
-  for (const auto& pa : allows) {
-    if (!pa.used)
-      rep.notes.push_back(Note{display_path, pa.line,
-                               "unused suppression: allow(" + pa.rule +
-                                   ") matched no finding"});
-    bool known = false;
-    for (const auto& id : kRuleIds) known = known || id == pa.rule;
-    if (!known)
-      rep.notes.push_back(Note{display_path, pa.line,
-                               "unknown rule id in allow(" + pa.rule + ")"});
+  // Collect futures' names for the Member .get() blocking check. Done as a
+  // second pass so a member declared below its use still counts.
+  if (!futures.empty()) {
+    bool in_hot2 = false;
+    std::vector<LockScope> scopes2;
+    int depth2 = 0;
+    (void)in_hot2;
+    for (std::size_t li = 0; li < lines.size(); ++li) {
+      const int ln = static_cast<int>(li) + 1;
+      const std::string& code = lines[li].code;
+      const bool active = [&] {
+        for (const auto& s : scopes2)
+          if (s.active) return true;
+        return false;
+      }();
+      std::size_t decl_pos = std::string::npos;
+      for (const auto& g : {"std::lock_guard", "std::unique_lock",
+                            "std::scoped_lock", "std::shared_lock"}) {
+        const std::size_t pos = find_token(code, g);
+        if (pos != std::string::npos &&
+            (decl_pos == std::string::npos || pos < decl_pos))
+          decl_pos = pos;
+      }
+      if (active || decl_pos != std::string::npos) {
+        for (const auto& name : futures) {
+          const std::size_t npos_ = find_token(code, name);
+          if (npos_ == std::string::npos) continue;
+          const std::size_t gpos = find_member_call(code, "get", npos_);
+          if (gpos == npos_ + name.size() &&
+              (active ||
+               (decl_pos != std::string::npos && decl_pos < gpos))) {
+            int at = ln;
+            for (const auto& s : scopes2)
+              if (s.active) at = s.decl_line;
+            if (!active) at = ln;
+            emit(ln, "conc-blocking-under-lock",
+                 "future::get on '" + name +
+                     "' while holding a mutex (lock acquired at line " +
+                     std::to_string(at) +
+                     ") -- blocking under a lock stalls every contending "
+                     "thread; move it outside the critical section");
+          }
+        }
+      }
+      if (find_member_call(code, "unlock") != std::string::npos) {
+        for (auto it = scopes2.rbegin(); it != scopes2.rend(); ++it) {
+          if (it->active) {
+            it->active = false;
+            break;
+          }
+        }
+      }
+      if (decl_pos != std::string::npos) {
+        int depth_at_decl = depth2;
+        for (std::size_t k = 0; k < decl_pos && k < code.size(); ++k) {
+          if (code[k] == '{') ++depth_at_decl;
+          if (code[k] == '}') --depth_at_decl;
+        }
+        scopes2.push_back(LockScope{ln, depth_at_decl, std::string(), true});
+      }
+      for (const char ch : code) {
+        if (ch == '{') ++depth2;
+        if (ch == '}') {
+          --depth2;
+          scopes2.erase(std::remove_if(scopes2.begin(), scopes2.end(),
+                                       [&](const LockScope& s) {
+                                         return s.depth > depth2;
+                                       }),
+                        scopes2.end());
+        }
+      }
+    }
   }
-  return rep;
+
+}
+
+// ---------------------------------------------------------------------------
+// Back-compat single-file entry points
+// ---------------------------------------------------------------------------
+
+FileReport lint_content(const std::string& display_path,
+                        std::string_view content, const Options& opt) {
+  FileAnalysis fa(load_source(display_path, content), opt);
+  fa.finalize();
+  return fa.report();
 }
 
 FileReport lint_file(const std::string& path, const Options& opt) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
+  SourceFile sf;
+  if (!load_source_file(path, sf)) {
     FileReport rep;
     rep.findings.push_back(
-        Finding{path, 0, "io-error", "cannot read file", false});
+        Finding{path, 0, "io-error", "cannot read file", false, std::string()});
     return rep;
   }
-  std::ostringstream ss;
-  ss << in.rdbuf();
-  const std::string content = ss.str();
-  return lint_content(path, content, opt);
+  FileAnalysis fa(std::move(sf), opt);
+  fa.finalize();
+  return fa.report();
 }
 
 }  // namespace eroof::lint

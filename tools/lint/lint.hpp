@@ -18,10 +18,24 @@
 // dependencies, so it builds in milliseconds everywhere the project builds
 // (C++17 is enough) and runs as a gating CI job.
 //
+// Since v2 the per-file pass is the first layer of a whole-program analysis:
+// tools/lint/index.hpp builds a cross-translation-unit function index over
+// the scanned sources, and tools/lint/callgraph.hpp propagates hot-region
+// reachability over the call graph so allocation, nondeterminism, and lock
+// acquisition are flagged in any function *reachable from* a hot region,
+// reported with the full call chain. tools/lint/sarif.hpp serializes the
+// merged report as SARIF 2.1.0 and implements the committed-baseline gate.
+//
 // Annotation grammar (all inside ordinary comments):
 //
 //   // eroof: hot-begin            opens a hot region (no-allocation zone)
 //   // eroof: hot-end              closes it
+//   // eroof: cold (reason)       cold barrier: calls on this line (or the
+//                                  function whose definition follows this
+//                                  comment) do not propagate hot-region
+//                                  reachability; on an OpenMP pragma line it
+//                                  documents why the region is exempt from
+//                                  --fix-annotations coverage
 //   // eroof-lint: allow(rule-id)  suppresses `rule-id` on this line, with
 //                                  an audit trail; allow(a, b) suppresses
 //                                  several rules at once
@@ -45,10 +59,16 @@ struct Finding {
   std::string rule;
   std::string message;
   bool suppressed = false;
+  /// Trimmed source text of the flagged line. Baseline matching keys on
+  /// (file, rule, context) so committed baselines survive unrelated edits
+  /// that shift line numbers.
+  std::string context;
 };
 
-/// Informational output (not a failure): unannotated OpenMP parallel regions
-/// from --fix-annotations, and allow() annotations that suppressed nothing.
+/// Informational output (not a failure unless --strict-allows promotes the
+/// stale-suppression subset): unannotated OpenMP parallel regions from
+/// --fix-annotations, allow() annotations that suppressed nothing, and
+/// unresolvable call sites reached from hot regions.
 struct Note {
   std::string file;
   int line = 0;
@@ -75,17 +95,115 @@ struct ScannedLine {
 };
 
 /// Comment/string-aware splitter. Handles //, /*...*/ (multi-line), string
-/// and char literals with escapes, and raw strings R"delim(...)delim".
+/// and char literals with escapes, raw strings R"delim(...)delim", and
+/// backslash line splices (a spliced // comment continues onto the next
+/// source line; an escaped newline inside a string literal keeps line
+/// numbers in sync). `//`-introduced text nested inside a /* */ block
+/// comment is dropped from the comment stream: it is commented-out comment
+/// text, so annotations in it must not take effect.
 std::vector<ScannedLine> scan_lines(std::string_view content);
+
+/// Per-line annotation and structure facts, parsed once per file.
+struct LineInfo {
+  bool hot_begin = false;
+  bool hot_end = false;
+  bool cold = false;          ///< carries an `// eroof: cold` barrier
+  bool comment_only = false;  ///< no code beyond whitespace
+  std::vector<std::string> allows;  ///< rule ids from allow(...)
+};
+
+/// A hot region in 1-based inclusive line numbers. An unclosed hot-begin
+/// extends to the last line (and is reported as annotation-mismatch by the
+/// per-file pass).
+struct HotRange {
+  int begin = 0;
+  int end = 0;
+};
+
+/// One scanned + annotation-parsed source file: the unit the per-file rule
+/// pass, the function indexer, and the call-graph layer all consume.
+struct SourceFile {
+  std::string path;
+  std::vector<ScannedLine> lines;
+  std::vector<LineInfo> info;       // parallel to `lines`
+  std::vector<HotRange> hot_ranges;
+  bool det_exempt = false;
+  bool header = false;
+
+  bool in_hot(int line) const {
+    for (const HotRange& r : hot_ranges)
+      if (line >= r.begin && line <= r.end) return true;
+    return false;
+  }
+};
+
+SourceFile load_source(const std::string& display_path,
+                       std::string_view content);
+/// Returns false (and leaves `out.path` set) if the file cannot be read.
+bool load_source_file(const std::string& path, SourceFile& out);
+
+/// Suppression bookkeeping shared by the per-file pass and the call-graph
+/// pass: every allow() site in one file, with whether anything used it.
+struct AllowSite {
+  int line = 0;
+  std::string rule;
+  bool used = false;
+};
+
+/// One file's analysis in progress. The per-file rules run in the
+/// constructor; the whole-program layers then emit additional findings via
+/// emit() (sharing the same allow-table and (line, rule) dedupe), and
+/// finalize() appends the stale/unknown-suppression notes last.
+class FileAnalysis {
+ public:
+  FileAnalysis(SourceFile sf, const Options& opt);
+
+  /// Emits a finding at (line, rule) unless that pair was already reported.
+  /// Applies allow() suppression from the line itself or the contiguous
+  /// comment-only block above it, marking the allow-site used.
+  void emit(int line, const std::string& rule, const std::string& message);
+
+  /// True if `line` (or its comment block above) carries a cold barrier.
+  bool cold_at(int line) const;
+
+  /// Appends "unused suppression" / "unknown rule id" notes. Call exactly
+  /// once, after every pass that may consume allow() sites has run.
+  void finalize();
+
+  const SourceFile& source() const { return sf_; }
+  const std::vector<AllowSite>& allow_sites() const { return allows_; }
+  FileReport& report() { return report_; }
+  const FileReport& report() const { return report_; }
+
+ private:
+  SourceFile sf_;
+  std::vector<AllowSite> allows_;
+  FileReport report_;
+};
 
 /// Lint a buffer as if it were the file `display_path` (the path decides
 /// header rules and the rng.hpp / src/trace/ determinism exemptions).
+/// Per-file rules only; the call-graph layer is callgraph.hpp's
+/// analyze_program.
 FileReport lint_content(const std::string& display_path,
                         std::string_view content, const Options& opt);
 
 /// Lint a file on disk. Returns a report with a single "io-error" finding if
 /// the file cannot be read.
 FileReport lint_file(const std::string& path, const Options& opt);
+
+/// One lexical rule hit on a line, for the call-graph layer's transitive
+/// body checks (same pattern tables as the in-region rules).
+struct PatternHit {
+  std::string rule;  // "hot-alloc", "hot-lock", or "nondet-rand"
+  std::string what;  // human-readable pattern description
+};
+
+/// Hot-contract hits on one blanked code line: allocation/growth/thread
+/// spawn (hot-alloc), lock acquisition (hot-lock), and -- unless the file is
+/// determinism-exempt -- the banned entropy/clock calls (nondet-rand).
+std::vector<PatternHit> hot_contract_hits(std::string_view code,
+                                          bool det_exempt);
 
 /// True if `path` names a file the determinism rules exempt (the seeded RNG
 /// implementation itself and the wall-clock-based tracing subsystem).
@@ -96,5 +214,8 @@ bool is_header(std::string_view path);
 
 /// All known rule ids, for validating allow(...) annotations.
 const std::vector<std::string>& rule_ids();
+
+/// One-line description per rule id (SARIF rule metadata and docs).
+std::string_view rule_description(std::string_view rule);
 
 }  // namespace eroof::lint

@@ -1,24 +1,36 @@
-// eroof_lint CLI: scans the project tree (default: src/ bench/ examples/
-// tests/ under --root) and prints `file:line: rule-id: message` for every
-// violation. Exit codes: 0 clean, 1 violations found, 2 usage/IO error.
+// eroof_lint CLI: whole-program lint over the project tree (default: src/
+// bench/ examples/ tests/ under --root). Prints `file:line: rule-id:
+// message` for every violation. Exit codes: 0 clean, 1 violations found,
+// 2 usage/IO error.
 //
-//   eroof_lint [--root DIR] [--fix-annotations] [--audit] [paths...]
+//   eroof_lint [--root DIR] [--fix-annotations] [--audit] [--strict-allows]
+//              [--sarif FILE] [--baseline FILE] [--write-baseline FILE]
+//              [paths...]
 //
-// See tools/lint/lint.hpp for the rule set and annotation grammar.
+// All named files are loaded up front and analyzed together: the per-file
+// rules run first, then the cross-TU function index, the call graph, and
+// transitive hot-region propagation (see tools/lint/callgraph.hpp). The
+// SARIF/baseline plumbing lives in tools/lint/sarif.hpp.
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <iostream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include "callgraph.hpp"
 #include "lint.hpp"
+#include "sarif.hpp"
 
 namespace fs = std::filesystem;
-using eroof::lint::FileReport;
+using eroof::lint::Baseline;
 using eroof::lint::Finding;
 using eroof::lint::Note;
-using eroof::lint::Options;
+using eroof::lint::ProgramOptions;
+using eroof::lint::ProgramReport;
+using eroof::lint::SourceFile;
 
 namespace {
 
@@ -68,36 +80,62 @@ void collect(const fs::path& root, bool filter_fixtures,
   }
 }
 
+bool write_text_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return false;
+  out << text;
+  return static_cast<bool>(out);
+}
+
 int usage(const char* argv0) {
   std::cerr
       << "usage: " << argv0
-      << " [--root DIR] [--fix-annotations] [--audit] [paths...]\n"
-         "  --root DIR         scan src/ bench/ examples/ tests/ under DIR\n"
-         "                     (default: current directory) when no paths\n"
-         "                     are given\n"
-         "  --fix-annotations  list unannotated OpenMP parallel regions and\n"
-         "                     exit 0 (informational)\n"
-         "  --audit            also print the suppression audit trail\n";
+      << " [--root DIR] [--fix-annotations] [--audit] [--strict-allows]\n"
+         "       [--sarif FILE] [--baseline FILE] [--write-baseline FILE]\n"
+         "       [paths...]\n"
+         "  --root DIR           scan src/ bench/ examples/ tests/ under\n"
+         "                       DIR (default: current directory) when no\n"
+         "                       paths are given\n"
+         "  --fix-annotations    list unannotated OpenMP parallel regions\n"
+         "                       and exit 0 (informational)\n"
+         "  --audit              also print the suppression audit trail\n"
+         "  --strict-allows      stale allow() suppressions become gating\n"
+         "                       findings instead of notes\n"
+         "  --sarif FILE         write the report as SARIF 2.1.0\n"
+         "  --baseline FILE      findings recorded in FILE do not gate\n"
+         "  --write-baseline FILE  record current findings and exit 0\n";
   return 2;
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  Options opt;
+  ProgramOptions opt;
   bool audit = false;
   std::string root = ".";
+  std::string sarif_path, baseline_path, write_baseline_path;
   std::vector<std::string> paths;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--fix-annotations") {
-      opt.fix_annotations = true;
+      opt.file.fix_annotations = true;
     } else if (arg == "--audit") {
       audit = true;
+    } else if (arg == "--strict-allows") {
+      opt.strict_allows = true;
     } else if (arg == "--root") {
       if (i + 1 >= argc) return usage(argv[0]);
       root = argv[++i];
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      sarif_path = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      baseline_path = argv[++i];
+    } else if (arg == "--write-baseline") {
+      if (i + 1 >= argc) return usage(argv[0]);
+      write_baseline_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return 0;
@@ -138,33 +176,96 @@ int main(int argc, char** argv) {
   std::sort(files.begin(), files.end());
   files.erase(std::unique(files.begin(), files.end()), files.end());
 
+  // Load everything up front: the whole-program pass needs every TU.
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
+  std::vector<Finding> io_errors;
+  for (const auto& f : files) {
+    SourceFile sf;
+    if (eroof::lint::load_source_file(f, sf)) {
+      sources.push_back(std::move(sf));
+    } else {
+      io_errors.push_back(
+          Finding{f, 0, "io-error", "cannot read file", false, ""});
+    }
+  }
+
+  ProgramReport rep = eroof::lint::analyze_program(sources, opt);
+  rep.findings.insert(rep.findings.end(), io_errors.begin(), io_errors.end());
+
+  if (!write_baseline_path.empty()) {
+    if (!write_text_file(write_baseline_path,
+                         eroof::lint::write_baseline(rep.findings))) {
+      std::cerr << "eroof_lint: cannot write baseline: "
+                << write_baseline_path << "\n";
+      return 2;
+    }
+    std::cerr << "eroof_lint: baseline written to " << write_baseline_path
+              << "\n";
+    return 0;
+  }
+
+  std::vector<bool> baselined;
+  if (!baseline_path.empty()) {
+    std::ifstream in(baseline_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "eroof_lint: cannot read baseline: " << baseline_path
+                << "\n";
+      return 2;
+    }
+    std::stringstream ss;
+    ss << in.rdbuf();
+    Baseline base;
+    if (!eroof::lint::parse_baseline(ss.str(), base)) {
+      std::cerr << "eroof_lint: malformed baseline: " << baseline_path
+                << "\n";
+      return 2;
+    }
+    eroof::lint::apply_baseline(rep.findings, base, baselined);
+  }
+
   std::size_t violations = 0;
   std::size_t suppressed = 0;
-  std::vector<Finding> audit_trail;
-  for (const auto& f : files) {
-    const FileReport rep = eroof::lint::lint_file(f, opt);
-    for (const auto& fi : rep.findings) {
-      if (fi.suppressed) {
-        ++suppressed;
-        audit_trail.push_back(fi);
-      } else {
-        ++violations;
-        std::cout << fi.file << ":" << fi.line << ": " << fi.rule << ": "
-                  << fi.message << "\n";
-      }
+  std::size_t baselined_count = 0;
+  for (std::size_t i = 0; i < rep.findings.size(); ++i) {
+    const Finding& fi = rep.findings[i];
+    if (fi.suppressed) {
+      ++suppressed;
+      continue;
     }
-    for (const auto& n : rep.notes)
-      std::cout << n.file << ":" << n.line << ": note: " << n.text << "\n";
+    if (i < baselined.size() && baselined[i]) {
+      ++baselined_count;
+      continue;
+    }
+    ++violations;
+    std::cout << fi.file << ":" << fi.line << ": " << fi.rule << ": "
+              << fi.message << "\n";
   }
+  for (const auto& n : rep.notes)
+    std::cout << n.file << ":" << n.line << ": note: " << n.text << "\n";
 
   if (audit) {
-    for (const auto& fi : audit_trail)
-      std::cout << fi.file << ":" << fi.line << ": suppressed: " << fi.rule
-                << ": " << fi.message << "\n";
+    for (const auto& fi : rep.findings)
+      if (fi.suppressed)
+        std::cout << fi.file << ":" << fi.line << ": suppressed: " << fi.rule
+                  << ": " << fi.message << "\n";
   }
-  std::cerr << "eroof_lint: " << files.size() << " files, " << violations
-            << " violation(s), " << suppressed << " suppression(s)\n";
 
-  if (opt.fix_annotations) return 0;
+  if (!sarif_path.empty()) {
+    if (!write_text_file(
+            sarif_path,
+            eroof::lint::write_sarif(rep.findings, baselined, rep.notes))) {
+      std::cerr << "eroof_lint: cannot write SARIF: " << sarif_path << "\n";
+      return 2;
+    }
+  }
+
+  std::cerr << "eroof_lint: " << files.size() << " files, " << violations
+            << " violation(s), " << suppressed << " suppression(s)";
+  if (baselined_count != 0)
+    std::cerr << ", " << baselined_count << " baselined";
+  std::cerr << "\n";
+
+  if (opt.file.fix_annotations) return 0;
   return violations == 0 ? 0 : 1;
 }

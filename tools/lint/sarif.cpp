@@ -1,0 +1,259 @@
+#include "sarif.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace eroof::lint {
+namespace {
+
+/// Minimal tolerant JSON scaffolding for exactly the baseline shape this
+/// module writes: an object with an "entries" array of flat string-valued
+/// objects. Anything else fails the parse.
+struct Cursor {
+  std::string_view s;
+  std::size_t i = 0;
+
+  void ws() {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t' || s[i] == '\n' ||
+                            s[i] == '\r'))
+      ++i;
+  }
+  bool eat(char c) {
+    ws();
+    if (i < s.size() && s[i] == c) {
+      ++i;
+      return true;
+    }
+    return false;
+  }
+  bool peek(char c) {
+    ws();
+    return i < s.size() && s[i] == c;
+  }
+  bool string(std::string& out) {
+    ws();
+    if (i >= s.size() || s[i] != '"') return false;
+    ++i;
+    out.clear();
+    while (i < s.size()) {
+      char c = s[i++];
+      if (c == '"') return true;
+      if (c == '\\') {
+        if (i >= s.size()) return false;
+        char e = s[i++];
+        switch (e) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'n': out += '\n'; break;
+          case 't': out += '\t'; break;
+          case 'r': out += '\r'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'u': {
+            // The writer never emits \u for ASCII; decode Latin-1 subset,
+            // pass anything else through as '?'.
+            if (i + 4 > s.size()) return false;
+            unsigned v = 0;
+            for (int k = 0; k < 4; ++k) {
+              char h = s[i++];
+              v <<= 4;
+              if (h >= '0' && h <= '9') v |= static_cast<unsigned>(h - '0');
+              else if (h >= 'a' && h <= 'f')
+                v |= static_cast<unsigned>(h - 'a' + 10);
+              else if (h >= 'A' && h <= 'F')
+                v |= static_cast<unsigned>(h - 'A' + 10);
+              else
+                return false;
+            }
+            out += v < 128 ? static_cast<char>(v) : '?';
+            break;
+          }
+          default: return false;
+        }
+      } else {
+        out += c;
+      }
+    }
+    return false;
+  }
+};
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+bool Baseline::contains(const Finding& f) const {
+  for (const BaselineEntry& e : entries)
+    if (e.file == f.file && e.rule == f.rule && e.context == f.context)
+      return true;
+  return false;
+}
+
+bool parse_baseline(std::string_view json, Baseline& out) {
+  Cursor c{json};
+  if (!c.eat('{')) return false;
+  if (c.eat('}')) return true;  // {}
+  std::string key;
+  while (true) {
+    if (!c.string(key)) return false;
+    if (!c.eat(':')) return false;
+    if (key == "entries") {
+      if (!c.eat('[')) return false;
+      if (!c.eat(']')) {
+        while (true) {
+          if (!c.eat('{')) return false;
+          BaselineEntry e;
+          if (!c.eat('}')) {
+            while (true) {
+              std::string k, v;
+              if (!c.string(k) || !c.eat(':') || !c.string(v)) return false;
+              if (k == "file") e.file = v;
+              else if (k == "rule") e.rule = v;
+              else if (k == "context") e.context = v;
+              if (c.eat(',')) continue;
+              if (c.eat('}')) break;
+              return false;
+            }
+          }
+          out.entries.push_back(std::move(e));
+          if (c.eat(',')) continue;
+          if (c.eat(']')) break;
+          return false;
+        }
+      }
+    } else {
+      // Unknown top-level key: only string values are tolerated.
+      std::string skip;
+      if (!c.string(skip)) return false;
+    }
+    if (c.eat(',')) continue;
+    if (c.eat('}')) return true;
+    return false;
+  }
+}
+
+std::string write_baseline(const std::vector<Finding>& findings) {
+  std::string out = "{\n  \"version\": \"1\",\n  \"entries\": [";
+  bool first = true;
+  for (const Finding& f : findings) {
+    if (f.suppressed) continue;  // allow()-suppressed never gates anyway
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    {\"file\": \"" + json_escape(f.file) + "\", \"rule\": \"" +
+           json_escape(f.rule) + "\", \"context\": \"" +
+           json_escape(f.context) + "\"}";
+  }
+  out += first ? "]\n}\n" : "\n  ]\n}\n";
+  return out;
+}
+
+int apply_baseline(std::vector<Finding>& findings, const Baseline& base,
+                   std::vector<bool>& baselined) {
+  baselined.assign(findings.size(), false);
+  int matched = 0;
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    if (findings[i].suppressed) continue;
+    if (base.contains(findings[i])) {
+      baselined[i] = true;
+      ++matched;
+    }
+  }
+  return matched;
+}
+
+std::string write_sarif(const std::vector<Finding>& findings,
+                        const std::vector<bool>& baselined,
+                        const std::vector<Note>& notes) {
+  std::string out;
+  out +=
+      "{\n"
+      "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+      "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+      "  \"version\": \"2.1.0\",\n"
+      "  \"runs\": [\n"
+      "    {\n"
+      "      \"tool\": {\n"
+      "        \"driver\": {\n"
+      "          \"name\": \"eroof-lint\",\n"
+      "          \"informationUri\": "
+      "\"https://example.invalid/eroof/tools/lint\",\n"
+      "          \"rules\": [";
+  {
+    bool first = true;
+    for (const std::string& id : rule_ids()) {
+      out += first ? "\n" : ",\n";
+      first = false;
+      out += "            {\"id\": \"" + json_escape(id) +
+             "\", \"shortDescription\": {\"text\": \"" +
+             json_escape(rule_description(id)) + "\"}}";
+    }
+  }
+  out +=
+      "\n          ]\n"
+      "        }\n"
+      "      },\n"
+      "      \"results\": [";
+
+  bool first = true;
+  const auto result = [&](const std::string& rule, const std::string& level,
+                          const std::string& message, const std::string& file,
+                          int line, const char* suppression_kind) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "        {\"ruleId\": \"" + json_escape(rule) +
+           "\", \"level\": \"" + level +
+           "\", \"message\": {\"text\": \"" + json_escape(message) +
+           "\"}, \"locations\": [{\"physicalLocation\": "
+           "{\"artifactLocation\": {\"uri\": \"" +
+           json_escape(file) +
+           "\"}, \"region\": {\"startLine\": " + std::to_string(line) +
+           "}}}]";
+    if (suppression_kind) {
+      out += ", \"suppressions\": [{\"kind\": \"";
+      out += suppression_kind;
+      out += "\"}]";
+    }
+    out += "}";
+  };
+
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    const char* kind = nullptr;
+    if (f.suppressed) kind = "inSource";
+    else if (i < baselined.size() && baselined[i]) kind = "external";
+    result(f.rule, "error", f.message, f.file, std::max(f.line, 1), kind);
+  }
+  for (const Note& n : notes)
+    result("note", "note", n.text, n.file, std::max(n.line, 1), nullptr);
+
+  out +=
+      "\n      ]\n"
+      "    }\n"
+      "  ]\n"
+      "}\n";
+  return out;
+}
+
+}  // namespace eroof::lint

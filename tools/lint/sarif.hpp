@@ -1,0 +1,62 @@
+// SARIF 2.1.0 serialization and the committed-baseline gate for eroof-lint.
+//
+// The SARIF writer emits the minimal schema-valid subset GitHub code
+// scanning consumes: one run, the driver's rule table (id + short
+// description for every lint rule), and one result per finding/note.
+// Violations map to level "error", notes to level "note", and findings
+// suppressed by an in-source allow() annotation carry a
+// `suppressions: [{kind: "inSource"}]` entry; findings matched against the
+// committed baseline carry `{kind: "external"}`. All of it is written with
+// a small hand-rolled JSON emitter -- no external dependencies.
+//
+// The baseline is a plain JSON file committed to the repo
+// (lint-baseline.json). Each entry keys a finding on
+// (file, rule, context) where context is the trimmed blanked source text of
+// the flagged line -- robust to unrelated edits that shift line numbers,
+// while still retiring automatically when the offending line changes. The
+// reader is a tolerant scanner for exactly the shape the writer produces.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace eroof::lint {
+
+/// One baseline entry; matching ignores line numbers on purpose.
+struct BaselineEntry {
+  std::string file;
+  std::string rule;
+  std::string context;
+};
+
+struct Baseline {
+  std::vector<BaselineEntry> entries;
+
+  bool contains(const Finding& f) const;
+};
+
+/// Parses a baseline file's contents. Returns false on malformed input
+/// (entries parsed so far are kept; callers should treat false as fatal).
+bool parse_baseline(std::string_view json, Baseline& out);
+
+/// Serializes the non-suppressed findings as a baseline JSON document.
+std::string write_baseline(const std::vector<Finding>& findings);
+
+/// Marks findings present in `base` as baselined. Returns the number
+/// matched. Baselined findings keep flowing to SARIF (with an "external"
+/// suppression) but do not gate.
+int apply_baseline(std::vector<Finding>& findings, const Baseline& base,
+                   std::vector<bool>& baselined);
+
+/// Serializes findings + notes as a SARIF 2.1.0 document.
+/// `baselined` is parallel to `findings` (may be empty for none).
+std::string write_sarif(const std::vector<Finding>& findings,
+                        const std::vector<bool>& baselined,
+                        const std::vector<Note>& notes);
+
+/// JSON string escaping (exposed for tests).
+std::string json_escape(std::string_view s);
+
+}  // namespace eroof::lint
