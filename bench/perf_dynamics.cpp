@@ -159,7 +159,7 @@ TunedSection run_tuned(std::size_t n, std::uint32_t q, int p, int steps,
   dynamics::DynamicsEngine::Config cfg;
   cfg.session.tree = {.max_points_per_box = q, .domain = kDomain};
   cfg.session.fmm = {.p = p};
-  cfg.tune = dynamics::TuneContext::tegra_default();
+  cfg.tuning.context = dynamics::TuneContext::tegra_default();
   dynamics::DynamicsEngine engine(
       kernel, dynamics::ParticleSystem::random(n, kDomain, seed), cfg);
   dynamics::LangevinMover mover(seed + 1, {.gamma = kGamma, .sigma = sigma});

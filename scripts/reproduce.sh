@@ -56,6 +56,11 @@ echo "== fmm_autotune =="
 echo "== fmm_dynamics =="
 ./build/examples/fmm_dynamics 2>&1 | tee reproduction/fmm_dynamics.txt
 
+# Closed-loop model refresh demo: the dynamics engine refitting the energy
+# model in service as the die leakage ramps (DESIGN.md §14).
+echo "== fmm_refresh =="
+./build/examples/fmm_refresh 2>&1 | tee reproduction/fmm_refresh.txt
+
 # CSV series are written to the current directory by the fig benches.
 mv -f fig*.csv ablation_q_sweep.csv ext_energy_roofline.csv reproduction/ \
   2>/dev/null || true
@@ -69,5 +74,8 @@ cp -f bench/results/*.json reproduction/ 2>/dev/null || true
   --bench-requests=24 || true
 ./build/bench/perf_dynamics \
   --bench-json=reproduction/BENCH_dynamics.local.json --bench-steps=8 || true
+./build/bench/perf_refresh \
+  --bench-json=reproduction/BENCH_refresh.local.json --bench-steps=32 \
+  --bench-n=4096 || true
 
 echo "All outputs collected under ./reproduction/"

@@ -70,34 +70,12 @@ FitResult fit_on_rows(std::span<const FitSample> samples,
   for (std::size_t j = 0; j < kNumFitColumns; ++j)
     for (std::size_t k = 0; k < j; ++k) gram(j, k) = gram(k, j);
 
-  // Column equilibration, read straight off the Gram diagonal:
-  // ||col_j||_2 = sqrt(G[j][j]). Scaling maps G'ij = Gij/(si sj),
-  // (A^T b)'j = (A^T b)j / sj; b^T b is scale-free.
-  std::array<double, kNumFitColumns> scale{};
-  for (std::size_t j = 0; j < kNumFitColumns; ++j)
-    scale[j] = gram(j, j) > 0 ? std::sqrt(gram(j, j)) : 1.0;
-  la::Matrix gram_scaled(kNumFitColumns, kNumFitColumns);
-  std::array<double, kNumFitColumns> atb_scaled{};
-  for (std::size_t j = 0; j < kNumFitColumns; ++j) {
-    for (std::size_t k = 0; k < kNumFitColumns; ++k)
-      gram_scaled(j, k) = gram(j, k) / (scale[j] * scale[k]);
-    atb_scaled[j] = atb[j] / scale[j];
-  }
-
-  const la::NnlsResult sol = la::nnls_gram(gram_scaled, atb_scaled, btb, 1e-10);
-
-  FitResult out;
-  out.n_samples = m;
-  out.converged = sol.converged;
-  out.residual_norm = sol.residual_norm;
+  const FitResult out = fit_normal_equations(gram, atb, btb, m);
   std::array<double, kNumFitColumns> x{};
-  for (std::size_t j = 0; j < kNumFitColumns; ++j)
-    x[j] = sol.x[j] / scale[j];
-
-  for (std::size_t j = 0; j < kNumCoeffs; ++j) out.model.c0[j] = x[j];
-  out.model.c1_proc = x[kNumCoeffs + 0];
-  out.model.c1_mem = x[kNumCoeffs + 1];
-  out.model.p_misc = x[kNumCoeffs + 2];
+  for (std::size_t j = 0; j < kNumCoeffs; ++j) x[j] = out.model.c0[j];
+  x[kNumCoeffs + 0] = out.model.c1_proc;
+  x[kNumCoeffs + 1] = out.model.c1_mem;
+  x[kNumCoeffs + 2] = out.model.p_misc;
 
   // Record the fitted model's per-sample residuals (predicted minus
   // measured energy, via the un-scaled coefficients) so a trace aligns fit
@@ -125,6 +103,44 @@ FitResult fit_on_rows(std::span<const FitSample> samples,
 }
 
 }  // namespace
+
+FitResult fit_normal_equations(const la::Matrix& gram,
+                               std::span<const double> atb, double btb,
+                               std::size_t n_samples) {
+  EROOF_REQUIRE(gram.rows() == kNumFitColumns &&
+                gram.cols() == kNumFitColumns);
+  EROOF_REQUIRE(atb.size() == kNumFitColumns);
+
+  // Column equilibration, read straight off the Gram diagonal:
+  // ||col_j||_2 = sqrt(G[j][j]). Scaling maps G'ij = Gij/(si sj),
+  // (A^T b)'j = (A^T b)j / sj; b^T b is scale-free.
+  std::array<double, kNumFitColumns> scale{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j)
+    scale[j] = gram(j, j) > 0 ? std::sqrt(gram(j, j)) : 1.0;
+  la::Matrix gram_scaled(kNumFitColumns, kNumFitColumns);
+  std::array<double, kNumFitColumns> atb_scaled{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j) {
+    for (std::size_t k = 0; k < kNumFitColumns; ++k)
+      gram_scaled(j, k) = gram(j, k) / (scale[j] * scale[k]);
+    atb_scaled[j] = atb[j] / scale[j];
+  }
+
+  const la::NnlsResult sol = la::nnls_gram(gram_scaled, atb_scaled, btb, 1e-10);
+
+  FitResult out;
+  out.n_samples = n_samples;
+  out.converged = sol.converged;
+  out.residual_norm = sol.residual_norm;
+  std::array<double, kNumFitColumns> x{};
+  for (std::size_t j = 0; j < kNumFitColumns; ++j)
+    x[j] = sol.x[j] / scale[j];
+
+  for (std::size_t j = 0; j < kNumCoeffs; ++j) out.model.c0[j] = x[j];
+  out.model.c1_proc = x[kNumCoeffs + 0];
+  out.model.c1_mem = x[kNumCoeffs + 1];
+  out.model.p_misc = x[kNumCoeffs + 2];
+  return out;
+}
 
 FitResult fit_energy_model(std::span<const FitSample> samples) {
   std::vector<std::size_t> all(samples.size());

@@ -16,6 +16,7 @@
 
 #include "core/model.hpp"
 #include "hw/soc.hpp"
+#include "linalg/matrix.hpp"
 
 namespace eroof::model {
 
@@ -62,5 +63,20 @@ FitResult fit_energy_model(std::span<const FitSample> samples);
 /// are identical to fitting the copied subset.
 FitResult fit_energy_model(std::span<const FitSample> samples,
                            std::span<const std::size_t> rows);
+
+/// Solves an already-assembled normal-equation system -- the
+/// kNumFitColumns^2 Gram matrix (fully mirrored), A^T b, and b^T b -- by the
+/// same column equilibration + la::nnls_gram pass the batch fit uses, and
+/// unpacks the un-scaled coefficients into an EnergyModel.
+///
+/// Both fit paths land here: `fit_energy_model` after its sample-assembly
+/// pass, and the streaming refresh path (core/refresh) with an incrementally
+/// maintained Gram. Because equilibration and solve are shared, an
+/// incremental accumulation with forgetting factor 1 reproduces the batch
+/// fit bit for bit. `n_samples` is carried into the result for reporting
+/// only; it does not affect the solve.
+FitResult fit_normal_equations(const la::Matrix& gram,
+                               std::span<const double> atb, double btb,
+                               std::size_t n_samples);
 
 }  // namespace eroof::model

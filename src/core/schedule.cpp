@@ -149,6 +149,23 @@ PhaseSchedule schedule_phases(const PhaseGridPrediction& pred,
   return out;
 }
 
+double schedule_objective(const PhaseGridPrediction& pred,
+                          const hw::DvfsTransitionModel& transitions,
+                          std::span<const std::size_t> pick,
+                          double time_weight) {
+  EROOF_REQUIRE(pick.size() == pred.n_phases());
+  EROOF_REQUIRE(time_weight >= 0);
+  double cost = 0;
+  for (std::size_t p = 0; p < pick.size(); ++p) {
+    EROOF_REQUIRE(pick[p] < pred.n_settings());
+    cost += pred.energy_at(p, pick[p]) + time_weight * pred.time_at(p, pick[p]);
+    if (p > 0)
+      cost += transition_cost(pred, transitions, pick[p - 1], pick[p],
+                              time_weight);
+  }
+  return cost;
+}
+
 PhaseSchedule best_uniform_schedule(const PhaseGridPrediction& pred,
                                     double time_weight) {
   const std::size_t np = pred.n_phases();
@@ -324,6 +341,11 @@ double ScheduleReuse::divergence(std::span<const double> phase_work) const {
   for (std::size_t p = 0; p < work0_.size(); ++p) {
     const double w0 = work0_[p];
     const double w = phase_work[p];
+    // Non-finite tallies (a NaN from a poisoned counter, an inf from
+    // overflow) must read as infinite drift: NaN loses every ordered
+    // comparison, so std::max below would silently drop it and
+    // needs_retune's `divergence > bound` would stay false forever.
+    if (!std::isfinite(w) || !std::isfinite(w0)) return kInf;
     if (w0 == 0.0) {
       if (w != 0.0) return kInf;
       continue;  // a phase with no work then and none now says nothing
@@ -335,6 +357,14 @@ double ScheduleReuse::divergence(std::span<const double> phase_work) const {
 }
 
 bool ScheduleReuse::needs_retune(std::span<const double> phase_work) {
+  if (work0_.empty() || phase_work.size() != work0_.size()) {
+    // No baseline, or one for a different phase structure: the installed
+    // schedule cannot even be compared, so the caller must re-install --
+    // a different event than drift-triggered re-search, counted apart.
+    ++stats_.incompatible;
+    trace::counter_add("core.schedule_reuse.incompatible", 1.0);
+    return true;
+  }
   if (divergence(phase_work) > bound_) {
     ++stats_.retunes;
     trace::counter_add("core.schedule_reuse.retune", 1.0);

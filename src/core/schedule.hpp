@@ -90,6 +90,15 @@ PhaseSchedule schedule_phases(const PhaseGridPrediction& pred,
                               const hw::DvfsTransitionModel& transitions,
                               double time_weight = 0);
 
+/// The chain objective of an arbitrary assignment under `pred` -- exactly
+/// what schedule_phases minimizes. Lets a caller compare an already
+/// installed schedule against a fresh DP pick under a *new* prediction
+/// table (e.g. the closed loop's install dead-band).
+double schedule_objective(const PhaseGridPrediction& pred,
+                          const hw::DvfsTransitionModel& transitions,
+                          std::span<const std::size_t> pick,
+                          double time_weight = 0);
+
 /// The best *uniform* schedule: one setting for every phase (no switches).
 /// Returned as a PhaseSchedule with all picks equal.
 PhaseSchedule best_uniform_schedule(const PhaseGridPrediction& pred,
@@ -198,13 +207,19 @@ class ScheduleReuse {
   bool installed() const { return !work0_.empty(); }
 
   /// One step's decision. False: the installed schedule still fits, counted
-  /// as a reuse. True: nothing installed yet, the phase count changed, or
-  /// divergence exceeded the bound -- counted as a retune; the caller
-  /// re-searches and install()s the result. Allocation-free.
+  /// as a reuse. True: the caller re-searches and install()s the result.
+  /// Two distinct causes are counted apart in Stats: an *incompatible*
+  /// baseline (nothing installed yet, or the phase count changed -- the
+  /// installed schedule cannot even be compared, a re-install is forced)
+  /// versus an ordinary *retune* (comparable baseline whose divergence
+  /// exceeded the bound). Allocation-free.
   bool needs_retune(std::span<const double> phase_work);
 
   /// max_p |w_p / w0_p - 1| against the installed work; +inf when a phase
-  /// with zero installed work gains work (or nothing is installed).
+  /// with zero installed work gains work (or nothing is installed), and
+  /// also when any work entry -- current or installed -- is non-finite:
+  /// NaN loses every comparison, so without the explicit check a poisoned
+  /// tally would read as zero divergence and pin the stale schedule forever.
   double divergence(std::span<const double> phase_work) const;
 
   const PhaseSchedule& schedule() const { return schedule_; }
@@ -213,7 +228,8 @@ class ScheduleReuse {
   struct Stats {
     std::uint64_t installs = 0;
     std::uint64_t reuses = 0;
-    std::uint64_t retunes = 0;
+    std::uint64_t retunes = 0;       ///< drift past the bound (comparable)
+    std::uint64_t incompatible = 0;  ///< no/mismatched baseline: forced install
   };
   const Stats& stats() const { return stats_; }
 

@@ -13,8 +13,16 @@
 // model::ScheduleReuse drift monitor reports that the per-phase structural
 // work has diverged past its bound from what the installed schedule was
 // tuned for. In between, every step reuses the installed schedule at the
-// cost of one allocation-free divergence check. That monitor is the hook
-// ROADMAP item 4's closed-loop controller plugs into.
+// cost of one allocation-free divergence check.
+//
+// Tuning::refresh (opt-in) closes the *model* side of the same loop
+// (DESIGN.md §14): each tuned step additionally executes the installed
+// schedule on the SoC at the step's ThermalRamp leakage scale, mirrors the
+// per-phase PowerMon samples into the trace session, streams them into a
+// model::OnlineRefresh, and -- when the drift detector fires -- refits the
+// energy model and re-runs the chain DP, rebaselining through
+// ScheduleReuse::install. Work drift and model drift thus share one
+// install/reuse bookkeeping path.
 #pragma once
 
 #include <array>
@@ -24,11 +32,13 @@
 #include <span>
 #include <vector>
 
+#include "core/refresh.hpp"
 #include "core/schedule.hpp"
 #include "dynamics/mover.hpp"
 #include "dynamics/particles.hpp"
 #include "fmm/session.hpp"
 #include "hw/dvfs.hpp"
+#include "hw/powermon.hpp"
 #include "hw/soc.hpp"
 
 namespace eroof::dynamics {
@@ -42,6 +52,10 @@ struct TuneContext {
   model::EnergyModel model;
   std::vector<hw::DvfsSetting> grid;
   hw::DvfsTransitionModel transitions;
+  /// The training samples `model` was fitted from; the refresh loop seeds
+  /// its identifiability anchor with them. May be empty for hand-built
+  /// contexts (the anchor is then simply skipped).
+  std::vector<model::FitSample> campaign;
 
   /// Tegra K1 SoC, model fitted from the seeded paper campaign, full clock
   /// grid, realistic 100us/50uJ transitions.
@@ -51,18 +65,38 @@ struct TuneContext {
 
 class DynamicsEngine {
  public:
-  struct Config {
-    fmm::FmmSession::Config session;
-    std::shared_ptr<const TuneContext> tune;  ///< null = no DVFS tuning
+  /// DVFS tuning knobs, all inert while `context` is null.
+  struct Tuning {
+    std::shared_ptr<const TuneContext> context;  ///< null = no DVFS tuning
     /// Max tolerated per-phase relative work drift before a re-search.
     double retune_bound = 0.10;
+
+    /// Opt-in closed-loop model refresh under thermal drift.
+    struct Refresh {
+      bool enabled = false;
+      model::OnlineRefreshConfig online;
+      /// Ground-truth die-temperature trajectory, indexed by step.
+      hw::ThermalRamp ramp;
+      /// Root of the per-step PowerMon measurement-noise streams.
+      std::uint64_t measure_seed = 0;
+      /// Append the rotating zero-op pi_0 probe to each step's samples.
+      bool idle_probe = true;
+    };
+    Refresh refresh;
+  };
+
+  struct Config {
+    fmm::FmmSession::Config session;
+    Tuning tuning;
   };
 
   DynamicsEngine(std::shared_ptr<const fmm::Kernel> kernel,
                  ParticleSystem particles, Config cfg);
 
   /// One time step: advance -> move_to -> evaluate_into -> energy, then
-  /// (with tuning on) the drift check and, rarely, a re-search.
+  /// (with tuning on) the drift check and, rarely, a re-search; with
+  /// refresh on, additionally the in-service measurement + model drift
+  /// check and, rarely, a refit + DP re-run.
   void step(Mover& mover);
 
   /// Potentials of the last step, caller (particle) order.
@@ -82,16 +116,28 @@ class DynamicsEngine {
   const model::ScheduleReuse* schedule_reuse() const {
     return reuse_ ? &*reuse_ : nullptr;
   }
+  /// The refresh state; null unless Tuning::refresh is enabled.
+  const model::OnlineRefresh* refresh() const {
+    return refresh_ ? &*refresh_ : nullptr;
+  }
 
   struct Stats {
     std::uint64_t steps = 0;
-    std::uint64_t tunes = 0;  ///< schedule searches actually run
+    /// Schedule searches actually run (step 0, work drift, and -- with
+    /// refresh on -- model-drift rebaselines; those also count below).
+    std::uint64_t tunes = 0;
+    std::uint64_t refreshes = 0;    ///< drift-triggered model refits
+    double measured_energy_j = 0;   ///< cumulative in-service energy (noisy)
+    double measured_time_s = 0;
+    double last_leak_scale = 1.0;   ///< thermal state of the last step
+    double drift = 0;               ///< detector EWMA after the last step
   };
   const Stats& stats() const { return stats_; }
 
  private:
   void gather_phase_work();
   void retune();
+  void measure_and_refresh();
 
   Config cfg_;
   ParticleSystem ps_;
@@ -99,9 +145,16 @@ class DynamicsEngine {
   std::vector<double> phi_;
   double energy_ = 0;
   std::optional<model::ScheduleReuse> reuse_;
+  std::optional<model::OnlineRefresh> refresh_;
+  hw::PowerMon meter_;
   /// Per-phase structural work of the last evaluation, UP,U,V,W,X,DOWN --
   /// the profile_gpu_execution phase order the schedule is searched in.
   std::array<double, 6> work_{};
+  /// Workloads + settings of the installed schedule (kept for in-service
+  /// execution between searches).
+  std::vector<hw::Workload> phases_;
+  std::vector<hw::DvfsSetting> settings_;
+  std::vector<hw::PowerTrace> traces_;  ///< reused per-step trace buffer
   Stats stats_;
 };
 

@@ -7,6 +7,21 @@
 #include "util/require.hpp"
 
 namespace eroof::hw {
+namespace {
+
+/// energy / duration, except for a zero-duration probe where that is 0/0:
+/// there the sample mean is the only sensible reading, and for the 2-point
+/// trapezoid it coincides with lim_{d->0} energy(d)/d. Keeps avg_power_w
+/// finite for every accepted duration.
+double average_power(double energy_j, double duration_s,
+                     const std::vector<double>& samples_w) {
+  if (duration_s > 0) return energy_j / duration_s;
+  double sum = 0;
+  for (const double s : samples_w) sum += s;
+  return sum / static_cast<double>(samples_w.size());
+}
+
+}  // namespace
 
 PowerMon::PowerMon(PowerMonConfig cfg) : cfg_(cfg) {
   EROOF_REQUIRE(cfg_.sample_hz > 0);
@@ -24,11 +39,12 @@ double PowerMon::quantize(double watts) const {
 PowerTrace PowerMon::measure(double duration_s,
                              const std::function<double(double)>& power_w,
                              util::Rng& rng) const {
-  EROOF_REQUIRE(duration_s > 0);
+  EROOF_REQUIRE(duration_s >= 0);
   const double dt = 1.0 / cfg_.sample_hz;
   // Always bracket the run with endpoint samples; short kernels (shorter
-  // than one sample period) degrade to a 2-point trapezoid, exactly as a
-  // physical meter limited by its sampling rate would.
+  // than one sample period, or instantaneous probes at duration 0) degrade
+  // to a 2-point trapezoid, exactly as a physical meter limited by its
+  // sampling rate would.
   const std::size_t nsamples =
       std::max<std::size_t>(2, static_cast<std::size_t>(duration_s / dt) + 1);
   const double step = duration_s / static_cast<double>(nsamples - 1);
@@ -57,7 +73,7 @@ PowerTrace PowerMon::measure(double duration_s,
   for (std::size_t i = 1; i < nsamples; ++i)
     energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
   trace.energy_j = energy;
-  trace.avg_power_w = energy / duration_s;
+  trace.avg_power_w = average_power(energy, duration_s, trace.samples_w);
   if (ts) {
     ts->add_counter_total("powermon.samples",
                           static_cast<double>(nsamples));
@@ -68,7 +84,7 @@ PowerTrace PowerMon::measure(double duration_s,
 
 PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
                                       util::Rng& rng) const {
-  EROOF_REQUIRE(duration_s > 0);
+  EROOF_REQUIRE(duration_s >= 0);
   const double dt = 1.0 / cfg_.sample_hz;
   const std::size_t nsamples =
       std::max<std::size_t>(2, static_cast<std::size_t>(duration_s / dt) + 1);
@@ -89,7 +105,7 @@ PowerTrace PowerMon::measure_constant(double duration_s, double power_w,
   for (std::size_t i = 1; i < nsamples; ++i)
     energy += 0.5 * (trace.samples_w[i - 1] + trace.samples_w[i]) * step;
   trace.energy_j = energy;
-  trace.avg_power_w = energy / duration_s;
+  trace.avg_power_w = average_power(energy, duration_s, trace.samples_w);
   // eroof: hot-end
   return trace;
 }

@@ -25,7 +25,10 @@ struct PowerMonConfig {
 struct PowerTrace {
   double duration_s = 0;
   double energy_j = 0;              ///< trapezoidal integral of samples
-  double avg_power_w = 0;           ///< energy / duration
+  /// energy / duration; for a zero-duration probe (energy is exactly 0 by
+  /// the trapezoid rule) it is the arithmetic mean of the samples instead,
+  /// so the field is always finite.
+  double avg_power_w = 0;
   std::vector<double> samples_w;    ///< the raw sampled power values
 };
 
@@ -40,14 +43,21 @@ class PowerMon {
 
   /// Samples `power_w(t)` over [0, duration_s] at the configured rate,
   /// applying sensor noise and ADC quantization, and integrates.
-  /// Runs shorter than one sample period still get endpoint samples.
+  ///
+  /// Runs shorter than one sample period -- down to and including
+  /// duration_s == 0 -- still bracket the run with the two endpoint
+  /// samples (a physical meter limited by its sampling rate does exactly
+  /// this), so the trace never has an empty sample vector, its energy is
+  /// the exact 2-point trapezoid 0.5 * (s0 + s1) * duration, and its
+  /// average power stays finite. Negative durations are rejected.
   PowerTrace measure(double duration_s,
                      const std::function<double(double)>& power_w,
                      util::Rng& rng) const;
 
   /// Batched fast path for the (common) constant-power case: no per-sample
   /// std::function dispatch and no trace-session interaction, so it is safe
-  /// to call from parallel regions. Callers that want the sample stream in
+  /// to call from parallel regions. Same duration contract as measure():
+  /// sub-sample-period and zero-duration runs get the 2-point trapezoid. Callers that want the sample stream in
   /// the trace mirror the returned PowerTrace later via mirror_to_session.
   PowerTrace measure_constant(double duration_s, double power_w,
                               util::Rng& rng) const;

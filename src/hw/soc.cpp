@@ -17,8 +17,35 @@ bool is_core_domain(OpClass op) { return op != OpClass::kDramAccess; }
 
 }  // namespace
 
+double ThermalRamp::scale_at(std::uint64_t step) const {
+  double f = 0.0;
+  if (step > ramp_start) {
+    const std::uint64_t into = step - ramp_start;
+    f = ramp_steps == 0
+            ? 1.0
+            : std::min(1.0, static_cast<double>(into) /
+                                static_cast<double>(ramp_steps));
+  }
+  double s = start_scale + f * (end_scale - start_scale);
+  if (wobble_sigma > 0) {
+    // Identity-keyed: the wobble at a step depends only on (seed, step),
+    // never on how many other steps were evaluated or in what order.
+    util::Rng rng = util::RngStream(seed).fork("thermal").fork(step).rng();
+    s *= 1.0 + wobble_sigma * rng.normal();
+  }
+  // Leakage never vanishes entirely, however cold the trajectory claims.
+  return std::max(s, 0.05);
+}
+
 Soc::Soc(GroundTruthEnergy truth, MachineRates rates)
     : truth_(truth), rates_(rates) {}
+
+Soc Soc::with_leakage_scale(double scale) const {
+  EROOF_REQUIRE(scale > 0);
+  Soc s = *this;
+  s.truth_.leak_scale = scale;
+  return s;
+}
 
 Soc Soc::tegra_k1() {
   GroundTruthEnergy truth;
@@ -67,8 +94,12 @@ double Soc::true_constant_power_w(const DvfsSetting& s) const {
   const auto bend = [this](double v) {
     return 1.0 + truth_.leak_curvature * (v - 0.9);
   };
-  double p = truth_.c1_proc_w_per_v * vp * bend(vp) +
-             truth_.c1_mem_w_per_v * vm * bend(vm) + truth_.p_misc_w;
+  // leak_scale (the slow thermal state) multiplies the voltage-dependent
+  // leakage only; at the calibration temperature (scale 1) this reproduces
+  // the original expression bit for bit.
+  double p = truth_.leak_scale * (truth_.c1_proc_w_per_v * vp * bend(vp) +
+                                  truth_.c1_mem_w_per_v * vm * bend(vm)) +
+             truth_.p_misc_w;
   if (truth_.setting_sigma > 0) {
     // Per-measurement label hashing: one small string per simulated cell,
     // outside the batched per-sample loop.
@@ -149,12 +180,21 @@ SequenceMeasurement Soc::run_sequence(std::span<const Workload> phases,
                                       std::span<const DvfsSetting> settings,
                                       const DvfsTransitionModel& transitions,
                                       const PowerMon& monitor,
-                                      const util::RngStream& stream) const {
+                                      const util::RngStream& stream,
+                                      std::vector<PowerTrace>* traces_out)
+    const {
   EROOF_REQUIRE(phases.size() == settings.size());
   SequenceMeasurement out;
   out.phases.reserve(phases.size());
+  if (traces_out) {
+    traces_out->clear();
+    traces_out->reserve(phases.size());
+  }
   for (std::size_t i = 0; i < phases.size(); ++i) {
-    Measurement m = run(phases[i], settings[i], monitor, stream.fork(i));
+    PowerTrace trace;
+    Measurement m = run(phases[i], settings[i], monitor, stream.fork(i),
+                        traces_out ? &trace : nullptr);
+    if (traces_out) traces_out->push_back(std::move(trace));
     if (i > 0) {
       const int nd = transitions.changed_domains(settings[i - 1], settings[i]);
       if (nd > 0) {

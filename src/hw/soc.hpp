@@ -11,7 +11,9 @@
 // prediction errors in the paper's observed few-percent band.
 #pragma once
 
+#include <cstdint>
 #include <span>
+#include <vector>
 
 #include "hw/dvfs.hpp"
 #include "hw/powermon.hpp"
@@ -69,6 +71,13 @@ struct GroundTruthEnergy {
   /// 1-sigma run-to-run fractional jitter of leakage (thermal state).
   double thermal_jitter = 0;
 
+  /// Slow thermal state: multiplies both voltage-dependent leakage slopes
+  /// (c1_proc, c1_mem) -- die temperature scales subthreshold leakage --
+  /// but not p_misc (board glue is temperature-flat). 1.0 is the
+  /// calibration temperature; a ThermalRamp sweeps this via
+  /// Soc::with_leakage_scale. The fast per-run thermal_jitter rides on top.
+  double leak_scale = 1.0;
+
   /// 1-sigma run-to-run fractional jitter of measured execution time
   /// (scheduling, DVFS transition latency). Settings whose true roofline
   /// times tie exactly therefore measure apart, as on real hardware.
@@ -110,6 +119,28 @@ struct SequenceMeasurement {
   double energy_j = 0;               ///< phases + transitions
 };
 
+/// Deterministic die-temperature trajectory for long-horizon runs, expressed
+/// as the leakage scale to apply (via Soc::with_leakage_scale) at each step:
+/// flat at `start_scale` through step `ramp_start`, linear to `end_scale`
+/// over the next `ramp_steps` steps, flat thereafter -- plus an optional
+/// per-step wobble drawn from an identity-keyed util::RngStream fork, so
+/// scale_at(step) is a pure function of (config, step) regardless of
+/// evaluation order or thread count. This is the *slow* thermal state the
+/// per-run `thermal_jitter` rides on; keeping it outside Soc::run keeps
+/// single-run measurements bitwise-stable while the closed-loop refresh
+/// (core/refresh, DESIGN.md section 14) sweeps it across a simulation.
+struct ThermalRamp {
+  double start_scale = 1.0;
+  double end_scale = 1.0;
+  std::uint64_t ramp_start = 0;  ///< last step still at start_scale
+  std::uint64_t ramp_steps = 1;  ///< steps the linear ramp spans (>= 1)
+  double wobble_sigma = 0.0;     ///< 1-sigma fractional per-step wobble
+  std::uint64_t seed = 0;        ///< root of the wobble stream
+
+  /// Leakage scale at `step`; deterministic and order-free.
+  double scale_at(std::uint64_t step) const;
+};
+
 /// The simulated SoC.
 class Soc {
  public:
@@ -119,6 +150,12 @@ class Soc {
   static Soc tegra_k1();
 
   const MachineRates& rates() const { return rates_; }
+
+  /// Copy of this SoC with GroundTruthEnergy::leak_scale set to `scale` --
+  /// the deterministic "die temperature" axis a ThermalRamp sweeps.
+  /// scale == 1 reproduces this SoC's measurements bit for bit.
+  Soc with_leakage_scale(double scale) const;
+  double leakage_scale() const { return truth_.leak_scale; }
 
   /// Ground-truth per-op dynamic energy in joules at a setting. Exposed for
   /// white-box tests only; the model-fitting pipeline must not call this.
@@ -164,11 +201,17 @@ class Soc {
   /// stream.fork(i), so the result is bitwise-identical regardless of what
   /// else ran before -- the ground-truth validation path for the per-phase
   /// DVFS scheduler (core/schedule).
+  ///
+  /// When `traces_out` is non-null it is overwritten with one PowerTrace
+  /// per phase (the in-service sample streams the closed-loop refresh
+  /// mirrors into the trace session, serially, after the run).
   SequenceMeasurement run_sequence(std::span<const Workload> phases,
                                    std::span<const DvfsSetting> settings,
                                    const DvfsTransitionModel& transitions,
                                    const PowerMon& monitor,
-                                   const util::RngStream& stream) const;
+                                   const util::RngStream& stream,
+                                   std::vector<PowerTrace>* traces_out =
+                                       nullptr) const;
 
  private:
   double dynamic_power_w(const Workload& w, const DvfsSetting& s,

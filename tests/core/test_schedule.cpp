@@ -351,8 +351,53 @@ TEST(ScheduleReuse, ReusesUntilDriftExceedsBound) {
 
   EXPECT_EQ(reuse.stats().installs, 1u);
   EXPECT_EQ(reuse.stats().reuses, 2u);
-  // Both the pre-install check and the 11% drift count as retunes.
-  EXPECT_EQ(reuse.stats().retunes, 2u);
+  // The pre-install check had no baseline to compare against (counted as
+  // incompatible); only the 11% drift is a genuine retune.
+  EXPECT_EQ(reuse.stats().retunes, 1u);
+  EXPECT_EQ(reuse.stats().incompatible, 1u);
+}
+
+TEST(ScheduleReuse, NaNWorkForcesRetune) {
+  // Regression: NaN propagated through divergence() and `NaN > bound` is
+  // false, so a poisoned work vector silently reused the stale schedule.
+  // Non-finite work must read as infinite divergence instead.
+  ScheduleReuse reuse(0.10);
+  std::vector<double> w0 = {100.0, 50.0};
+  reuse.install(PhaseSchedule{}, w0);
+  const double nan = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_TRUE(std::isinf(reuse.divergence(std::vector<double>{100.0, nan})));
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{100.0, nan}));
+  // Inf work, and a NaN *installed* baseline, are equally poisoned.
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{inf, 50.0}));
+  reuse.install(PhaseSchedule{}, std::vector<double>{nan, 50.0});
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{100.0, 50.0}));
+  // All three were comparable-size checks: retunes, not incompatibles.
+  EXPECT_EQ(reuse.stats().retunes, 3u);
+  EXPECT_EQ(reuse.stats().incompatible, 0u);
+}
+
+TEST(ScheduleReuse, IncompatibleBaselineCountedApartFromRetunes) {
+  // "Incompatible" = the installed schedule cannot even be compared (no
+  // install yet, or the phase structure changed) and must be re-installed;
+  // "retune" = a comparable baseline drifted past the bound. The split
+  // lets a controller distinguish forced re-installs from drift events.
+  ScheduleReuse reuse(0.10);
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{1.0, 2.0}));
+  EXPECT_EQ(reuse.stats().incompatible, 1u);
+  EXPECT_EQ(reuse.stats().retunes, 0u);
+
+  reuse.install(PhaseSchedule{}, std::vector<double>{1.0, 2.0});
+  // Phase count changed: incompatible again, not an ordinary retune.
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{1.0, 2.0, 3.0}));
+  EXPECT_EQ(reuse.stats().incompatible, 2u);
+  EXPECT_EQ(reuse.stats().retunes, 0u);
+
+  // Same-size drift past the bound: an ordinary retune.
+  EXPECT_TRUE(reuse.needs_retune(std::vector<double>{2.0, 2.0}));
+  EXPECT_EQ(reuse.stats().incompatible, 2u);
+  EXPECT_EQ(reuse.stats().retunes, 1u);
+  EXPECT_EQ(reuse.stats().reuses, 0u);
 }
 
 TEST(ScheduleReuse, DivergenceHandlesDegenerateWork) {

@@ -84,7 +84,7 @@ TEST(DynamicsEngine, TrajectoryBitwiseIdenticalAcrossThreadCounts) {
 
 TEST(DynamicsEngine, AmortizedTuningSearchesOnceInTheSteadyState) {
   auto cfg = untuned_config();
-  cfg.tune = TuneContext::tegra_default();
+  cfg.tuning.context = TuneContext::tegra_default();
   DynamicsEngine engine(laplace(), ParticleSystem::random(800, kDomain, 45),
                         cfg);
   // Tiny time step: negligible drift, every move refits, the structural
@@ -101,8 +101,8 @@ TEST(DynamicsEngine, AmortizedTuningSearchesOnceInTheSteadyState) {
 
 TEST(DynamicsEngine, RetunesWhenTheTreeStructureShifts) {
   auto cfg = untuned_config();
-  cfg.tune = TuneContext::tegra_default();
-  cfg.retune_bound = 0.05;
+  cfg.tuning.context = TuneContext::tegra_default();
+  cfg.tuning.retune_bound = 0.05;
   DynamicsEngine engine(laplace(), ParticleSystem::random(800, kDomain, 46),
                         cfg);
   // Heavy noise churns leaf occupancy (rebuilds + changed interaction

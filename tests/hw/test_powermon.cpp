@@ -111,11 +111,57 @@ TEST(PowerMon, InvalidConfigThrows) {
   EXPECT_THROW(PowerMon{bad2}, util::ContractError);
 }
 
-TEST(PowerMon, ZeroDurationRejected) {
+TEST(PowerMon, NegativeDurationRejected) {
   const PowerMon pm;
   util::Rng rng(10);
-  EXPECT_THROW(pm.measure(0.0, [](double) { return 1.0; }, rng),
+  EXPECT_THROW(pm.measure(-1e-6, [](double) { return 1.0; }, rng),
                util::ContractError);
+  EXPECT_THROW(pm.measure_constant(-1e-6, 1.0, rng), util::ContractError);
+}
+
+TEST(PowerMon, ZeroDurationProbeIsFiniteAndSampled) {
+  // An instantaneous probe still brackets the run with the two endpoint
+  // samples: zero energy (exact, by the trapezoid rule), a finite average
+  // power (the sample mean, not 0/0 = NaN), never an empty sample vector.
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;
+  const PowerMon pm(cfg);
+  util::Rng rng(10);
+  for (const bool constant_path : {false, true}) {
+    const auto trace =
+        constant_path
+            ? pm.measure_constant(0.0, 5.0, rng)
+            : pm.measure(0.0, [](double) { return 5.0; }, rng);
+    EXPECT_EQ(trace.samples_w.size(), 2u);
+    EXPECT_EQ(trace.energy_j, 0.0);
+    EXPECT_TRUE(std::isfinite(trace.avg_power_w));
+    EXPECT_EQ(trace.avg_power_w, 5.0);
+  }
+}
+
+TEST(PowerMon, TwoPointTrapezoidExactForSubSamplePeriodRuns) {
+  // The contract for runs shorter than one sample period (1/1024 s here):
+  // exactly two samples at t = 0 and t = duration, energy equal to the
+  // closed-form 2-point trapezoid 0.5 * (s0 + s1) * duration -- pinned to
+  // the bit. 5 W is exactly representable through the 12-bit ADC
+  // (round(5/25 * 4095) = 819, and 819/4095 * 25 = 5), so with sensor
+  // noise off both samples are exactly 5.0 W.
+  PowerMonConfig cfg;
+  cfg.noise_w = 0.0;  // defaults otherwise: 1024 Hz, 12-bit, 25 W
+  const PowerMon pm(cfg);
+  util::Rng rng(11);
+  const double duration = 200e-6;  // well under the 976 us sample period
+  for (const bool constant_path : {false, true}) {
+    const auto trace =
+        constant_path
+            ? pm.measure_constant(duration, 5.0, rng)
+            : pm.measure(duration, [](double) { return 5.0; }, rng);
+    ASSERT_EQ(trace.samples_w.size(), 2u);
+    EXPECT_EQ(trace.samples_w[0], 5.0);
+    EXPECT_EQ(trace.samples_w[1], 5.0);
+    EXPECT_EQ(trace.energy_j, 0.5 * (5.0 + 5.0) * duration);
+    EXPECT_EQ(trace.avg_power_w, trace.energy_j / duration);
+  }
 }
 
 }  // namespace
